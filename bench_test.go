@@ -1,0 +1,451 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/discern"
+	"repro/internal/lineariz"
+	"repro/internal/model"
+	"repro/internal/proto"
+	"repro/internal/record"
+	"repro/internal/sim"
+	"repro/internal/types"
+	"repro/internal/universal"
+	"repro/internal/xsearch"
+)
+
+// The benchmarks below regenerate every experiment of DESIGN.md's
+// per-experiment index (E1..E11) plus the ablations called out in
+// DESIGN.md Section 5. They are organized one benchmark per experiment;
+// sub-benchmarks sweep the experiment's parameters.
+
+// BenchmarkE1Figure3 regenerates the Figure 3 state machine (type
+// construction + transition-table rendering).
+func BenchmarkE1Figure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ft := types.Tnn(5, 2)
+		if len(ft.TransitionTable()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkE2TnnWaitFree model-checks the wait-free algorithm (Lemma 15
+// lower bound) for a sweep of n.
+func BenchmarkE2TnnWaitFree(b *testing.B) {
+	for _, c := range []struct{ n, np int }{{3, 2}, {4, 2}, {5, 2}} {
+		b.Run(fmt.Sprintf("n=%d", c.n), func(b *testing.B) {
+			pr := proto.NewTnnWaitFree(c.n, c.np, c.n)
+			inputs := make([]int, c.n)
+			for p := range inputs {
+				inputs[p] = p % 2
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := model.Check(pr, model.CheckOpts{Inputs: inputs})
+				if err != nil || !res.OK() {
+					b.Fatalf("check failed: %v %v", err, res.Violations)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3TnnUpperBound finds the violating execution for n+1
+// processes (Lemma 15 upper bound).
+func BenchmarkE3TnnUpperBound(b *testing.B) {
+	pr := proto.NewTnnWaitFree(3, 2, 4)
+	inputs := []int{1, 1, 1, 1}
+	for i := 0; i < b.N; i++ {
+		res, err := model.Check(pr, model.CheckOpts{Inputs: inputs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Violations) == 0 {
+			b.Fatal("expected a violation")
+		}
+	}
+}
+
+// BenchmarkE4TnnRecoverable model-checks the recoverable algorithm under
+// crash budgets (Lemma 16 lower bound), sweeping the crash quota.
+func BenchmarkE4TnnRecoverable(b *testing.B) {
+	for _, crashes := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("crashes=%d", crashes), func(b *testing.B) {
+			pr := proto.NewTnnRecoverable(4, 2, 2)
+			quota := []int{crashes, crashes}
+			for i := 0; i < b.N; i++ {
+				res, err := model.Check(pr, model.CheckOpts{Inputs: []int{0, 1}, CrashQuota: quota})
+				if err != nil || !res.OK() {
+					b.Fatalf("check failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5TnnRecoverableUpperBound finds the crash-burn counterexample
+// for n'+1 processes (Lemma 16 upper bound).
+func BenchmarkE5TnnRecoverableUpperBound(b *testing.B) {
+	pr := proto.NewTnnRecoverable(4, 2, 3)
+	quota := []int{2, 2, 2}
+	for i := 0; i < b.N; i++ {
+		res, err := model.Check(pr, model.CheckOpts{Inputs: []int{1, 0, 1}, CrashQuota: quota})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Violations) == 0 {
+			b.Fatal("expected a violation")
+		}
+	}
+}
+
+// BenchmarkE6CriticalSearch measures the critical-execution search
+// (Lemma 6a) plus Observation 11 classification.
+func BenchmarkE6CriticalSearch(b *testing.B) {
+	for _, n := range []int{2, 3} {
+		b.Run(fmt.Sprintf("cas-n=%d", n), func(b *testing.B) {
+			pr := proto.NewCASWaitFree(n)
+			inputs := make([]int, n)
+			for p := range inputs {
+				inputs[p] = p % 2
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := model.Check(pr, model.CheckOpts{Inputs: inputs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := model.FindCritical(res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Robustness analyzes product objects against components.
+func BenchmarkE7Robustness(b *testing.B) {
+	a1, a2 := types.TestAndSet(), types.Swap(2)
+	for i := 0; i < b.N; i++ {
+		p := types.Product(a1, a2)
+		if _, err := core.Analyze(p, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8TAS runs Golab's separation: decider side and model-checker
+// side.
+func BenchmarkE8TAS(b *testing.B) {
+	b.Run("deciders", func(b *testing.B) {
+		ft := types.TestAndSet()
+		for i := 0; i < b.N; i++ {
+			if ok, _ := discern.IsNDiscerning(ft, 2); !ok {
+				b.Fatal("TAS must be 2-discerning")
+			}
+			if ok, _ := record.IsNRecording(ft, 2); ok {
+				b.Fatal("TAS must not be 2-recording")
+			}
+		}
+	})
+	b.Run("counterexample", func(b *testing.B) {
+		pr := proto.NewTASConsensus()
+		for i := 0; i < b.N; i++ {
+			res, err := model.Check(pr, model.CheckOpts{Inputs: []int{1, 0}, CrashQuota: []int{2, 2}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Violations) == 0 {
+				b.Fatal("expected violation")
+			}
+		}
+	})
+}
+
+// BenchmarkE9XLike certifies the gap-2 families' signatures.
+func BenchmarkE9XLike(b *testing.B) {
+	b.Run("x4", func(b *testing.B) {
+		ft := types.XFour()
+		for i := 0; i < b.N; i++ {
+			if !xsearch.HasXSignature(ft, 4) {
+				b.Fatal("X4 signature lost")
+			}
+		}
+	})
+	b.Run("y5", func(b *testing.B) {
+		ft := types.TnnReadable(5)
+		for i := 0; i < b.N; i++ {
+			if ok, _ := record.IsNRecording(ft, 4); !ok {
+				b.Fatal("Y5 must be 4-recording")
+			}
+		}
+	})
+}
+
+// BenchmarkE10Zoo regenerates the hierarchy table of the zoo.
+func BenchmarkE10Zoo(b *testing.B) {
+	zoo := []*Type{
+		types.Register(2), types.TestAndSet(), types.Swap(2),
+		types.FetchAdd(4), types.CompareAndSwap(2), types.StickyBit(),
+	}
+	for i := 0; i < b.N; i++ {
+		for _, ft := range zoo {
+			if _, err := core.Analyze(ft, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE11Deciders measures decider cost growth with n — the
+// "decidable in finite time" claim quantified.
+func BenchmarkE11Deciders(b *testing.B) {
+	ft := types.CompareAndSwap(2)
+	for n := 2; n <= 6; n++ {
+		b.Run(fmt.Sprintf("discern-n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ok, _ := discern.IsNDiscerning(ft, n); !ok {
+					b.Fatal("CAS must be discerning")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("record-n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ok, _ := record.IsNRecording(ft, n); !ok {
+					b.Fatal("CAS must be recording")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11SimThroughput measures simulator throughput (events/sec)
+// under increasing crash rates.
+func BenchmarkE11SimThroughput(b *testing.B) {
+	for _, rate := range []float64{0, 0.2, 0.5} {
+		b.Run(fmt.Sprintf("crash=%.1f", rate), func(b *testing.B) {
+			a := algo.CASRecoverable()
+			const procs = 4
+			progs := make([]sim.Program, procs)
+			for p := range progs {
+				progs[p] = a.Program(p)
+			}
+			inputs := []int{0, 1, 0, 1}
+			events := 0
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(a.Cells, progs, inputs,
+					adversary.NewRandom(int64(i), rate, 4), sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Steps + res.Crashes
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md Section 5) ---
+
+// BenchmarkAblationDiscernNaive compares the naive operation-assignment
+// enumeration against the symmetry-reduced default.
+func BenchmarkAblationDiscernNaive(b *testing.B) {
+	ft := types.Tnn(4, 2)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			discern.IsNDiscerningOpt(ft, 4, discern.Options{Naive: true})
+		}
+	})
+	b.Run("reduced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			discern.IsNDiscerningOpt(ft, 4, discern.Options{})
+		}
+	})
+}
+
+// BenchmarkAblationRecordNaive is the recording-side ablation.
+func BenchmarkAblationRecordNaive(b *testing.B) {
+	ft := types.Tnn(4, 2)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			record.IsNRecordingOpt(ft, 4, record.Options{Naive: true})
+		}
+	})
+	b.Run("reduced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			record.IsNRecordingOpt(ft, 4, record.Options{})
+		}
+	})
+}
+
+// BenchmarkAblationCrashBudget measures how the explored state space and
+// cost grow with the crash quota (the engine-level analogue of choosing z
+// in E*_z).
+func BenchmarkAblationCrashBudget(b *testing.B) {
+	for _, q := range []int{0, 1, 2, 3} {
+		b.Run(fmt.Sprintf("quota=%d", q), func(b *testing.B) {
+			pr := proto.NewTnnRecoverable(5, 3, 3)
+			quota := []int{0, q, q}
+			nodes := 0
+			for i := 0; i < b.N; i++ {
+				res, err := model.Check(pr, model.CheckOpts{Inputs: []int{0, 1, 1}, CrashQuota: quota})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = res.Nodes
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+		})
+	}
+}
+
+// BenchmarkAblationPrefixSharing measures the shared-prefix DFS of the
+// deciders against full per-schedule re-simulation.
+func BenchmarkAblationPrefixSharing(b *testing.B) {
+	ft := types.XFour()
+	b.Run("discern-shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			discern.IsNDiscerningOpt(ft, 4, discern.Options{})
+		}
+	})
+	b.Run("discern-noshare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			discern.IsNDiscerningOpt(ft, 4, discern.Options{NoPrefixSharing: true})
+		}
+	})
+	b.Run("record-shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			record.IsNRecordingOpt(ft, 3, record.Options{})
+		}
+	})
+	b.Run("record-noshare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			record.IsNRecordingOpt(ft, 3, record.Options{NoPrefixSharing: true})
+		}
+	})
+}
+
+// BenchmarkE12Universal measures the recoverable universal construction:
+// operation latency without crashes and with a crash/recover on every
+// invocation.
+func BenchmarkE12Universal(b *testing.B) {
+	ft := types.FetchAdd(64)
+	faa, _ := ft.OpByName("FAA")
+	b.Run("invoke", func(b *testing.B) {
+		u, err := universal.New(ft, 0, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := u.Invoke(0, faa); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("crash-recover", func(b *testing.B) {
+		u, err := universal.New(ft, 0, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			_, err := u.InvokeSteps(0, faa, 2) // crash mid-drive
+			for err == universal.ErrCrashed {
+				_, _, err = u.RecoverSteps(0, 16)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkXSearch measures the candidate sampling + signature check
+// pipeline that discovered X4 and X5.
+func BenchmarkXSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := xsearch.Sample(int64(i), 5)
+		xsearch.HasXSignature(t, 4)
+	}
+}
+
+// BenchmarkE13Chain measures the mechanized Theorem 13 construction.
+func BenchmarkE13Chain(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		pr    model.Protocol
+		procs int
+	}{
+		{"cas2", proto.NewCASRecoverable(2), 2},
+		{"tnn42", proto.NewTnnRecoverable(4, 2, 2), 2},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			inputs := make([]int, c.procs)
+			inputs[0] = 1
+			quota := make([]int, c.procs)
+			for p := 1; p < c.procs; p++ {
+				quota[p] = 2
+			}
+			for i := 0; i < b.N; i++ {
+				chain, err := model.Theorem13Chain(c.pr, inputs, quota)
+				if err != nil || !chain.Recording {
+					b.Fatalf("chain failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLineariz measures the Wing-Gong checker on store histories of
+// growing size.
+func BenchmarkLineariz(b *testing.B) {
+	ft := types.FetchAdd(64)
+	faa, _ := ft.OpByName("FAA")
+	for _, size := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("ops=%d", size), func(b *testing.B) {
+			// A sequential (worst case for memo reuse is concurrent, but
+			// deterministic input keeps the bench stable) history.
+			ops := make([]lineariz.Op, size)
+			for i := range ops {
+				ops[i] = lineariz.Op{
+					ID: i + 1, Op: faa, Resp: Response(i % 64),
+					Invoke: int64(2 * i), Respond: int64(2*i + 1),
+				}
+			}
+			h := lineariz.History{Type: ft, Init: 0, Ops: ops}
+			for i := 0; i < b.N; i++ {
+				res, err := lineariz.Check(h)
+				if err != nil || !res.Linearizable {
+					b.Fatal("history rejected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelStateSpace measures how the explored state space grows
+// with the process count for the recoverable CAS protocol.
+func BenchmarkModelStateSpace(b *testing.B) {
+	for n := 2; n <= 4; n++ {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			pr := proto.NewCASRecoverable(n)
+			inputs := make([]int, n)
+			inputs[0] = 1
+			quota := make([]int, n)
+			for p := 1; p < n; p++ {
+				quota[p] = 1
+			}
+			nodes := 0
+			for i := 0; i < b.N; i++ {
+				res, err := model.Check(pr, model.CheckOpts{Inputs: inputs, CrashQuota: quota})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = res.Nodes
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+		})
+	}
+}

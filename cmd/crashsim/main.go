@@ -1,0 +1,140 @@
+// Command crashsim runs the paper's consensus algorithms on the
+// concurrent crash-recovery runtime under a configurable adversary and
+// reports the schedule, decisions and statistics.
+//
+// Usage:
+//
+//	crashsim -algo tnn -n 5 -nprime 3 -procs 3 -seeds 100 -crash 0.4
+//	crashsim -algo cas -procs 4 -adversary storm
+//	crashsim -algo tas -procs 2 -redecide     # Golab's separation, live
+//
+// Adversaries: rr (round-robin, crash-free), random (seeded, -crash
+// probability), storm (deterministic crash bursts), budget (the paper's
+// E*_z discipline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/algo"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crashsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crashsim", flag.ContinueOnError)
+	algoName := fs.String("algo", "tnn", "algorithm: tnn | cas | tas")
+	n := fs.Int("n", 5, "T_{n,n'} parameter n (tnn only)")
+	nPrime := fs.Int("nprime", 3, "T_{n,n'} parameter n' (tnn only)")
+	procs := fs.Int("procs", 3, "number of processes")
+	seeds := fs.Int("seeds", 50, "number of adversary seeds to run")
+	crashProb := fs.Float64("crash", 0.3, "crash probability (random/budget adversaries)")
+	maxCrashes := fs.Int("maxcrashes", 4, "max crashes per process (random adversary)")
+	advName := fs.String("adversary", "random", "adversary: rr | random | storm | budget")
+	verbose := fs.Bool("v", false, "print every run's schedule")
+	redecide := fs.Bool("redecide", false, "after each run, crash every process post-decision and re-run solo")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var a *algo.Algorithm
+	switch *algoName {
+	case "tnn":
+		if *nPrime >= *n || *nPrime < 1 {
+			return fmt.Errorf("need n > n' >= 1")
+		}
+		if *procs > *nPrime {
+			fmt.Printf("note: procs=%d exceeds n'=%d — the paper predicts failures\n",
+				*procs, *nPrime)
+		}
+		a = algo.TnnRecoverable(*n, *nPrime)
+	case "cas":
+		a = algo.CASRecoverable()
+	case "tas":
+		if *procs != 2 {
+			return fmt.Errorf("the tas algorithm is for exactly 2 processes")
+		}
+		a = algo.TASConsensus()
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algoName)
+	}
+
+	newAdv := func(seed int64) sim.Adversary {
+		switch *advName {
+		case "rr":
+			return &adversary.RoundRobin{}
+		case "random":
+			return adversary.NewRandom(seed, *crashProb, *maxCrashes)
+		case "storm":
+			targets := make([]int, *procs)
+			for p := range targets {
+				targets[p] = p
+			}
+			return &adversary.CrashStorm{Targets: targets, Times: *maxCrashes}
+		case "budget":
+			return adversary.NewBudgeted(seed, *procs, 1, *crashProb)
+		default:
+			return nil
+		}
+	}
+	if newAdv(0) == nil {
+		return fmt.Errorf("unknown adversary %q", *advName)
+	}
+
+	programs := make([]sim.Program, *procs)
+	for p := range programs {
+		programs[p] = a.Program(p)
+	}
+
+	var totalSteps, totalCrashes, violations, flips int
+	for seed := int64(0); seed < int64(*seeds); seed++ {
+		inputs := make([]int, *procs)
+		for p := range inputs {
+			inputs[p] = int(seed>>uint(p)) & 1
+		}
+		res, err := sim.Run(a.Cells, programs, inputs, newAdv(seed), sim.Options{})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		totalSteps += res.Steps
+		totalCrashes += res.Crashes
+		if *verbose {
+			fmt.Printf("seed %-4d inputs %v: %s\n", seed, inputs, trace.Summary(res.Schedule))
+			fmt.Print(trace.Render(res.Schedule, nil, res.Decisions))
+		}
+		if err := res.VerifyConsensus(inputs); err != nil {
+			violations++
+			fmt.Printf("seed %-4d inputs %v: VIOLATION: %v\n", seed, inputs, err)
+			fmt.Printf("  schedule: %s\n", res.Schedule)
+		}
+		if *redecide {
+			for p := 0; p < *procs; p++ {
+				if re := sim.RunSolo(res.Store, a.Program(p), p, inputs[p]); re != res.Decisions[p] {
+					flips++
+					fmt.Printf("seed %-4d: p%d decided %d, re-decided %d after crash-after-decide\n",
+						seed, p, res.Decisions[p], re)
+				}
+			}
+		}
+	}
+	fmt.Printf("\n%s, %d procs, %d seeds (%s adversary): %d steps, %d crashes, %d violations",
+		a.Name, *procs, *seeds, *advName, totalSteps, totalCrashes, violations)
+	if *redecide {
+		fmt.Printf(", %d re-decision flips", flips)
+	}
+	fmt.Println()
+	if violations > 0 || flips > 0 {
+		os.Exit(2)
+	}
+	return nil
+}

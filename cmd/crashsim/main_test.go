@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestTnnWithinBound(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-algo", "tnn", "-n", "4", "-nprime", "2",
+			"-procs", "2", "-seeds", "10"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0 violations") {
+		t.Errorf("expected clean runs:\n%s", out)
+	}
+}
+
+func TestCASStorm(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-algo", "cas", "-procs", "3", "-seeds", "5",
+			"-adversary", "storm"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0 violations") {
+		t.Errorf("expected clean runs:\n%s", out)
+	}
+}
+
+func TestBudgetAdversary(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-algo", "tnn", "-n", "5", "-nprime", "3",
+			"-procs", "3", "-seeds", "8", "-adversary", "budget"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0 violations") {
+		t.Errorf("expected clean runs:\n%s", out)
+	}
+}
+
+func TestVerbose(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-algo", "cas", "-procs", "2", "-seeds", "1",
+			"-adversary", "rr", "-v"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "decisions:") {
+		t.Errorf("verbose output missing schedule render:\n%s", out)
+	}
+}
+
+func TestArgErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-algo", "nosuch"},
+		{"-algo", "tnn", "-n", "2", "-nprime", "2"},
+		{"-algo", "tas", "-procs", "3"},
+		{"-algo", "cas", "-adversary", "nosuch"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command experiments runs the reproduction suite E1..E11 (every figure,
+// lemma and derived table documented in DESIGN.md) and prints
+// paper-vs-measured rows. Its markdown output is the measured section of
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                # run everything, text report
+//	experiments -only E4,E5    # a subset
+//	experiments -markdown      # EXPERIMENTS.md body
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated experiment IDs to run (default all)")
+	markdown := fs.Bool("markdown", false, "emit markdown instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var filter []string
+	if *only != "" {
+		filter = strings.Split(*only, ",")
+	}
+	outcomes := report.PaperSuite().RunAll(filter)
+	if len(outcomes) == 0 {
+		return fmt.Errorf("no experiments matched %q (have %v)",
+			*only, report.PaperSuite().IDs())
+	}
+	report.SortByID(outcomes)
+	if *markdown {
+		fmt.Print(report.Markdown(outcomes))
+	} else {
+		fmt.Print(report.Render(outcomes))
+	}
+	for _, o := range outcomes {
+		if !o.Pass {
+			return fmt.Errorf("experiment %s failed", o.ID)
+		}
+	}
+	return nil
+}

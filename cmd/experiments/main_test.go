@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestSingleExperimentText(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-only", "E1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E1", "PASS", "1/1 experiments passed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-only", "E1,E8", "-markdown"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"### E1", "### E8", "**Paper claim.**"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownFilter(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-only", "E99"}) }); err == nil {
+		t.Error("unknown experiment id should fail")
+	}
+}

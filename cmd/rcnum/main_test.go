@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestRunTAS(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-n", "3", "tas"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cons=2", "rcons=1", "discerning", "recording"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNonReadableNote(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-n", "3", "tnn:3,1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "not readable") {
+		t.Errorf("missing non-readable note:\n%s", out)
+	}
+}
+
+func TestRunWitness(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-n", "2", "-witness", "tas"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2-discerning witness") {
+		t.Errorf("missing witness output:\n%s", out)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tnn:n,n'") {
+		t.Errorf("list output missing registry entries:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/tas.json"
+	spec := `{
+		"name": "json-tas",
+		"values": ["0", "1"],
+		"ops": ["TAS", "read"],
+		"transitions": {
+			"0/TAS": {"resp": 0, "next": "1"},
+			"1/TAS": {"resp": 1, "next": "1"},
+			"0/read": {"resp": 100, "next": "0"},
+			"1/read": {"resp": 101, "next": "1"}
+		}
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"-n", "3", "-json", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "json-tas") || !strings.Contains(out, "cons=2") {
+		t.Errorf("json analysis wrong:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                 // no types
+		{"nosuchtype"},     // unknown type
+		{"-n", "1", "tas"}, // bad maxN
+		{"-json", "/nonexistent/file.json"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command statemachine renders the state machine of a type, either as a
+// textual transition table or as Graphviz DOT. It regenerates Figure 3 of
+// the paper:
+//
+//	statemachine tnn:5,2          # the state machine in Figure 3, as text
+//	statemachine -dot tnn:5,2     # the same as DOT (render with graphviz)
+//	statemachine -json t.json     # a hand-written JSON type
+//
+// With -export, the type itself is written as JSON (round-trippable with
+// rcnum -json).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/registry"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "statemachine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("statemachine", flag.ContinueOnError)
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of text")
+	export := fs.Bool("export", false, "emit the type as JSON")
+	jsonFile := fs.String("json", "", "load the type from a JSON specification file")
+	list := fs.Bool("list", false, "list registered type descriptors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Print(registry.Help())
+		return nil
+	}
+
+	var types []*spec.FiniteType
+	if *jsonFile != "" {
+		data, err := os.ReadFile(*jsonFile)
+		if err != nil {
+			return err
+		}
+		var ft spec.FiniteType
+		if err := json.Unmarshal(data, &ft); err != nil {
+			return fmt.Errorf("parse %s: %w", *jsonFile, err)
+		}
+		types = append(types, &ft)
+	}
+	for _, desc := range fs.Args() {
+		ft, err := registry.Parse(desc)
+		if err != nil {
+			return err
+		}
+		types = append(types, ft)
+	}
+	if len(types) == 0 {
+		return fmt.Errorf("no types given (try: statemachine -list)")
+	}
+
+	for _, ft := range types {
+		switch {
+		case *export:
+			data, err := json.MarshalIndent(ft, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+		case *dot:
+			fmt.Print(ft.Dot())
+		default:
+			fmt.Print(ft.TransitionTable())
+		}
+	}
+	return nil
+}

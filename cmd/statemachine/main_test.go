@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestText(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"tnn:5,2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T[5,2]", "s --op0/0--> s0,1", "s_bot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-dot", "tas"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "->") {
+		t.Errorf("not DOT output:\n%s", out)
+	}
+}
+
+func TestExportRoundTrips(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-export", "tas"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ft spec.FiniteType
+	if err := json.Unmarshal([]byte(out), &ft); err != nil {
+		t.Fatalf("export is not valid type JSON: %v", err)
+	}
+	if ft.Name() != "test-and-set" || !ft.Readable() {
+		t.Errorf("round-trip lost structure: %s", ft.Name())
+	}
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "product:A,B") {
+		t.Errorf("list missing entries:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{{}, {"zzz"}} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command xsearch hunts for readable types with the X_n signature of the
+// paper's corollary: consensus number n, recoverable consensus number n-2
+// (n-discerning, (n-2)-recording, not (n-1)-recording). The frozen types
+// types.XFour and types.XFive were found with this tool.
+//
+// Usage:
+//
+//	xsearch -n 4 -attempts 5000 -sizes 5,6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/xsearch"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "xsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("xsearch", flag.ContinueOnError)
+	n := fs.Int("n", 4, "target consensus number (the signature is cons=n, rcons=n-2); n >= 4")
+	attempts := fs.Int("attempts", 5000, "number of random candidates per size")
+	seedStart := fs.Int64("seed", 1, "first seed")
+	sizesArg := fs.String("sizes", "5,6,7", "comma-separated value-set sizes to sample")
+	all := fs.Bool("all", false, "keep searching after the first hit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 4 {
+		return fmt.Errorf("need -n >= 4 (DFFR Theorem 5 pins cons via the signature only for n >= 4)")
+	}
+	var sizes []int
+	for _, part := range strings.Split(*sizesArg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 3 {
+			return fmt.Errorf("bad size %q", part)
+		}
+		sizes = append(sizes, v)
+	}
+
+	start := time.Now()
+	found := 0
+	for _, sz := range sizes {
+		hits := xsearch.Search(*n, *seedStart, *attempts, []int{sz}, *attempts/4, func(done int) {
+			fmt.Fprintf(os.Stderr, "size %d: %d/%d attempts (%s)\n",
+				sz, done, *attempts, time.Since(start).Round(time.Millisecond))
+		})
+		for _, c := range hits {
+			found++
+			fmt.Printf("FOUND X%d candidate: seed=%d size=%d\n", *n, c.Seed, c.NumValues)
+			fmt.Print(c.Type.TransitionTable())
+			fmt.Println()
+			if !*all {
+				return nil
+			}
+		}
+	}
+	if found == 0 {
+		return fmt.Errorf("no X%d candidate in %d attempts per size (try more attempts or other sizes)",
+			*n, *attempts)
+	}
+	return nil
+}

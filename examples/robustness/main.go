@@ -1,0 +1,65 @@
+// Robustness (Theorem 14): combining readable deterministic objects never
+// yields more recoverable consensus power than the strongest individual
+// type. This example measures the recording level of product objects
+// against their components, and then probes the paper's OPEN PROBLEM:
+// for non-readable components the recording level can exceed every
+// component's level, so nothing like Theorem 14 is known there.
+//
+//	go run ./examples/robustness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+func main() {
+	const maxN = 3
+
+	level := func(ft *spec.FiniteType) string {
+		a, err := core.Analyze(ft, maxN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return core.LevelString(a.RecoverableConsensusNumber, maxN)
+	}
+
+	fmt.Println("=== Theorem 14 in action: readable components ===")
+	fmt.Println()
+	pairs := [][2]*spec.FiniteType{
+		{types.TestAndSet(), types.TestAndSet()},
+		{types.TestAndSet(), types.Swap(2)},
+		{types.Swap(2), types.FetchAdd(3)},
+		{types.TestAndSet(), types.StickyBit()},
+		{types.Register(2), types.Register(2)},
+	}
+	fmt.Printf("%-18s %-18s %10s %10s %12s\n", "A", "B", "rec(A)", "rec(B)", "rec(AxB)")
+	for _, pc := range pairs {
+		fmt.Printf("%-18s %-18s %10s %10s %12s\n",
+			pc[0].Name(), pc[1].Name(), level(pc[0]), level(pc[1]),
+			level(types.Product(pc[0], pc[1])))
+	}
+	fmt.Println()
+	fmt.Println("In every row the product's recording level is bounded by the")
+	fmt.Println("strongest component — you cannot combine weak readable objects")
+	fmt.Println("into a stronger recoverable-consensus primitive (Theorem 14).")
+
+	fmt.Println()
+	fmt.Println("=== The open problem: non-readable components (Section 5) ===")
+	fmt.Println()
+	q := types.Queue(1)
+	p := types.Product(types.TestAndSet(), q)
+	fmt.Printf("recording level of queue[1] alone:        %s\n", level(q))
+	fmt.Printf("recording level of test-and-set alone:    %s\n", level(types.TestAndSet()))
+	fmt.Printf("recording level of tas x queue[1]:        %s\n", level(p))
+	fmt.Println()
+	fmt.Println("The capacity-1 queue satisfies the n-recording DEFINITION at every n")
+	fmt.Println("(its first enqueue freezes the winner), but it is not readable, so")
+	fmt.Println("Theorem 14 does not convert that into recoverable consensus power —")
+	fmt.Println("whether the hierarchy is robust for all deterministic types is the")
+	fmt.Println("question the paper leaves open.")
+}

@@ -1,0 +1,65 @@
+// Theorem 13, mechanized (Figures 1 and 2 of the paper): the main theorem
+// says any recoverable wait-free consensus algorithm is built on an
+// n-recording type, and its proof constructs a chain of configurations
+// D0, D'0, ..., Dl, D'l — each D'i reached by a critical execution, each
+// classified per Observation 11, with the v-hiding move (crash the forced
+// suffix) and the colliding move (step and crash p_{n-1}) driving the
+// chain toward an n-recording configuration.
+//
+// This example runs that construction on two recoverable algorithms and
+// prints every stage: the starting schedule, the critical execution, the
+// team structure (Lemma 7), and the classification.
+//
+//	go run ./examples/theorem13
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/model"
+	"repro/internal/proto"
+)
+
+func main() {
+	cases := []struct {
+		pr    model.Protocol
+		procs int
+		note  string
+	}{
+		{proto.NewCASRecoverable(3), 3,
+			"CAS records the first mover forever: the first critical configuration is already n-recording"},
+		{proto.NewTnnRecoverable(4, 2, 2), 2,
+			"the paper's own algorithm over T[4,2] within its bound n' = 2"},
+		{proto.NewTnnRecoverable(4, 3, 3), 3,
+			"T[4,3] with 3 processes"},
+	}
+	for _, c := range cases {
+		fmt.Printf("=== %s ===\n(%s)\n\n", c.pr.Name(), c.note)
+		inputs := make([]int, c.procs)
+		inputs[0] = 1
+		quota := make([]int, c.procs)
+		for p := 1; p < c.procs; p++ {
+			quota[p] = 2
+		}
+		chain, err := model.Theorem13Chain(c.pr, inputs, quota)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, st := range chain.Stages {
+			fmt.Printf("stage %d:\n", i)
+			fmt.Printf("  start schedule:     [%s]\n", st.Start)
+			fmt.Printf("  critical execution: [%s]\n", st.Info.Trace)
+			fmt.Printf("  teams (Lemma 7):    %v\n", st.Info.Teams)
+			fmt.Printf("  object (Lemma 9):   #%d\n", st.Info.Object)
+			fmt.Printf("  class (Obs. 11):    %s\n", st.Info.Class)
+		}
+		if chain.Recording {
+			fmt.Println("=> reached an n-recording configuration: the object's type")
+			fmt.Println("   is n-recording, exactly as Theorem 13 concludes.")
+		} else {
+			fmt.Println("=> chain did not converge (outside the theorem's hypotheses)")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,105 @@
+// Universality (paper §1): recoverable consensus is universal — any
+// object can be implemented in a recoverable wait-free manner from
+// recoverable consensus objects and registers, with detectability: after
+// a crash, a process can tell whether its interrupted operation took
+// effect and recover its response.
+//
+// This example runs a recoverable, linearizable FIFO queue shared by four
+// crash-prone processes. Operations are announced, agreed into a log via
+// consensus cells (the role CAS plays in this repository's hierarchy
+// analyses), and replayed; crashes are injected by bounding an
+// invocation's shared-memory steps and the process then recovers.
+//
+//	go run ./examples/universal
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"repro/internal/spec"
+	"repro/internal/types"
+	"repro/internal/universal"
+)
+
+func main() {
+	q := types.Queue(4)
+	u, err := universal.New(q, 0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enq0, _ := q.OpByName("enq0")
+	enq1, _ := q.OpByName("enq1")
+	deq, _ := q.OpByName("deq")
+
+	fmt.Println("four processes hammer a recoverable universal queue;")
+	fmt.Println("every third invocation crashes mid-operation and recovers")
+	fmt.Println()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		crashes   int
+		recovered int
+	)
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			ops := []spec.Op{enq0, enq1, deq}
+			for k := 0; k < 25; k++ {
+				op := ops[rng.Intn(len(ops))]
+				if k%3 == 2 {
+					// Crash-prone invocation: tiny step budget, then
+					// recover (possibly crashing again) until resolved.
+					_, err := u.InvokeSteps(p, op, rng.Intn(3))
+					nCrash := 0
+					for errors.Is(err, universal.ErrCrashed) {
+						nCrash++
+						_, _, err = u.RecoverSteps(p, rng.Intn(3)+1)
+					}
+					if err != nil {
+						log.Fatalf("p%d: %v", p, err)
+					}
+					mu.Lock()
+					crashes += nCrash
+					if nCrash > 0 {
+						recovered++
+					}
+					mu.Unlock()
+				} else {
+					if _, err := u.Invoke(p, op); err != nil {
+						log.Fatalf("p%d: %v", p, err)
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	logEntries := u.DedupedLog()
+	fmt.Printf("linearized %d of 100 invocations; %d crashes injected; %d operations recovered\n",
+		len(logEntries), crashes, recovered)
+	fmt.Println("(invocations that crashed before announcing never took effect —")
+	fmt.Println(" detectability gives exactly-once, not at-least-once, semantics)")
+	fmt.Printf("final abstract queue value: %s\n", q.ValueName(u.Value()))
+
+	// Verify the linearization: per-process program order is respected.
+	last := make(map[int]int)
+	for _, e := range logEntries {
+		if e.Seq <= last[e.Pid] {
+			log.Fatalf("linearization violates program order for p%d", e.Pid)
+		}
+		last[e.Pid] = e.Seq
+	}
+	fmt.Println("linearization respects every process's program order — consistent.")
+	fmt.Println()
+	fmt.Println("This is the \"recoverable consensus is universal\" half of the story:")
+	fmt.Println("with objects of high recoverable consensus number (CAS-like cells),")
+	fmt.Println("ANY object — here a queue, itself only consensus number 2 — becomes")
+	fmt.Println("recoverable and linearizable, with detectability after crashes.")
+}

@@ -1,0 +1,169 @@
+// Package adversary provides scheduling adversaries for the sim runtime:
+// fair round-robin, seeded random with crash probability, crash storms
+// targeting specific processes, and a budgeted adversary that respects the
+// paper's E*_z crash-budget discipline (process p_i crashes at most
+// z*n times the number of steps taken by p_0..p_{i-1}, and p_0 never
+// crashes).
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// RoundRobin grants steps to runnable processes in cyclic order and never
+// crashes anyone.
+type RoundRobin struct {
+	next int
+}
+
+var _ sim.Adversary = (*RoundRobin)(nil)
+
+// Next implements sim.Adversary.
+func (a *RoundRobin) Next(runnable []int, crashes []int, steps int) (int, bool) {
+	for range crashes {
+		p := a.next % len(crashes)
+		a.next++
+		for _, r := range runnable {
+			if r == p {
+				return p, false
+			}
+		}
+	}
+	return runnable[0], false
+}
+
+// Random schedules uniformly among runnable processes and crashes the
+// scheduled process with probability CrashProb, up to MaxCrashes per
+// process. The zero value never crashes anyone and needs a seed via
+// NewRandom.
+type Random struct {
+	rng        *rand.Rand
+	crashProb  float64
+	maxCrashes int
+}
+
+var _ sim.Adversary = (*Random)(nil)
+
+// NewRandom builds a seeded random adversary. maxCrashes bounds the
+// crashes per process (recoverable wait-freedom admits infinite crash
+// sequences, but a finite run must let processes finish).
+func NewRandom(seed int64, crashProb float64, maxCrashes int) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed)), crashProb: crashProb, maxCrashes: maxCrashes}
+}
+
+// Next implements sim.Adversary.
+func (a *Random) Next(runnable []int, crashes []int, steps int) (int, bool) {
+	p := runnable[a.rng.Intn(len(runnable))]
+	if a.crashProb > 0 && crashes[p] < a.maxCrashes && a.rng.Float64() < a.crashProb {
+		return p, true
+	}
+	return p, false
+}
+
+// CrashStorm runs round-robin but crashes each process in Targets the
+// first Times times it is about to take a step. It exercises the
+// worst-case recovery paths deterministically.
+type CrashStorm struct {
+	Targets []int
+	Times   int
+
+	rr      RoundRobin
+	crashed map[int]int
+}
+
+var _ sim.Adversary = (*CrashStorm)(nil)
+
+// Next implements sim.Adversary.
+func (a *CrashStorm) Next(runnable []int, crashes []int, steps int) (int, bool) {
+	if a.crashed == nil {
+		a.crashed = make(map[int]int)
+	}
+	p, _ := a.rr.Next(runnable, crashes, steps)
+	for _, t := range a.Targets {
+		if t == p && a.crashed[p] < a.Times {
+			a.crashed[p]++
+			return p, true
+		}
+	}
+	return p, false
+}
+
+// Scripted replays a fixed schedule (for example a counterexample trace
+// from the model checker), then falls back to round-robin when the script
+// is exhausted or the scripted process is no longer runnable (the
+// checker's traces may crash processes after they decided, which the
+// runtime cannot express — such events are skipped).
+type Scripted struct {
+	Script schedule.Schedule
+
+	pos int
+	rr  RoundRobin
+}
+
+var _ sim.Adversary = (*Scripted)(nil)
+
+// Next implements sim.Adversary.
+func (a *Scripted) Next(runnable []int, crashes []int, steps int) (int, bool) {
+	isRunnable := func(p int) bool {
+		for _, r := range runnable {
+			if r == p {
+				return true
+			}
+		}
+		return false
+	}
+	for a.pos < len(a.Script) {
+		e := a.Script[a.pos]
+		a.pos++
+		if isRunnable(e.P) {
+			return e.P, e.Crash
+		}
+	}
+	return a.rr.Next(runnable, crashes, steps)
+}
+
+// Budgeted schedules randomly but only crashes process p when the paper's
+// E*_z budget allows: p > 0 and crashes(p) < Z*N*steps(p_0..p_{p-1}).
+// It is the runtime counterpart of schedule.Budget.
+type Budgeted struct {
+	N, Z int
+
+	rng        *rand.Rand
+	crashProb  float64
+	stepsBelow []int // stepsBelow[p] = steps taken by processes < p... computed incrementally
+	stepsOf    []int
+	crashesOf  []int
+}
+
+var _ sim.Adversary = (*Budgeted)(nil)
+
+// NewBudgeted builds the E*_z-respecting adversary for n processes.
+func NewBudgeted(seed int64, n, z int, crashProb float64) *Budgeted {
+	return &Budgeted{
+		N: n, Z: z,
+		rng:       rand.New(rand.NewSource(seed)),
+		crashProb: crashProb,
+		stepsOf:   make([]int, n),
+		crashesOf: make([]int, n),
+	}
+}
+
+// Next implements sim.Adversary.
+func (a *Budgeted) Next(runnable []int, crashes []int, steps int) (int, bool) {
+	p := runnable[a.rng.Intn(len(runnable))]
+	if p > 0 && a.rng.Float64() < a.crashProb {
+		lower := 0
+		for q := 0; q < p; q++ {
+			lower += a.stepsOf[q]
+		}
+		if a.crashesOf[p] < a.Z*a.N*lower {
+			a.crashesOf[p]++
+			return p, true
+		}
+	}
+	a.stepsOf[p]++
+	return p, false
+}

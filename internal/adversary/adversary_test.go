@@ -1,0 +1,123 @@
+package adversary
+
+import (
+	"testing"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	a := &RoundRobin{}
+	crashes := make([]int, 3)
+	runnable := []int{0, 1, 2}
+	var order []int
+	for i := 0; i < 6; i++ {
+		p, crash := a.Next(runnable, crashes, i)
+		if crash {
+			t.Fatal("round robin must never crash")
+		}
+		order = append(order, p)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsDecided(t *testing.T) {
+	a := &RoundRobin{}
+	crashes := make([]int, 3)
+	// Only process 2 is runnable: it must be picked.
+	for i := 0; i < 3; i++ {
+		p, _ := a.Next([]int{2}, crashes, i)
+		if p != 2 {
+			t.Fatalf("picked %d, want 2", p)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	seq := func(seed int64) []int {
+		a := NewRandom(seed, 0.5, 2)
+		crashes := make([]int, 4)
+		var out []int
+		for i := 0; i < 50; i++ {
+			p, crash := a.Next([]int{0, 1, 2, 3}, crashes, i)
+			if crash {
+				crashes[p]++
+				out = append(out, -p-1)
+			} else {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestRandomRespectsMaxCrashes(t *testing.T) {
+	a := NewRandom(1, 1.0, 2) // always crash when allowed
+	crashes := make([]int, 2)
+	for i := 0; i < 100; i++ {
+		p, crash := a.Next([]int{0, 1}, crashes, i)
+		if crash {
+			crashes[p]++
+		}
+	}
+	for p, c := range crashes {
+		if c > 2 {
+			t.Errorf("process %d crashed %d times, cap is 2", p, c)
+		}
+	}
+}
+
+func TestCrashStormCrashesTargets(t *testing.T) {
+	a := &CrashStorm{Targets: []int{1}, Times: 2}
+	crashes := make([]int, 2)
+	crashCount := 0
+	for i := 0; i < 10; i++ {
+		p, crash := a.Next([]int{0, 1}, crashes, i)
+		if crash {
+			if p != 1 {
+				t.Fatalf("crashed p%d, only p1 is a target", p)
+			}
+			crashCount++
+		}
+	}
+	if crashCount != 2 {
+		t.Errorf("crash count = %d, want 2", crashCount)
+	}
+}
+
+// TestBudgetedNeverCrashesP0 and never exceeds the E*_z budget.
+func TestBudgetedNeverCrashesP0(t *testing.T) {
+	a := NewBudgeted(3, 3, 1, 1.0) // crash whenever allowed
+	crashes := make([]int, 3)
+	stepsBelow := func(p int, stepsOf []int) int {
+		total := 0
+		for q := 0; q < p; q++ {
+			total += stepsOf[q]
+		}
+		return total
+	}
+	stepsOf := make([]int, 3)
+	for i := 0; i < 500; i++ {
+		p, crash := a.Next([]int{0, 1, 2}, crashes, i)
+		if crash {
+			if p == 0 {
+				t.Fatal("budgeted adversary crashed p0")
+			}
+			crashes[p]++
+			if crashes[p] > 1*3*stepsBelow(p, stepsOf) {
+				t.Fatalf("crash budget exceeded for p%d", p)
+			}
+		} else {
+			stepsOf[p]++
+		}
+	}
+}

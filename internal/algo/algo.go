@@ -1,0 +1,166 @@
+// Package algo implements the paper's consensus algorithms as runnable
+// programs for the sim runtime (goroutines over non-volatile memory under
+// a crash-injecting adversary). The same algorithms exist as step machines
+// in internal/proto for exhaustive model checking; this package is the
+// "systems" counterpart used by the examples and throughput benchmarks.
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/nvm"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// Algorithm couples the shared-memory layout with per-process programs.
+type Algorithm struct {
+	// Name identifies the algorithm.
+	Name string
+	// Cells is the non-volatile memory layout.
+	Cells []nvm.Cell
+	// Program returns process p's program.
+	Program func(p int) sim.Program
+}
+
+// TnnWaitFree is the paper's one-shot wait-free consensus for n processes
+// over a single T_{n,n'} object: apply op_input, decide the response. It
+// must only be run crash-free (wait-free algorithms are not recoverable).
+func TnnWaitFree(n, nPrime int) *Algorithm {
+	ft := types.Tnn(n, nPrime)
+	s, _ := ft.ValueByName("s")
+	op0, _ := ft.OpByName("op0")
+	op1, _ := ft.OpByName("op1")
+	return &Algorithm{
+		Name:  fmt.Sprintf("tnn-wait-free[%d,%d]", n, nPrime),
+		Cells: []nvm.Cell{{Type: ft, Init: s}},
+		Program: func(p int) sim.Program {
+			return func(ctx *sim.Ctx) int {
+				op := op0
+				if ctx.Input() == 1 {
+					op = op1
+				}
+				resp := ctx.Apply(0, op)
+				return int(resp) // TnnResp0=0, TnnResp1=1
+			}
+		},
+	}
+}
+
+// TnnRecoverable is the paper's recoverable wait-free consensus for n'
+// processes over a single T_{n,n'} object (Section 4):
+//
+//	r := opR()
+//	if r == s:        decide op_input()'s response
+//	if r == s_{v,i}:  decide v
+//	if r == bot:      decide 0   // unreachable with <= n' processes
+//
+// A crash restarts the program from the opR, which is exactly the paper's
+// recovery structure.
+func TnnRecoverable(n, nPrime int) *Algorithm {
+	ft := types.Tnn(n, nPrime)
+	s, _ := ft.ValueByName("s")
+	op0, _ := ft.OpByName("op0")
+	op1, _ := ft.OpByName("op1")
+	opR, _ := ft.OpByName("opR")
+	readS := ft.Apply(s, opR).Resp
+	return &Algorithm{
+		Name:  fmt.Sprintf("tnn-recoverable[%d,%d]", n, nPrime),
+		Cells: []nvm.Cell{{Type: ft, Init: s}},
+		Program: func(p int) sim.Program {
+			return func(ctx *sim.Ctx) int {
+				r := ctx.Apply(0, opR)
+				switch {
+				case r == readS:
+					op := op0
+					if ctx.Input() == 1 {
+						op = op1
+					}
+					return int(ctx.Apply(0, op))
+				case r == types.TnnRespBot:
+					return 0
+				default:
+					// r identifies s_{v,i}: recover v from the value index.
+					idx := int(r - types.RespReadBase)
+					if idx >= 1 && idx <= n-1 {
+						return 0
+					}
+					return 1
+				}
+			}
+		},
+	}
+}
+
+// CASRecoverable is the recoverable consensus baseline over one
+// compare-and-swap object: read; if installed decide it; else CAS own
+// input and decide the outcome. Correct for any number of processes and
+// any individual-crash pattern.
+func CASRecoverable() *Algorithm {
+	ft := types.CompareAndSwap(2)
+	bot, _ := ft.ValueByName("bot")
+	cas0, _ := ft.OpByName("cas0")
+	cas1, _ := ft.OpByName("cas1")
+	read, _ := ft.OpByName("read")
+	readBot := ft.Apply(bot, read).Resp
+	return &Algorithm{
+		Name:  "cas-recoverable",
+		Cells: []nvm.Cell{{Type: ft, Init: bot}},
+		Program: func(p int) sim.Program {
+			return func(ctx *sim.Ctx) int {
+				r := ctx.Apply(0, read)
+				if r != readBot {
+					return int(r-types.RespReadBase) - 1 // read:v_j -> j
+				}
+				op := cas0
+				if ctx.Input() == 1 {
+					op = cas1
+				}
+				out := ctx.Apply(0, op)
+				if out == 100 { // success
+					return ctx.Input()
+				}
+				return int(out - 200) // lost: decide installed value
+			}
+		},
+	}
+}
+
+// TASConsensus is the classic crash-UNSAFE 2-process consensus from one
+// test-and-set object and two registers (see internal/proto.TASConsensus).
+// Running it under a crash-injecting adversary demonstrates Golab's
+// separation at runtime (Experiment E8).
+func TASConsensus() *Algorithm {
+	tas := types.TestAndSet()
+	reg := types.Register(3)
+	tasZero, _ := tas.ValueByName("0")
+	regInit, _ := reg.ValueByName("v2")
+	tasOp, _ := tas.OpByName("TAS")
+	read, _ := reg.OpByName("read")
+	writeOp := func(x int) spec.Op {
+		o, _ := reg.OpByName(fmt.Sprintf("write%d", x))
+		return o
+	}
+	return &Algorithm{
+		Name: "tas-register-2consensus",
+		Cells: []nvm.Cell{
+			{Type: tas, Init: tasZero},
+			{Type: reg, Init: regInit},
+			{Type: reg, Init: regInit},
+		},
+		Program: func(p int) sim.Program {
+			return func(ctx *sim.Ctx) int {
+				ctx.Apply(1+p, writeOp(ctx.Input()))
+				if ctx.Apply(0, tasOp) == 0 {
+					return ctx.Input() // won
+				}
+				v := int(ctx.Apply(1+(1-p), read) - types.RespReadBase)
+				if v > 1 {
+					v = 0 // other register unwritten: no valid decision
+				}
+				return v
+			}
+		},
+	}
+}

@@ -1,0 +1,110 @@
+package algo
+
+import (
+	"testing"
+
+	"repro/internal/nvm"
+	"repro/internal/sim"
+)
+
+// runSeq drives a set of programs sequentially (each to completion, in
+// pid order) over a fresh store and returns the decisions. Sequential
+// execution is enough for the algorithm-local semantics tested here; the
+// interleaved and crashing behaviours are covered in internal/sim and
+// internal/integration.
+func runSeq(t *testing.T, a *Algorithm, inputs []int) []int {
+	t.Helper()
+	store, err := nvm.NewStore(a.Cells...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, len(inputs))
+	for p := range inputs {
+		out[p] = sim.RunSolo(store, a.Program(p), p, inputs[p])
+	}
+	return out
+}
+
+func TestTnnWaitFreeFirstMoverWins(t *testing.T) {
+	for _, inputs := range [][]int{{1, 0, 0}, {0, 1, 1}, {0, 0, 0}} {
+		a := TnnWaitFree(3, 1)
+		got := runSeq(t, a, inputs)
+		for p, d := range got {
+			if d != inputs[0] {
+				t.Errorf("inputs %v: p%d decided %d, want first mover's %d",
+					inputs, p, d, inputs[0])
+			}
+		}
+	}
+}
+
+func TestTnnRecoverableFirstMoverWins(t *testing.T) {
+	a := TnnRecoverable(5, 3)
+	got := runSeq(t, a, []int{1, 0, 0})
+	for p, d := range got {
+		if d != 1 {
+			t.Errorf("p%d decided %d, want 1", p, d)
+		}
+	}
+}
+
+func TestTnnRecoverableReRunStable(t *testing.T) {
+	a := TnnRecoverable(5, 3)
+	store, err := nvm.NewStore(a.Cells...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []int{0, 1, 1}
+	first := make([]int, 3)
+	for p := range inputs {
+		first[p] = sim.RunSolo(store, a.Program(p), p, inputs[p])
+	}
+	// Every re-run (crash after deciding) must reproduce the decision.
+	for round := 0; round < 3; round++ {
+		for p := range inputs {
+			if re := sim.RunSolo(store, a.Program(p), p, inputs[p]); re != first[p] {
+				t.Fatalf("round %d: p%d re-decided %d, want %d", round, p, re, first[p])
+			}
+		}
+	}
+}
+
+func TestCASRecoverableFirstMoverWins(t *testing.T) {
+	a := CASRecoverable()
+	got := runSeq(t, a, []int{1, 0, 0, 1})
+	for p, d := range got {
+		if d != 1 {
+			t.Errorf("p%d decided %d, want 1", p, d)
+		}
+	}
+}
+
+func TestTASSequentialCorrect(t *testing.T) {
+	a := TASConsensus()
+	got := runSeq(t, a, []int{0, 1})
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("sequential TAS run: %v, want both 0", got)
+	}
+}
+
+func TestAlgorithmShapes(t *testing.T) {
+	algs := []*Algorithm{
+		TnnWaitFree(3, 2), TnnRecoverable(4, 2), CASRecoverable(), TASConsensus(),
+	}
+	for _, a := range algs {
+		if a.Name == "" {
+			t.Error("algorithm without a name")
+		}
+		if len(a.Cells) == 0 {
+			t.Errorf("%s: no cells", a.Name)
+		}
+		if a.Program(0) == nil {
+			t.Errorf("%s: nil program", a.Name)
+		}
+		for _, c := range a.Cells {
+			if c.Type == nil {
+				t.Errorf("%s: nil cell type", a.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+func mustAnalyze(t *testing.T, ft *spec.FiniteType, maxN int) *Analysis {
+	t.Helper()
+	a, err := Analyze(ft, maxN)
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", ft.Name(), err)
+	}
+	return a
+}
+
+// TestHierarchyTable is Experiment E10 at unit-test scale: the consensus
+// and recoverable consensus numbers of the zoo, checked against the
+// published values.
+func TestHierarchyTable(t *testing.T) {
+	tests := []struct {
+		name  string
+		ft    *spec.FiniteType
+		maxN  int
+		cons  int
+		rcons int
+	}{
+		{"register", types.Register(2), 4, 1, 1},
+		{"tas", types.TestAndSet(), 4, 2, 1}, // Golab's gap: cons 2, rcons 1
+		{"swap", types.Swap(2), 4, 2, 1},
+		{"faa", types.FetchAdd(6), 4, 2, 1},
+		{"cas", types.CompareAndSwap(2), 4, Unbounded, Unbounded},
+		{"sticky", types.StickyBit(), 4, Unbounded, Unbounded},
+		{"counter", types.Counter(3), 3, 1, 1},
+		{"maxreg", types.MaxRegister(3), 3, 1, 1},
+		{"trivial", types.Trivial(), 3, 1, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a := mustAnalyze(t, tc.ft, tc.maxN)
+			if a.ConsensusNumber != tc.cons {
+				t.Errorf("cons(%s) = %s, want %s", tc.name,
+					LevelString(a.ConsensusNumber, tc.maxN), LevelString(tc.cons, tc.maxN))
+			}
+			if a.RecoverableConsensusNumber != tc.rcons {
+				t.Errorf("rcons(%s) = %s, want %s", tc.name,
+					LevelString(a.RecoverableConsensusNumber, tc.maxN), LevelString(tc.rcons, tc.maxN))
+			}
+			if err := a.CheckTheorem13Consistency(); err != nil {
+				t.Errorf("consistency: %v", err)
+			}
+		})
+	}
+}
+
+// TestTnnIndicators documents the decider-level indicators for the
+// non-readable T_{n,n'} family. The true values (cons=n, rcons=n') are
+// established by the model-checking experiments; here we verify the
+// indicator structure: discerning tops out exactly at n, recording at n-1
+// (the type records the first mover for up to n-1 operations, but the
+// recording property alone cannot be used for an algorithm without
+// readability — which is exactly the paper's point in Section 4).
+func TestTnnIndicators(t *testing.T) {
+	cases := []struct{ n, np int }{{3, 1}, {4, 2}}
+	for _, c := range cases {
+		ft := types.Tnn(c.n, c.np)
+		a := mustAnalyze(t, ft, c.n+1)
+		if a.Readable {
+			t.Errorf("T[%d,%d] should be non-readable", c.n, c.np)
+		}
+		if a.ConsensusNumber != c.n {
+			t.Errorf("discerning level of T[%d,%d] = %v, want %d",
+				c.n, c.np, a.ConsensusNumber, c.n)
+		}
+		if a.RecoverableConsensusNumber != c.n-1 {
+			t.Errorf("recording level of T[%d,%d] = %v, want %d",
+				c.n, c.np, a.RecoverableConsensusNumber, c.n-1)
+		}
+	}
+}
+
+func TestGap(t *testing.T) {
+	a := mustAnalyze(t, types.TestAndSet(), 4)
+	gap, ok := a.Gap()
+	if !ok || gap != 1 {
+		t.Errorf("TAS gap = (%d, %v), want (1, true)", gap, ok)
+	}
+	b := mustAnalyze(t, types.CompareAndSwap(2), 3)
+	if _, ok := b.Gap(); ok {
+		t.Error("CAS gap should be unavailable (unbounded at limit)")
+	}
+}
+
+func TestAnalyzeRejectsSmallMaxN(t *testing.T) {
+	if _, err := Analyze(types.TestAndSet(), 1); err == nil {
+		t.Error("Analyze with maxN=1 should fail")
+	}
+}
+
+func TestRendering(t *testing.T) {
+	a := mustAnalyze(t, types.TestAndSet(), 3)
+	if s := a.Summary(); !strings.Contains(s, "cons=2") || !strings.Contains(s, "rcons=1") {
+		t.Errorf("Summary = %q", s)
+	}
+	sp := a.Spectrum()
+	if !strings.Contains(sp, "discerning") || !strings.Contains(sp, "recording") {
+		t.Errorf("Spectrum = %q", sp)
+	}
+	if got := LevelString(Unbounded, 5); got != ">=5" {
+		t.Errorf("LevelString(Unbounded) = %q", got)
+	}
+	if got := LevelString(3, 5); got != "3" {
+		t.Errorf("LevelString(3) = %q", got)
+	}
+}
+
+// TestWitnessesPresent checks that every positive level has a witness.
+func TestWitnessesPresent(t *testing.T) {
+	a := mustAnalyze(t, types.CompareAndSwap(2), 4)
+	for n := 2; n <= 4; n++ {
+		if a.Discerning[n] && a.DiscerningWitness[n] == nil {
+			t.Errorf("missing discerning witness at n=%d", n)
+		}
+		if a.Recording[n] && a.RecordingWitness[n] == nil {
+			t.Errorf("missing recording witness at n=%d", n)
+		}
+	}
+}
+
+// TestRobustnessProducts is Experiment E7 at unit-test scale: composing two
+// types into a product object must not raise the recording level above the
+// max of the components. (For readable components this is the empirical
+// content of Theorem 14's robustness; we check the decider-level analogue
+// on product objects.)
+func TestRobustnessProducts(t *testing.T) {
+	pairs := []struct {
+		name string
+		a, b *spec.FiniteType
+		maxN int
+	}{
+		{"tas x tas", types.TestAndSet(), types.TestAndSet(), 3},
+		{"tas x register", types.TestAndSet(), types.Register(2), 3},
+		{"swap x faa", types.Swap(2), types.FetchAdd(3), 3},
+		{"register x register", types.Register(2), types.Register(2), 3},
+	}
+	for _, tc := range pairs {
+		t.Run(tc.name, func(t *testing.T) {
+			pa := mustAnalyze(t, tc.a, tc.maxN)
+			pb := mustAnalyze(t, tc.b, tc.maxN)
+			pp := mustAnalyze(t, types.Product(tc.a, tc.b), tc.maxN)
+			maxRec := pa.RecoverableConsensusNumber
+			if pb.RecoverableConsensusNumber > maxRec {
+				maxRec = pb.RecoverableConsensusNumber
+			}
+			if pa.RecoverableConsensusNumber == Unbounded || pb.RecoverableConsensusNumber == Unbounded {
+				maxRec = Unbounded
+			}
+			got := pp.RecoverableConsensusNumber
+			if maxRec != Unbounded && (got == Unbounded || got > maxRec) {
+				t.Errorf("product recording level %s exceeds max component %s",
+					LevelString(got, tc.maxN), LevelString(maxRec, tc.maxN))
+			}
+		})
+	}
+}

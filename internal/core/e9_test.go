@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestXFourSpectrum is Experiment E9: a concrete readable type realizing
+// the paper's corollary for n = 4 — consensus number 4 and recoverable
+// consensus number 2 (gap 2). Both numbers are exact because the type is
+// readable (Ruppert; Theorem 14).
+func TestXFourSpectrum(t *testing.T) {
+	a := mustAnalyze(t, types.XFour(), 5)
+	if !a.Readable {
+		t.Fatal("X4 must be readable")
+	}
+	wantDiscern := map[int]bool{2: true, 3: true, 4: true, 5: false}
+	wantRecord := map[int]bool{2: true, 3: false, 4: false, 5: false}
+	for n := 2; n <= 5; n++ {
+		if a.Discerning[n] != wantDiscern[n] {
+			t.Errorf("X4 %d-discerning = %v, want %v", n, a.Discerning[n], wantDiscern[n])
+		}
+		if a.Recording[n] != wantRecord[n] {
+			t.Errorf("X4 %d-recording = %v, want %v", n, a.Recording[n], wantRecord[n])
+		}
+	}
+	if a.ConsensusNumber != 4 {
+		t.Errorf("cons(X4) = %d, want 4", a.ConsensusNumber)
+	}
+	if a.RecoverableConsensusNumber != 2 {
+		t.Errorf("rcons(X4) = %d, want 2", a.RecoverableConsensusNumber)
+	}
+	if gap, ok := a.Gap(); !ok || gap != 2 {
+		t.Errorf("gap(X4) = (%d,%v), want (2,true)", gap, ok)
+	}
+	if err := a.CheckTheorem13Consistency(); err != nil {
+		t.Errorf("consistency: %v", err)
+	}
+}
+
+// TestXFiveSpectrum extends E9 to n = 5: consensus number 5, recoverable
+// consensus number 3 (gap 2), both exact.
+func TestXFiveSpectrum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("6-discerning check takes a few seconds")
+	}
+	a := mustAnalyze(t, types.XFive(), 6)
+	if !a.Readable {
+		t.Fatal("X5 must be readable")
+	}
+	wantDiscern := map[int]bool{2: true, 3: true, 4: true, 5: true, 6: false}
+	wantRecord := map[int]bool{2: true, 3: true, 4: false, 5: false, 6: false}
+	for n := 2; n <= 6; n++ {
+		if a.Discerning[n] != wantDiscern[n] {
+			t.Errorf("X5 %d-discerning = %v, want %v", n, a.Discerning[n], wantDiscern[n])
+		}
+		if a.Recording[n] != wantRecord[n] {
+			t.Errorf("X5 %d-recording = %v, want %v", n, a.Recording[n], wantRecord[n])
+		}
+	}
+	if a.ConsensusNumber != 5 || a.RecoverableConsensusNumber != 3 {
+		t.Errorf("X5: cons=%d rcons=%d, want 5/3", a.ConsensusNumber, a.RecoverableConsensusNumber)
+	}
+	if err := a.CheckTheorem13Consistency(); err != nil {
+		t.Errorf("consistency: %v", err)
+	}
+}
+
+// TestTnnReadableSpectrum certifies the gap-1 readable family Y_n: cons = n
+// and rcons = n-1, exactly, for n in {3, 4, 5}.
+func TestTnnReadableSpectrum(t *testing.T) {
+	for n := 3; n <= 5; n++ {
+		a := mustAnalyze(t, types.TnnReadable(n), n+1)
+		if !a.Readable {
+			t.Fatalf("Y[%d] must be readable", n)
+		}
+		if a.ConsensusNumber != n {
+			t.Errorf("cons(Y[%d]) = %v, want %d", n, a.ConsensusNumber, n)
+		}
+		if a.RecoverableConsensusNumber != n-1 {
+			t.Errorf("rcons(Y[%d]) = %v, want %d", n, a.RecoverableConsensusNumber, n-1)
+		}
+		if err := a.CheckTheorem13Consistency(); err != nil {
+			t.Errorf("Y[%d] consistency: %v", n, err)
+		}
+	}
+}

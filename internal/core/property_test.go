@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// randomReadableType builds a random deterministic readable type.
+func randomReadableType(rng *rand.Rand, v, m int) *spec.FiniteType {
+	b := spec.NewBuilder("rand")
+	names := make([]string, v)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	b.Values(names...)
+	resp := spec.Response(0)
+	for o := 0; o < m; o++ {
+		opName := string(rune('A' + o))
+		b.Ops(opName)
+		for val := 0; val < v; val++ {
+			b.Transition(names[val], opName, resp, names[rng.Intn(v)])
+			resp++
+		}
+	}
+	b.Ops("read")
+	b.ReadOp("read", 1000)
+	return b.MustBuild()
+}
+
+// TestRobustnessPropertyOnRandomReadableTypes is Theorem 14's empirical
+// content as a property test: for random READABLE components, the
+// recording level of the product never exceeds the max component level.
+func TestRobustnessPropertyOnRandomReadableTypes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzes many product types")
+	}
+	rng := rand.New(rand.NewSource(1337))
+	const maxN = 3
+	leq := func(a, b int) bool {
+		if b == Unbounded {
+			return true
+		}
+		if a == Unbounded {
+			return false
+		}
+		return a <= b
+	}
+	for i := 0; i < 25; i++ {
+		a := randomReadableType(rng, 2+rng.Intn(2), 2)
+		b := randomReadableType(rng, 2+rng.Intn(2), 2)
+		la := mustAnalyze(t, a, maxN)
+		lb := mustAnalyze(t, b, maxN)
+		lp := mustAnalyze(t, types.Product(a, b), maxN)
+		max := la.RecoverableConsensusNumber
+		if max != Unbounded &&
+			(lb.RecoverableConsensusNumber == Unbounded || lb.RecoverableConsensusNumber > max) {
+			max = lb.RecoverableConsensusNumber
+		}
+		if !leq(lp.RecoverableConsensusNumber, max) {
+			t.Fatalf("case %d: product recording level %v exceeds components (%v, %v)\nA:\n%s\nB:\n%s",
+				i, lp.RecoverableConsensusNumber,
+				la.RecoverableConsensusNumber, lb.RecoverableConsensusNumber,
+				a.TransitionTable(), b.TransitionTable())
+		}
+	}
+}
+
+// TestConsRconsOrderOnRandomReadableTypes: for readable types the
+// recoverable consensus number never exceeds the consensus number (every
+// recoverable algorithm is also a wait-free algorithm when crashes never
+// happen).
+func TestConsRconsOrderOnRandomReadableTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	const maxN = 4
+	for i := 0; i < 40; i++ {
+		ft := randomReadableType(rng, 2+rng.Intn(3), 2)
+		a := mustAnalyze(t, ft, maxN)
+		cons, rcons := a.ConsensusNumber, a.RecoverableConsensusNumber
+		if cons == Unbounded {
+			continue
+		}
+		if rcons == Unbounded || rcons > cons {
+			t.Fatalf("case %d: rcons %v > cons %v for readable type:\n%s",
+				i, rcons, cons, ft.TransitionTable())
+		}
+		if err := a.CheckTheorem13Consistency(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package discern decides Ruppert's n-discerning property for finite
+// deterministic types.
+//
+// A deterministic type T is n-discerning (Section 2 of the paper, adapted
+// from Ruppert 2000) if there exist a value u, a partition of processes
+// p_0..p_{n-1} into two nonempty teams T_0, T_1, and an operation o_i for
+// each p_i, such that for every j the pair sets R_{0,j} and R_{1,j} are
+// disjoint, where R_{x,j} collects the pairs (response of p_j's operation,
+// resulting object value) over all schedules in S({p_0..p_{n-1}}) that
+// contain p_j and start with a process in T_x.
+//
+// Ruppert proved that a deterministic, readable type has consensus number
+// at least n if and only if it is n-discerning; the property is decidable
+// in finite time for finite types, and this package is that decision
+// procedure.
+//
+// Implementation: for a fixed value u and operation assignment, a partition
+// (T_0, T_1) works iff no "constraint set" is split across teams, where a
+// constraint set is the set of first-movers f that produce the same
+// (response, value) pair for the same observer j. We union-find the
+// first-movers within each constraint set; a valid partition exists iff the
+// union-find has at least two components. This avoids enumerating the
+// 2^n - 2 partitions.
+package discern
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/uf"
+)
+
+// Witness certifies that a type is n-discerning: the initial value U, the
+// team of each process (Teams[i] is 0 or 1), and the operation assigned to
+// each process.
+type Witness struct {
+	N     int
+	U     spec.Value
+	Teams []int
+	Ops   []spec.Op
+}
+
+// String renders the witness compactly.
+func (w *Witness) String() string {
+	return fmt.Sprintf("u=%d teams=%v ops=%v", int(w.U), w.Teams, w.Ops)
+}
+
+// Options configures the decision procedure.
+type Options struct {
+	// Naive disables the symmetry reduction over operation assignments
+	// (all numOps^n assignments are tried instead of the numOps multisets
+	// of size n). Used by ablation benchmarks and cross-checking tests.
+	Naive bool
+	// NoPrefixSharing disables the shared-prefix DFS over S(P): every
+	// schedule is re-simulated from the initial value instead of reusing
+	// the object value computed for its prefix. Used by the ablation
+	// benchmarks (DESIGN.md Section 5).
+	NoPrefixSharing bool
+}
+
+// IsNDiscerning reports whether t is n-discerning, for n >= 2, and returns
+// a witness if it is. It panics if n < 2, since the property is undefined
+// (the partition into two nonempty teams requires at least two processes).
+func IsNDiscerning(t *spec.FiniteType, n int) (bool, *Witness) {
+	return IsNDiscerningOpt(t, n, Options{})
+}
+
+// IsNDiscerningOpt is IsNDiscerning with explicit Options.
+func IsNDiscerningOpt(t *spec.FiniteType, n int, opts Options) (bool, *Witness) {
+	if n < 2 {
+		panic(fmt.Sprintf("discern: n-discerning is undefined for n=%d (need n >= 2)", n))
+	}
+	numOps := t.NumOps()
+	ops := make([]spec.Op, n)
+	var tryAll func(pos int) *Witness
+	tryAll = func(pos int) *Witness {
+		if pos == n {
+			if w := checkAssignment(t, n, ops, opts); w != nil {
+				return w
+			}
+			return nil
+		}
+		start := spec.Op(0)
+		if !opts.Naive && pos > 0 {
+			// Symmetry reduction: processes are interchangeable, so only
+			// non-decreasing operation tuples need to be tried.
+			start = ops[pos-1]
+		}
+		for o := start; int(o) < numOps; o++ {
+			ops[pos] = o
+			if w := tryAll(pos + 1); w != nil {
+				return w
+			}
+		}
+		return nil
+	}
+	if w := tryAll(0); w != nil {
+		return true, w
+	}
+	return false, nil
+}
+
+// pairKey identifies an observation by process j: its operation's response
+// together with the object's resulting value at the end of the schedule.
+type pairKey struct {
+	j    int
+	resp spec.Response
+	val  spec.Value
+}
+
+// checkAssignment decides whether some (u, partition) completes the given
+// operation assignment into an n-discerning witness, and returns the
+// witness if so.
+func checkAssignment(t *spec.FiniteType, n int, ops []spec.Op, opts Options) *Witness {
+	for u := 0; u < t.NumValues(); u++ {
+		var firstMask map[pairKey]uint32
+		if opts.NoPrefixSharing {
+			firstMask = observationsNoShare(t, n, ops, spec.Value(u))
+		} else {
+			firstMask = observations(t, n, ops, spec.Value(u))
+		}
+		if teams := colorObservations(n, firstMask); teams != nil {
+			w := &Witness{N: n, U: spec.Value(u), Teams: teams, Ops: make([]spec.Op, n)}
+			copy(w.Ops, ops)
+			return w
+		}
+	}
+	return nil
+}
+
+// observations collects, for every nonempty schedule in S(P) applied from
+// u, the pair (response of each scheduled process, final value) bucketed
+// by the schedule's first process, via a shared-prefix DFS (each prefix's
+// object value is computed once).
+func observations(t *spec.FiniteType, n int, ops []spec.Op, u spec.Value) map[pairKey]uint32 {
+	firstMask := make(map[pairKey]uint32)
+	inSched := make([]bool, n)
+	resps := make([]spec.Response, n)
+	order := make([]int, 0, n)
+	var dfs func(val spec.Value, first int)
+	dfs = func(val spec.Value, first int) {
+		bit := uint32(1) << uint(first)
+		for _, j := range order {
+			firstMask[pairKey{j: j, resp: resps[j], val: val}] |= bit
+		}
+		for p := 0; p < n; p++ {
+			if inSched[p] {
+				continue
+			}
+			e := t.Apply(val, ops[p])
+			inSched[p] = true
+			resps[p] = e.Resp
+			order = append(order, p)
+			dfs(e.Next, first)
+			order = order[:len(order)-1]
+			inSched[p] = false
+		}
+	}
+	for f := 0; f < n; f++ {
+		e := t.Apply(u, ops[f])
+		inSched[f] = true
+		resps[f] = e.Resp
+		order = append(order, f)
+		dfs(e.Next, f)
+		order = order[:len(order)-1]
+		inSched[f] = false
+	}
+	return firstMask
+}
+
+// observationsNoShare is the ablation variant of observations: it
+// enumerates the schedules identically but re-simulates each schedule
+// from u in full instead of sharing prefix values.
+func observationsNoShare(t *spec.FiniteType, n int, ops []spec.Op, u spec.Value) map[pairKey]uint32 {
+	firstMask := make(map[pairKey]uint32)
+	inSched := make([]bool, n)
+	order := make([]int, 0, n)
+	record := func() {
+		// Full re-simulation of the current schedule.
+		val := u
+		resps := make([]spec.Response, len(order))
+		for i, p := range order {
+			e := t.Apply(val, ops[p])
+			resps[i] = e.Resp
+			val = e.Next
+		}
+		bit := uint32(1) << uint(order[0])
+		for i, j := range order {
+			firstMask[pairKey{j: j, resp: resps[i], val: val}] |= bit
+		}
+	}
+	var rec func()
+	rec = func() {
+		if len(order) > 0 {
+			record()
+		}
+		for p := 0; p < n; p++ {
+			if inSched[p] {
+				continue
+			}
+			inSched[p] = true
+			order = append(order, p)
+			rec()
+			order = order[:len(order)-1]
+			inSched[p] = false
+		}
+	}
+	rec()
+	return firstMask
+}
+
+// colorObservations finds a partition in which every observation's
+// first-mover set is monochromatic: union-find over the masks; a valid
+// partition exists iff at least two components remain.
+func colorObservations(n int, firstMask map[pairKey]uint32) []int {
+	groups := uf.New(n)
+	for _, mask := range firstMask {
+		groups.UniteMask(mask)
+	}
+	return groups.TwoColor()
+}

@@ -1,0 +1,8 @@
+package integration
+
+import "repro/internal/schedule"
+
+// budget builds the E*_1 budget for n processes.
+func budget(n int) schedule.Budget {
+	return schedule.Budget{N: n, Z: 1}
+}

@@ -1,0 +1,198 @@
+// Package integration cross-validates the two execution engines: the
+// exhaustive model checker (internal/model + internal/proto) and the
+// concurrent simulator (internal/sim + internal/algo) implement the same
+// algorithms independently; replaying a simulator run's schedule inside
+// the checker must produce the same decisions.
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/algo"
+	"repro/internal/model"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// pair couples an algorithm's two implementations.
+type pair struct {
+	name  string
+	proto func(procs int) model.Protocol
+	algo  func() *algo.Algorithm
+	procs int
+}
+
+func pairs() []pair {
+	return []pair{
+		{
+			name:  "tnn-recoverable[4,2]",
+			proto: func(n int) model.Protocol { return proto.NewTnnRecoverable(4, 2, n) },
+			algo:  func() *algo.Algorithm { return algo.TnnRecoverable(4, 2) },
+			procs: 2,
+		},
+		{
+			name:  "tnn-recoverable[5,3]",
+			proto: func(n int) model.Protocol { return proto.NewTnnRecoverable(5, 3, n) },
+			algo:  func() *algo.Algorithm { return algo.TnnRecoverable(5, 3) },
+			procs: 3,
+		},
+		{
+			name:  "cas-recoverable",
+			proto: func(n int) model.Protocol { return proto.NewCASRecoverable(n) },
+			algo:  func() *algo.Algorithm { return algo.CASRecoverable() },
+			procs: 3,
+		},
+		{
+			name:  "tnn-wait-free[4,2]",
+			proto: func(n int) model.Protocol { return proto.NewTnnWaitFree(4, 2, n) },
+			algo:  func() *algo.Algorithm { return algo.TnnWaitFree(4, 2) },
+			procs: 4,
+		},
+	}
+}
+
+// TestEnginesAgreeOnSchedules runs the simulator under many seeded
+// adversaries and replays each produced schedule step-for-step in the
+// model checker's configuration semantics; the decisions must match
+// exactly.
+func TestEnginesAgreeOnSchedules(t *testing.T) {
+	for _, pc := range pairs() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			pr := pc.proto(pc.procs)
+			a := pc.algo()
+			for seed := int64(0); seed < 40; seed++ {
+				inputs := make([]int, pc.procs)
+				for p := range inputs {
+					inputs[p] = int(seed>>uint(p)) & 1
+				}
+				progs := make([]sim.Program, pc.procs)
+				for p := range progs {
+					progs[p] = a.Program(p)
+				}
+				crashProb := 0.3
+				if pc.name == "tnn-wait-free[4,2]" {
+					crashProb = 0 // wait-free algorithms are not recoverable
+				}
+				res, err := sim.Run(a.Cells, progs, inputs,
+					adversary.NewRandom(seed, crashProb, 3), sim.Options{})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+
+				// Replay in the checker's semantics.
+				cfg := model.Exec(pr, model.InitialConfig(pr, inputs), res.Schedule, inputs)
+				for p := 0; p < pc.procs; p++ {
+					got, ok := model.Decision(pr, cfg, p)
+					if !ok {
+						t.Fatalf("seed %d: p%d undecided after replaying [%s]",
+							seed, p, res.Schedule)
+					}
+					if got != res.Decisions[p] {
+						t.Fatalf("seed %d: engines disagree for p%d: sim=%d model=%d (schedule [%s])",
+							seed, p, res.Decisions[p], got, res.Schedule)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSimScheduleAdmissible checks that the budgeted adversary's schedules
+// are admissible E*_z executions per the exact schedule-level arithmetic.
+func TestSimScheduleAdmissible(t *testing.T) {
+	a := algo.TnnRecoverable(5, 3)
+	const procs = 3
+	for seed := int64(0); seed < 25; seed++ {
+		adv := adversary.NewBudgeted(seed, procs, 1, 0.5)
+		progs := make([]sim.Program, procs)
+		for p := range progs {
+			progs[p] = a.Program(p)
+		}
+		inputs := []int{1, 0, 1}
+		res, err := sim.Run(a.Cells, progs, inputs, adv, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := budget(procs)
+		if !b.InEStar(res.Schedule) {
+			t.Errorf("seed %d: schedule [%s] outside E*_1", seed, res.Schedule)
+		}
+	}
+}
+
+// TestScriptedReplayOfCheckerTrace replays a model-checker counterexample
+// trace in the runtime via the Scripted adversary: the violating schedule
+// found by exhaustive search must reproduce a disagreement between the
+// runtime's decisions and re-decisions.
+func TestScriptedReplayOfCheckerTrace(t *testing.T) {
+	// Find the E5 counterexample: TnnRecoverable(3,1) with 2 processes.
+	pr := proto.NewTnnRecoverable(3, 1, 2)
+	inputs := []int{1, 0}
+	res, err := model.Check(pr, model.CheckOpts{Inputs: inputs, CrashQuota: []int{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("checker found no violation for T[3,1] with 2 procs")
+	}
+	traceSchedule := res.Violations[0].Trace
+
+	// Replay in the runtime. The runtime cannot crash decided processes,
+	// so the Scripted adversary skips those events; the burn may then be
+	// incomplete in the runtime — accept either a reproduced disagreement
+	// or a re-decision flip via RunSolo.
+	a := algo.TnnRecoverable(3, 1)
+	progs := []sim.Program{a.Program(0), a.Program(1)}
+	runRes, err := sim.Run(a.Cells, progs, inputs,
+		&adversary.Scripted{Script: traceSchedule}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disagrees := runRes.VerifyConsensus(inputs) != nil
+	flip := false
+	for p := 0; p < 2; p++ {
+		if sim.RunSolo(runRes.Store, a.Program(p), p, inputs[p]) != runRes.Decisions[p] {
+			flip = true
+		}
+	}
+	if !disagrees && !flip {
+		t.Errorf("replayed counterexample [%s] produced neither disagreement nor flip (decisions %v)",
+			traceSchedule, runRes.Decisions)
+	}
+}
+
+// TestCheckerSubsumesSimViolations: any consensus violation the simulator
+// could ever produce within a crash budget must also be found by the
+// exhaustive checker (spot-checked on the TAS algorithm, where both
+// engines exhibit Golab's separation).
+func TestCheckerSubsumesSimViolations(t *testing.T) {
+	// Simulator side: re-decision flip after crash-after-decide.
+	a := algo.TASConsensus()
+	inputs := []int{1, 0}
+	progs := []sim.Program{a.Program(0), a.Program(1)}
+	res, err := sim.Run(a.Cells, progs, inputs, &adversary.RoundRobin{}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := false
+	for p := 0; p < 2; p++ {
+		if sim.RunSolo(res.Store, a.Program(p), p, inputs[p]) != res.Decisions[p] {
+			flip = true
+		}
+	}
+	if !flip {
+		t.Fatal("simulator did not exhibit the TAS flip")
+	}
+
+	// Checker side: the same failure mode as an explored violation.
+	chk, err := model.Check(proto.NewTASConsensus(),
+		model.CheckOpts{Inputs: inputs, CrashQuota: []int{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chk.Violations) == 0 {
+		t.Fatal("checker did not find the TAS violation")
+	}
+}

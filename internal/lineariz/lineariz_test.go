@@ -1,0 +1,210 @@
+package lineariz
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/nvm"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+func op(t *spec.FiniteType, name string) spec.Op {
+	o, ok := t.OpByName(name)
+	if !ok {
+		panic("missing op " + name)
+	}
+	return o
+}
+
+// TestSequentialHistoryAccepted: a strictly sequential correct history is
+// linearizable.
+func TestSequentialHistoryAccepted(t *testing.T) {
+	ft := types.TestAndSet()
+	h := History{
+		Type: ft, Init: 0,
+		Ops: []Op{
+			{ID: 1, Op: op(ft, "TAS"), Resp: 0, Invoke: 0, Respond: 1},
+			{ID: 2, Op: op(ft, "TAS"), Resp: 1, Invoke: 2, Respond: 3},
+		},
+	}
+	res, err := Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("sequential history rejected")
+	}
+	if len(res.Order) != 2 || res.Order[0] != 1 {
+		t.Errorf("order = %v", res.Order)
+	}
+}
+
+// TestWrongResponseRejected: two TAS winners cannot both exist.
+func TestWrongResponseRejected(t *testing.T) {
+	ft := types.TestAndSet()
+	h := History{
+		Type: ft, Init: 0,
+		Ops: []Op{
+			{ID: 1, Op: op(ft, "TAS"), Resp: 0, Invoke: 0, Respond: 1},
+			{ID: 2, Op: op(ft, "TAS"), Resp: 0, Invoke: 2, Respond: 3},
+		},
+	}
+	res, err := Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("two TAS winners accepted")
+	}
+}
+
+// TestConcurrentReorderingAllowed: overlapping operations may linearize in
+// either order, so a "later-invoked" winner is fine while intervals
+// overlap.
+func TestConcurrentReorderingAllowed(t *testing.T) {
+	ft := types.TestAndSet()
+	h := History{
+		Type: ft, Init: 0,
+		Ops: []Op{
+			// Both invoked before either responds: the second-invoked op
+			// may still be the winner.
+			{ID: 1, Op: op(ft, "TAS"), Resp: 1, Invoke: 0, Respond: 10},
+			{ID: 2, Op: op(ft, "TAS"), Resp: 0, Invoke: 1, Respond: 9},
+		},
+	}
+	res, err := Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("legal concurrent reordering rejected")
+	}
+	if res.Order[0] != 2 {
+		t.Errorf("winner should linearize first, order = %v", res.Order)
+	}
+}
+
+// TestRealTimeOrderEnforced: the same reordering is illegal when the
+// intervals do NOT overlap.
+func TestRealTimeOrderEnforced(t *testing.T) {
+	ft := types.TestAndSet()
+	h := History{
+		Type: ft, Init: 0,
+		Ops: []Op{
+			{ID: 1, Op: op(ft, "TAS"), Resp: 1, Invoke: 0, Respond: 1},
+			{ID: 2, Op: op(ft, "TAS"), Resp: 0, Invoke: 2, Respond: 3},
+		},
+	}
+	res, err := Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("real-time violation accepted: op 1 lost before op 2 won")
+	}
+}
+
+// TestQueueFIFOHistory: a queue history with out-of-order dequeues is
+// rejected.
+func TestQueueFIFOHistory(t *testing.T) {
+	q := types.Queue(2)
+	good := History{
+		Type: q, Init: 0,
+		Ops: []Op{
+			{ID: 1, Op: op(q, "enq0"), Resp: types.RespOK, Invoke: 0, Respond: 1},
+			{ID: 2, Op: op(q, "enq1"), Resp: types.RespOK, Invoke: 2, Respond: 3},
+			{ID: 3, Op: op(q, "deq"), Resp: 0, Invoke: 4, Respond: 5},
+			{ID: 4, Op: op(q, "deq"), Resp: 1, Invoke: 6, Respond: 7},
+		},
+	}
+	res, err := Check(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("correct FIFO history rejected")
+	}
+
+	bad := good
+	bad.Ops = append([]Op(nil), good.Ops...)
+	bad.Ops[2].Resp = 1 // dequeued the later element first
+	bad.Ops[3].Resp = 0
+	res, err = Check(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("LIFO dequeue order accepted for a queue")
+	}
+}
+
+// TestErrors covers argument validation.
+func TestErrors(t *testing.T) {
+	ft := types.TestAndSet()
+	if _, err := Check(History{Type: nil}); err == nil {
+		t.Error("nil type accepted")
+	}
+	if _, err := Check(History{Type: ft, Init: 99}); err == nil {
+		t.Error("bad init accepted")
+	}
+	if _, err := Check(History{Type: ft, Init: 0, Ops: []Op{
+		{ID: 1, Op: 0, Resp: 0, Invoke: 5, Respond: 5},
+	}}); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if _, err := Check(History{Type: ft, Init: 0, Ops: []Op{
+		{ID: 1, Op: 99, Resp: 0, Invoke: 0, Respond: 1},
+	}}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+// TestNvmStoreHistoriesLinearizable records real concurrent histories
+// against nvm.Store (which serializes via a mutex) and verifies each is
+// linearizable — the store is the repository's "hardware" and this is its
+// correctness certificate.
+func TestNvmStoreHistoriesLinearizable(t *testing.T) {
+	ft := types.FetchAdd(16)
+	faa := op(ft, "FAA")
+	const workers = 4
+	const each = 8
+
+	store := nvm.MustNewStore(nvm.Cell{Type: ft, Init: 0})
+	var clock int64
+	var mu sync.Mutex
+	var ops []Op
+	var wg sync.WaitGroup
+	id := int64(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < each; k++ {
+				inv := atomic.AddInt64(&clock, 1)
+				resp := store.Apply(0, faa)
+				rsp := atomic.AddInt64(&clock, 1)
+				myID := atomic.AddInt64(&id, 1)
+				mu.Lock()
+				ops = append(ops, Op{
+					ID: int(myID), Proc: w, Op: faa, Resp: resp,
+					Invoke: inv, Respond: rsp,
+				})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res, err := Check(History{Type: ft, Init: 0, Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("nvm.Store produced a non-linearizable history")
+	}
+	if len(res.Order) != workers*each {
+		t.Errorf("order has %d entries", len(res.Order))
+	}
+}

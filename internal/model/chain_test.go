@@ -1,0 +1,87 @@
+package model_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/proto"
+)
+
+// TestTheorem13ChainCAS runs the mechanized Theorem 13 construction on
+// recoverable CAS consensus: the very first critical configuration is
+// already n-recording (CAS records the winner forever), so the chain ends
+// at stage 0.
+func TestTheorem13ChainCAS(t *testing.T) {
+	for n := 2; n <= 3; n++ {
+		pr := proto.NewCASRecoverable(n)
+		inputs := make([]int, n)
+		inputs[0] = 1
+		quota := make([]int, n)
+		for p := 1; p < n; p++ {
+			quota[p] = 1
+		}
+		chain, err := model.Theorem13Chain(pr, inputs, quota)
+		if err != nil {
+			t.Fatalf("n=%d: %v\n%s", n, err, chain)
+		}
+		if !chain.Recording {
+			t.Errorf("n=%d: chain did not reach n-recording:\n%s", n, chain)
+		}
+		if len(chain.Stages) != 1 {
+			t.Logf("n=%d: chain took %d stages:\n%s", n, len(chain.Stages), chain)
+		}
+	}
+}
+
+// TestTheorem13ChainTnnRecoverable runs the construction on the paper's
+// own recoverable algorithm within its process bound: Theorem 13
+// guarantees the chain reaches an n-recording configuration, certifying
+// that T_{n,n'} is n'-recording (n' = procs here).
+func TestTheorem13ChainTnnRecoverable(t *testing.T) {
+	cases := []struct{ n, np int }{{4, 2}, {5, 2}, {4, 3}}
+	for _, c := range cases {
+		pr := proto.NewTnnRecoverable(c.n, c.np, c.np)
+		inputs := make([]int, c.np)
+		inputs[0] = 1
+		quota := make([]int, c.np)
+		for p := 1; p < c.np; p++ {
+			quota[p] = 2
+		}
+		chain, err := model.Theorem13Chain(pr, inputs, quota)
+		if err != nil {
+			t.Fatalf("T[%d,%d]: %v\n%s", c.n, c.np, err, chain)
+		}
+		if !chain.Recording {
+			t.Errorf("T[%d,%d]: chain did not reach n-recording:\n%s", c.n, c.np, chain)
+		}
+		if len(chain.Stages) > c.np {
+			t.Errorf("T[%d,%d]: chain took %d stages, paper bounds l <= n-1",
+				c.n, c.np, len(chain.Stages))
+		}
+	}
+}
+
+// TestTheorem13ChainRendering checks the report form.
+func TestTheorem13ChainRendering(t *testing.T) {
+	pr := proto.NewCASRecoverable(2)
+	chain, err := model.Theorem13Chain(pr, []int{0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := chain.String()
+	for _, want := range []string{"stage 0", "class=", "n-recording configuration"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chain rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestTheorem13ChainUnivalentStart: with equal inputs the initial
+// configuration is univalent and the chain cannot start.
+func TestTheorem13ChainUnivalentStart(t *testing.T) {
+	pr := proto.NewCASRecoverable(2)
+	if _, err := model.Theorem13Chain(pr, []int{1, 1}, []int{0, 1}); err == nil {
+		t.Error("expected failure from a univalent initial configuration")
+	}
+}

@@ -1,0 +1,169 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/schedule"
+	"repro/internal/spec"
+)
+
+// Config is a configuration of a protocol execution: a local state for
+// each process plus a value for each object (Section 2).
+type Config struct {
+	States []string
+	Vals   []spec.Value
+}
+
+// InitialConfig builds the initial configuration of pr for the given input
+// vector (one binary input per process).
+func InitialConfig(pr Protocol, inputs []int) Config {
+	n := pr.Procs()
+	c := Config{States: make([]string, n), Vals: make([]spec.Value, len(pr.Objects()))}
+	for p := 0; p < n; p++ {
+		c.States[p] = pr.Init(p, inputs[p])
+	}
+	for i, o := range pr.Objects() {
+		c.Vals[i] = o.Init
+	}
+	return c
+}
+
+// Clone returns a deep copy of the configuration.
+func (c Config) Clone() Config {
+	out := Config{States: make([]string, len(c.States)), Vals: make([]spec.Value, len(c.Vals))}
+	copy(out.States, c.States)
+	copy(out.Vals, c.Vals)
+	return out
+}
+
+// Key returns a canonical hashable key for the configuration.
+func (c Config) Key() string {
+	var b strings.Builder
+	for _, s := range c.States {
+		b.WriteString(s)
+		b.WriteByte('\x00')
+	}
+	b.WriteByte('\x01')
+	for _, v := range c.Vals {
+		b.WriteString(strconv.Itoa(int(v)))
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// IndistinguishableTo reports whether c and d are indistinguishable to
+// process p (p has the same local state in both): the relation C ~_Q D of
+// Section 2 restricted to a single process.
+func (c Config) IndistinguishableTo(d Config, p int) bool {
+	return c.States[p] == d.States[p]
+}
+
+// IndistinguishableSet returns the set of processes to which c and d are
+// indistinguishable.
+func (c Config) IndistinguishableSet(d Config) []int {
+	var out []int
+	for p := range c.States {
+		if c.States[p] == d.States[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SameObjectValues reports whether every object has the same value in c
+// and d.
+func (c Config) SameObjectValues(d Config) bool {
+	for i := range c.Vals {
+		if c.Vals[i] != d.Vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Step applies one step of process p to the configuration under protocol
+// pr and returns the resulting configuration. A decided process takes a
+// no-op step (the configuration is returned unchanged).
+func Step(pr Protocol, c Config, p int) Config {
+	a := pr.Poised(p, c.States[p])
+	if a.Decided {
+		return c
+	}
+	out := c.Clone()
+	obj := pr.Objects()[a.Obj]
+	e := obj.Type.Apply(c.Vals[a.Obj], a.Op)
+	out.Vals[a.Obj] = e.Next
+	out.States[p] = pr.Next(p, c.States[p], e.Resp)
+	return out
+}
+
+// CrashProc applies a crash of process p: its local state is reset to its
+// initial state (which depends on its input); all objects keep their
+// values.
+func CrashProc(pr Protocol, c Config, p int, input int) Config {
+	out := c.Clone()
+	out.States[p] = pr.Init(p, input)
+	return out
+}
+
+// Exec applies a schedule to a configuration: exec(C, sigma) of Section 2.
+// Crash events need the process inputs to reconstruct initial states.
+func Exec(pr Protocol, c Config, sigma schedule.Schedule, inputs []int) Config {
+	cur := c
+	for _, e := range sigma {
+		if e.Crash {
+			cur = CrashProc(pr, cur, e.P, inputs[e.P])
+		} else {
+			cur = Step(pr, cur, e.P)
+		}
+	}
+	return cur
+}
+
+// Decision returns the decision of process p in c, if p has decided.
+func Decision(pr Protocol, c Config, p int) (int, bool) {
+	a := pr.Poised(p, c.States[p])
+	if !a.Decided {
+		return 0, false
+	}
+	return a.Decision, true
+}
+
+// Decisions returns the set of values decided by any process in c, as a
+// bitmask over {0, 1} (bit v set iff some process has decided v). Decisions
+// outside {0,1} are reported through the extra slice.
+func Decisions(pr Protocol, c Config) (mask int, other []int) {
+	for p := range c.States {
+		if v, ok := Decision(pr, c, p); ok {
+			if v == 0 || v == 1 {
+				mask |= 1 << uint(v)
+			} else {
+				other = append(other, v)
+			}
+		}
+	}
+	return mask, other
+}
+
+// String renders the configuration compactly for traces.
+func (c Config) String() string {
+	var b strings.Builder
+	b.WriteString("states[")
+	for p, s := range c.States {
+		if p > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "p%d:%s", p, s)
+	}
+	b.WriteString("] vals[")
+	for i, v := range c.Vals {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", int(v))
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,418 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/schedule"
+)
+
+// CheckOpts configures an exploration.
+type CheckOpts struct {
+	// Inputs is the binary input of each process.
+	Inputs []int
+	// CrashQuota[p] is the maximum number of crashes of process p. A nil
+	// slice means crash-free exploration. Note the paper's E sets always
+	// keep p0 crash-free; callers model that by setting CrashQuota[0]=0.
+	CrashQuota []int
+	// Validity overrides the validity predicate for decided values. If
+	// nil, the consensus default is used: a decided value must equal the
+	// input of some process.
+	Validity func(decided int) bool
+	// MaxNodes aborts exploration when the state space exceeds the bound
+	// (0 means the default of 2,000,000).
+	MaxNodes int
+	// SkipLiveness disables the recoverable wait-freedom (cycle) check.
+	SkipLiveness bool
+	// StartTrace, when nonempty, is applied to the initial configuration
+	// before exploration begins: the explored root is the configuration
+	// (and persistent output history) reached by this schedule. Crashes
+	// inside StartTrace do NOT consume the exploration's crash quota —
+	// each Check call gets a fresh budget, mirroring the per-stage
+	// re-derivation in the Theorem 13 chain construction.
+	StartTrace schedule.Schedule
+}
+
+// Violation describes one property violation found by the checker.
+type Violation struct {
+	// Kind is "agreement", "validity", or "wait-freedom".
+	Kind string
+	// Trace is a schedule from the initial configuration exhibiting the
+	// violation (for wait-freedom, a path to the start of a cycle).
+	Trace schedule.Schedule
+	// Config is the violating configuration.
+	Config Config
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("%s violation after [%s]: %s", v.Kind, v.Trace, v.Detail)
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	pr     Protocol
+	inputs []int
+
+	// Nodes is the number of distinct (configuration, crash-usage) nodes
+	// visited.
+	Nodes int
+	// Violations lists all property violations found (deduplicated by
+	// kind; the checker records the first witness of each kind).
+	Violations []*Violation
+	// Truncated reports whether exploration hit MaxNodes.
+	Truncated bool
+
+	nodes    map[string]*node
+	init     *node
+	valences map[*node]int
+}
+
+// OK reports whether the exploration completed without violations.
+func (r *Result) OK() bool { return len(r.Violations) == 0 && !r.Truncated }
+
+type node struct {
+	cfg  Config
+	used []int // crashes used per process
+	// outs[p] is the first value process p ever output along this path
+	// (-1 if none). Outputs survive crashes in the paper's model: a
+	// process that decided, crashed and re-decided differently violates
+	// agreement even though its local decided state was erased.
+	outs   []int8
+	key    string
+	parent *node
+	via    schedule.Event
+	// succ caches step successors (crash successors are recomputed).
+	succ []*node
+}
+
+func nodeKey(c Config, used []int, outs []int8) string {
+	var b strings.Builder
+	b.WriteString(c.Key())
+	b.WriteByte('\x02')
+	for _, u := range used {
+		b.WriteString(strconv.Itoa(u))
+		b.WriteByte(',')
+	}
+	b.WriteByte('\x03')
+	for _, o := range outs {
+		b.WriteString(strconv.Itoa(int(o)))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// freshOuts returns an all-undecided output vector.
+func freshOuts(n int) []int8 {
+	outs := make([]int8, n)
+	for i := range outs {
+		outs[i] = -1
+	}
+	return outs
+}
+
+// mergeOuts extends a path's output history with the decisions visible in
+// cfg, returning outs unchanged (same slice) if nothing new was decided.
+func mergeOuts(pr Protocol, cfg Config, outs []int8) []int8 {
+	var copied []int8
+	for p := range cfg.States {
+		if v, ok := Decision(pr, cfg, p); ok && outs[p] == -1 {
+			if copied == nil {
+				copied = make([]int8, len(outs))
+				copy(copied, outs)
+			}
+			copied[p] = int8(v)
+		}
+	}
+	if copied == nil {
+		return outs
+	}
+	return copied
+}
+
+// trace reconstructs the schedule from the initial node.
+func (n *node) trace() schedule.Schedule {
+	var rev []schedule.Event
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.via)
+	}
+	out := make(schedule.Schedule, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Check explores the protocol's reachable state space under the given
+// options and verifies agreement, validity and recoverable wait-freedom.
+func Check(pr Protocol, opts CheckOpts) (*Result, error) {
+	if err := Validate(pr); err != nil {
+		return nil, err
+	}
+	n := pr.Procs()
+	if len(opts.Inputs) != n {
+		return nil, fmt.Errorf("model: %d inputs for %d processes", len(opts.Inputs), n)
+	}
+	quota := opts.CrashQuota
+	if quota == nil {
+		quota = make([]int, n)
+	}
+	if len(quota) != n {
+		return nil, fmt.Errorf("model: %d crash quotas for %d processes", len(quota), n)
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 2_000_000
+	}
+	validity := opts.Validity
+	if validity == nil {
+		validity = func(d int) bool {
+			for _, in := range opts.Inputs {
+				if d == in {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	r := &Result{pr: pr, inputs: opts.Inputs, nodes: make(map[string]*node)}
+	initCfg := InitialConfig(pr, opts.Inputs)
+	initOuts := mergeOuts(pr, initCfg, freshOuts(n))
+	for _, e := range opts.StartTrace {
+		if e.Crash {
+			initCfg = CrashProc(pr, initCfg, e.P, opts.Inputs[e.P])
+		} else {
+			initCfg = Step(pr, initCfg, e.P)
+			initOuts = mergeOuts(pr, initCfg, initOuts)
+		}
+	}
+	r.init = &node{
+		cfg: initCfg, used: make([]int, n), outs: initOuts,
+		key: nodeKey(initCfg, make([]int, n), initOuts),
+	}
+	r.nodes[r.init.key] = r.init
+
+	seenKinds := make(map[string]bool)
+	report := func(kind string, nd *node, detail string) {
+		if seenKinds[kind] {
+			return
+		}
+		seenKinds[kind] = true
+		r.Violations = append(r.Violations, &Violation{
+			Kind: kind, Trace: nd.trace(), Config: nd.cfg, Detail: detail,
+		})
+	}
+
+	// checkSafety verifies agreement and validity over the path's output
+	// history (parentOuts) extended by the decisions visible in nd's
+	// configuration. Outputs persist across crashes: a process that
+	// decided, crashed and re-decided a different value is an agreement
+	// violation with its own earlier output.
+	checkSafety := func(nd *node, parentOuts []int8) {
+		for p := 0; p < n; p++ {
+			if v, ok := Decision(pr, nd.cfg, p); ok {
+				if prev := parentOuts[p]; prev >= 0 && int(prev) != v {
+					report("agreement", nd, fmt.Sprintf(
+						"p%d output %d, crashed, and re-decided %d", p, prev, v))
+				}
+			}
+		}
+		first, firstP := -1, -1
+		for p := 0; p < n; p++ {
+			v := nd.outs[p]
+			if v < 0 {
+				continue
+			}
+			if !validity(int(v)) {
+				report("validity", nd, fmt.Sprintf(
+					"p%d decided %d, not an input of any process", p, v))
+			}
+			if first == -1 {
+				first, firstP = int(v), p
+			} else if int(v) != first {
+				report("agreement", nd, fmt.Sprintf(
+					"p%d decided %d but p%d decided %d", firstP, first, p, v))
+			}
+		}
+	}
+
+	// BFS over (configuration, crash-usage, output-history) nodes.
+	queue := []*node{r.init}
+	checkSafety(r.init, freshOuts(n))
+	for len(queue) > 0 && len(r.nodes) <= maxNodes {
+		nd := queue[0]
+		queue = queue[1:]
+
+		// Step successors (decided processes take no-op steps, which
+		// cannot reach new configurations — skipped).
+		for p := 0; p < n; p++ {
+			if a := pr.Poised(p, nd.cfg.States[p]); a.Decided {
+				continue
+			}
+			next := Step(pr, nd.cfg, p)
+			outs := mergeOuts(pr, next, nd.outs)
+			key := nodeKey(next, nd.used, outs)
+			child, ok := r.nodes[key]
+			if !ok {
+				child = &node{cfg: next, used: nd.used, outs: outs, key: key,
+					parent: nd, via: schedule.Step(p)}
+				r.nodes[key] = child
+				checkSafety(child, nd.outs)
+				queue = append(queue, child)
+			}
+			nd.succ = append(nd.succ, child)
+		}
+
+		// Crash successors. Crashing a process that is already in its
+		// initial state and has never output changes nothing and only
+		// burns quota, so it is skipped (any behaviour reachable with
+		// less remaining quota is reachable with more).
+		for p := 0; p < n; p++ {
+			if nd.used[p] >= quota[p] {
+				continue
+			}
+			if nd.cfg.States[p] == pr.Init(p, opts.Inputs[p]) {
+				continue
+			}
+			next := CrashProc(pr, nd.cfg, p, opts.Inputs[p])
+			used := make([]int, n)
+			copy(used, nd.used)
+			used[p]++
+			key := nodeKey(next, used, nd.outs)
+			if _, ok := r.nodes[key]; !ok {
+				child := &node{cfg: next, used: used, outs: nd.outs, key: key,
+					parent: nd, via: schedule.Crash(p)}
+				r.nodes[key] = child
+				checkSafety(child, nd.outs)
+				queue = append(queue, child)
+			}
+		}
+	}
+	if len(r.nodes) > maxNodes {
+		r.Truncated = true
+	}
+	r.Nodes = len(r.nodes)
+
+	if !opts.SkipLiveness && !r.Truncated {
+		r.checkLiveness(report)
+	}
+	return r, nil
+}
+
+// checkLiveness detects recoverable wait-freedom violations: a cycle in
+// the step-successor graph means the adversary can schedule some process to
+// take infinitely many steps without crashing and without deciding (crash
+// edges strictly consume quota, so no cycle contains a crash).
+func (r *Result) checkLiveness(report func(kind string, nd *node, detail string)) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*node]int, len(r.nodes))
+	// Iterative DFS to avoid deep recursion on long chains.
+	type frame struct {
+		nd  *node
+		idx int
+	}
+	for _, start := range r.nodes {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{nd: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx < len(f.nd.succ) {
+				child := f.nd.succ[f.idx]
+				f.idx++
+				switch color[child] {
+				case white:
+					color[child] = gray
+					stack = append(stack, frame{nd: child})
+				case gray:
+					report("wait-freedom", child, fmt.Sprintf(
+						"cycle of crash-free steps through %s: some process runs forever without deciding",
+						child.cfg))
+					return
+				}
+				continue
+			}
+			color[f.nd] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// ReachableDecisions returns the set of values decided in configurations
+// reachable from the node identified by applying sigma to the initial
+// configuration (respecting remaining crash quota), as a sorted slice.
+// It is the engine behind valency computations.
+func (r *Result) ReachableDecisions(start *node) map[int]bool {
+	out := make(map[int]bool)
+	seen := map[*node]bool{start: true}
+	stack := []*node{start}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := 0; p < r.pr.Procs(); p++ {
+			if v, ok := Decision(r.pr, nd.cfg, p); ok {
+				out[v] = true
+			}
+		}
+		for _, child := range r.allSucc(nd) {
+			if !seen[child] {
+				seen[child] = true
+				stack = append(stack, child)
+			}
+		}
+	}
+	return out
+}
+
+// allSucc returns step and crash successors of nd that exist in the
+// explored graph.
+func (r *Result) allSucc(nd *node) []*node {
+	out := append([]*node(nil), nd.succ...)
+	n := r.pr.Procs()
+	for p := 0; p < n; p++ {
+		next := CrashProc(r.pr, nd.cfg, p, r.inputs[p])
+		used := make([]int, n)
+		copy(used, nd.used)
+		used[p]++
+		if child, ok := r.nodes[nodeKey(next, used, nd.outs)]; ok {
+			out = append(out, child)
+		}
+	}
+	return out
+}
+
+// Node looks up the explored node reached by a schedule from the initial
+// configuration, or nil if the schedule leaves the explored graph.
+func (r *Result) Node(sigma schedule.Schedule) *node {
+	cfg := InitialConfig(r.pr, r.inputs)
+	used := make([]int, r.pr.Procs())
+	outs := mergeOuts(r.pr, cfg, freshOuts(r.pr.Procs()))
+	for _, e := range sigma {
+		if e.Crash {
+			cfg = CrashProc(r.pr, cfg, e.P, r.inputs[e.P])
+			used2 := make([]int, len(used))
+			copy(used2, used)
+			used2[e.P]++
+			used = used2
+		} else {
+			cfg = Step(r.pr, cfg, e.P)
+			outs = mergeOuts(r.pr, cfg, outs)
+		}
+	}
+	return r.nodes[nodeKey(cfg, used, outs)]
+}
+
+// InitNode returns the initial node of the exploration.
+func (r *Result) InitNode() *node { return r.init }
+
+// NodeConfig exposes a node's configuration (for tests and reports).
+func NodeConfig(nd *node) Config { return nd.cfg }

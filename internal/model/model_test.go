@@ -1,0 +1,263 @@
+package model_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/proto"
+	"repro/internal/schedule"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// allInputs enumerates every binary input vector for n processes.
+func allInputs(n int) [][]int {
+	var out [][]int
+	for m := 0; m < 1<<uint(n); m++ {
+		in := make([]int, n)
+		for p := 0; p < n; p++ {
+			in[p] = (m >> uint(p)) & 1
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// quota returns a uniform crash quota with p0 crash-free (matching the
+// paper's E sets, where p0 never crashes).
+func quota(n, k int) []int {
+	q := make([]int, n)
+	for p := 1; p < n; p++ {
+		q[p] = k
+	}
+	return q
+}
+
+func checkAllInputs(t *testing.T, pr model.Protocol, crashes []int, wantOK bool) {
+	t.Helper()
+	anyViolation := false
+	for _, in := range allInputs(pr.Procs()) {
+		res, err := model.Check(pr, model.CheckOpts{Inputs: in, CrashQuota: crashes})
+		if err != nil {
+			t.Fatalf("%s inputs %v: %v", pr.Name(), in, err)
+		}
+		if res.Truncated {
+			t.Fatalf("%s inputs %v: exploration truncated", pr.Name(), in)
+		}
+		if len(res.Violations) > 0 {
+			anyViolation = true
+			if wantOK {
+				t.Errorf("%s inputs %v: unexpected %v", pr.Name(), in, res.Violations[0])
+			}
+		}
+	}
+	if !wantOK && !anyViolation {
+		t.Errorf("%s: expected a violation for some input vector, found none", pr.Name())
+	}
+}
+
+// TestTnnWaitFreeConsensus is Experiment E2: the paper's one-shot algorithm
+// solves wait-free consensus for n processes over T_{n,n'}, exhaustively
+// over all schedules and input vectors (crash-free, as wait-freedom
+// requires).
+func TestTnnWaitFreeConsensus(t *testing.T) {
+	for _, c := range []struct{ n, np int }{{2, 1}, {3, 1}, {3, 2}, {4, 2}, {5, 2}} {
+		pr := proto.NewTnnWaitFree(c.n, c.np, c.n)
+		checkAllInputs(t, pr, nil, true)
+	}
+}
+
+// TestTnnConsensusUpperBound is Experiment E3: the same algorithm run with
+// n+1 processes fails (the (n+1)-th operation returns bot), matching
+// Lemma 15's upper bound cons(T_{n,n'}) <= n.
+func TestTnnConsensusUpperBound(t *testing.T) {
+	for _, c := range []struct{ n, np int }{{2, 1}, {3, 2}, {4, 2}} {
+		pr := proto.NewTnnWaitFree(c.n, c.np, c.n+1)
+		checkAllInputs(t, pr, nil, false)
+	}
+}
+
+// TestTnnRecoverableConsensus is Experiment E4: the paper's opR-first
+// algorithm solves recoverable consensus for n' processes under individual
+// crashes (every process except p0 may crash up to k times).
+func TestTnnRecoverableConsensus(t *testing.T) {
+	cases := []struct {
+		n, np, procs, crashes int
+	}{
+		{3, 1, 1, 3},
+		{3, 2, 2, 2},
+		{4, 2, 2, 3},
+		{5, 2, 2, 3},
+		{4, 3, 3, 2},
+		{5, 4, 4, 1},
+	}
+	for _, c := range cases {
+		pr := proto.NewTnnRecoverable(c.n, c.np, c.procs)
+		checkAllInputs(t, pr, quota(c.procs, c.crashes), true)
+	}
+}
+
+// TestTnnRecoverableAllCanCrash strengthens E4: correctness must not
+// depend on p0 being crash-free (the paper's E sets spare p0 only for the
+// impossibility argument; the algorithm tolerates crashes by everyone).
+func TestTnnRecoverableAllCanCrash(t *testing.T) {
+	pr := proto.NewTnnRecoverable(4, 2, 2)
+	q := []int{2, 2}
+	checkAllInputs(t, pr, q, true)
+}
+
+// TestTnnRecoverableUpperBound is Experiment E5: with n'+1 processes the
+// crash-burn adversary (repeatedly crashing processes so that opR is
+// applied to a counter value above n') defeats the algorithm, matching
+// Lemma 16's upper bound rcons(T_{n,n'}) <= n'.
+func TestTnnRecoverableUpperBound(t *testing.T) {
+	cases := []struct {
+		n, np, crashes int
+	}{
+		{3, 1, 2},
+		{4, 2, 2},
+		{5, 2, 2},
+		{4, 3, 2},
+	}
+	for _, c := range cases {
+		pr := proto.NewTnnRecoverable(c.n, c.np, c.np+1)
+		checkAllInputs(t, pr, quota(c.np+1, c.crashes), false)
+	}
+}
+
+// TestTnnRecoverableUpperBoundExplicitAdversary exhibits the Lemma 16 proof
+// strategy as one concrete schedule for T_{3,1} with 2 processes: the
+// counter is pushed past n' = 1 by both processes applying op_x, then a
+// crashed process re-runs opR, gets bot, and decides the fallback value,
+// disagreeing with the first decider.
+func TestTnnRecoverableUpperBoundExplicitAdversary(t *testing.T) {
+	pr := proto.NewTnnRecoverable(3, 1, 2)
+	inputs := []int{1, 0} // p0 has input 1, p1 has input 0
+	cfg := model.InitialConfig(pr, inputs)
+
+	// p0: opR sees s -> will apply op1. p1: opR sees s -> will apply op0.
+	// p0: op1 -> s_{1,1}, decides 1. p1: op0 on s_{1,1} -> s_{1,2},
+	// decides 1 too... but if p1 crashes after its op (before deciding),
+	// it re-runs opR on s_{1,2} with 2 > n' = 1: destructive, returns
+	// bot, and p1 decides the fallback 0 — disagreeing with p0.
+	sigma, err := schedule.Parse("p0 p1 p0 p0 p1 c1 p1 p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := model.Exec(pr, cfg, sigma, inputs)
+	d0, ok0 := model.Decision(pr, final, 0)
+	d1, ok1 := model.Decision(pr, final, 1)
+	if !ok0 || !ok1 {
+		t.Fatalf("both processes should have decided; got %v/%v in %s", ok0, ok1, final)
+	}
+	if d0 == d1 {
+		t.Fatalf("adversary schedule failed to split decisions: both decided %d", d0)
+	}
+}
+
+// TestCASWaitFree checks the CAS baseline solves wait-free consensus for
+// 2..4 processes.
+func TestCASWaitFree(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		checkAllInputs(t, proto.NewCASWaitFree(n), nil, true)
+	}
+}
+
+// TestCASRecoverable checks the CAS baseline solves recoverable consensus
+// under individual crashes, including crashes of p0.
+func TestCASRecoverable(t *testing.T) {
+	for n := 2; n <= 3; n++ {
+		q := make([]int, n)
+		for p := range q {
+			q[p] = 2
+		}
+		checkAllInputs(t, proto.NewCASRecoverable(n), q, true)
+	}
+}
+
+// TestTASCrashFreeCorrect checks the classic TAS algorithm is correct
+// without crashes.
+func TestTASCrashFreeCorrect(t *testing.T) {
+	checkAllInputs(t, proto.NewTASConsensus(), nil, true)
+}
+
+// TestTASRecoverableGap is Experiment E8: under individual crashes the TAS
+// algorithm fails, exhibiting Golab's separation (TAS has consensus number
+// 2 but recoverable consensus number 1).
+func TestTASRecoverableGap(t *testing.T) {
+	checkAllInputs(t, proto.NewTASConsensus(), []int{0, 2}, false)
+}
+
+// TestViolationTraceReplays checks that a reported violation's trace
+// actually replays to the reported configuration.
+func TestViolationTraceReplays(t *testing.T) {
+	pr := proto.NewTASConsensus()
+	inputs := []int{1, 0}
+	res, err := model.Check(pr, model.CheckOpts{Inputs: inputs, CrashQuota: []int{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Skip("no violation for this input vector")
+	}
+	v := res.Violations[0]
+	replayed := model.Exec(pr, model.InitialConfig(pr, inputs), v.Trace, inputs)
+	if replayed.Key() != v.Config.Key() {
+		t.Errorf("trace does not replay to the violating configuration:\n trace %s\n got  %s\n want %s",
+			v.Trace, replayed, v.Config)
+	}
+	if v.String() == "" {
+		t.Error("violation should render")
+	}
+}
+
+// TestWaitFreedomViolationDetected checks the liveness detector on a
+// protocol that spins forever: a process that keeps re-reading a register.
+func TestWaitFreedomViolationDetected(t *testing.T) {
+	pr := &spinner{}
+	res, err := model.Check(pr, model.CheckOpts{Inputs: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == "wait-freedom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("spinner should violate wait-freedom")
+	}
+}
+
+// spinner is a one-process protocol that reads a register forever.
+type spinner struct{}
+
+var (
+	spinnerReg = types.Register(2)
+
+	_ model.Protocol = (*spinner)(nil)
+)
+
+func (s *spinner) Name() string { return "spinner" }
+func (s *spinner) Procs() int   { return 1 }
+func (s *spinner) Objects() []model.ObjectSpec {
+	return []model.ObjectSpec{{Type: spinnerReg, Init: 0}}
+}
+func (s *spinner) Init(p, input int) string { return "spin" }
+func (s *spinner) Poised(p int, state string) model.Action {
+	op, _ := spinnerReg.OpByName("read")
+	return model.Apply(0, op)
+}
+func (s *spinner) Next(p int, state string, resp spec.Response) string { return "spin" }
+
+// TestCheckInputErrors checks argument validation.
+func TestCheckInputErrors(t *testing.T) {
+	pr := proto.NewCASWaitFree(2)
+	if _, err := model.Check(pr, model.CheckOpts{Inputs: []int{0}}); err == nil {
+		t.Error("wrong input arity accepted")
+	}
+	if _, err := model.Check(pr, model.CheckOpts{Inputs: []int{0, 1}, CrashQuota: []int{1}}); err == nil {
+		t.Error("wrong quota arity accepted")
+	}
+}

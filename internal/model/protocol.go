@@ -1,0 +1,108 @@
+// Package model is the valency engine: an explicit-state model checker for
+// consensus protocols in the crash-recovery shared memory model of
+// Section 2 of the paper.
+//
+// Protocols are deterministic per-process state machines over shared
+// objects with finite-type sequential specifications. The checker
+// exhaustively explores reachable configurations under per-process crash
+// budgets, verifies agreement / validity / (recoverable) wait-freedom,
+// computes bivalence and univalence of configurations, searches for
+// critical executions (Lemma 6), and classifies critical configurations as
+// n-recording, v-hiding, or colliding (Observation 11).
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// ObjectSpec declares one shared object used by a protocol: its type and
+// initial value. Objects model non-volatile memory: their values survive
+// crashes.
+type ObjectSpec struct {
+	Type *spec.FiniteType
+	Init spec.Value
+}
+
+// Action is what a process is poised to do in a local state: either apply
+// an operation to an object, or it has decided (it only takes no-op steps).
+type Action struct {
+	// Decided marks an output state; Decision is the output value.
+	Decided  bool
+	Decision int
+	// Obj and Op identify the pending operation when not decided.
+	Obj int
+	Op  spec.Op
+}
+
+// Decide returns a decided Action.
+func Decide(v int) Action { return Action{Decided: true, Decision: v} }
+
+// Apply returns an Action applying op to object obj.
+func Apply(obj int, op spec.Op) Action { return Action{Obj: obj, Op: op} }
+
+// Protocol is a deterministic consensus protocol for a fixed number of
+// processes over a fixed set of shared objects. Local states are opaque
+// strings; the empty string is reserved and must not be used as a state.
+//
+// The crash-recovery semantics of Section 2 are implemented by the
+// checker, not the protocol: a crash of process p resets p's local state
+// to Init(p, input) while all objects keep their values.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Procs returns the number of processes.
+	Procs() int
+	// Objects returns the shared objects with their initial values.
+	Objects() []ObjectSpec
+	// Init returns the initial local state of process p with the given
+	// consensus input (0 or 1).
+	Init(p, input int) string
+	// Poised returns what process p does next in the given local state.
+	Poised(p int, state string) Action
+	// Next returns p's local state after its pending operation returns
+	// resp. It is never called on decided states.
+	Next(p int, state string, resp spec.Response) string
+}
+
+// Validate performs basic structural checks on a protocol: process count,
+// object specs in range, initial states defined.
+func Validate(pr Protocol) error {
+	if pr.Procs() < 1 {
+		return fmt.Errorf("protocol %s: needs at least 1 process", pr.Name())
+	}
+	objs := pr.Objects()
+	if len(objs) == 0 {
+		return fmt.Errorf("protocol %s: needs at least 1 object", pr.Name())
+	}
+	for i, o := range objs {
+		if o.Type == nil {
+			return fmt.Errorf("protocol %s: object %d has nil type", pr.Name(), i)
+		}
+		if int(o.Init) < 0 || int(o.Init) >= o.Type.NumValues() {
+			return fmt.Errorf("protocol %s: object %d initial value out of range", pr.Name(), i)
+		}
+	}
+	for p := 0; p < pr.Procs(); p++ {
+		for input := 0; input <= 1; input++ {
+			st := pr.Init(p, input)
+			if st == "" {
+				return fmt.Errorf("protocol %s: empty initial state for p%d input %d",
+					pr.Name(), p, input)
+			}
+			a := pr.Poised(p, st)
+			if !a.Decided {
+				if a.Obj < 0 || a.Obj >= len(objs) {
+					return fmt.Errorf("protocol %s: p%d poised on object %d out of range",
+						pr.Name(), p, a.Obj)
+				}
+				if int(a.Op) < 0 || int(a.Op) >= objs[a.Obj].Type.NumOps() {
+					return fmt.Errorf("protocol %s: p%d poised on op %d out of range",
+						pr.Name(), p, a.Op)
+				}
+			}
+		}
+	}
+	return nil
+}

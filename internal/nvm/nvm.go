@@ -1,0 +1,119 @@
+// Package nvm simulates non-volatile main memory for the crash-recovery
+// model of Section 2: a store of typed object cells whose values survive
+// process crashes, with linearizable (mutex-serialized) operation
+// application and access statistics.
+//
+// Go's garbage-collected runtime cannot host real persistent memory, so
+// this package is the substitution documented in DESIGN.md: object values
+// live in an explicit store that the simulation layer never resets, while
+// process-local state (ordinary Go variables in a process's program) is
+// wiped by restarting the program — exactly the crash semantics the paper
+// assumes.
+package nvm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// Cell declares one object: its type and initial value.
+type Cell struct {
+	Type *spec.FiniteType
+	Init spec.Value
+}
+
+// Store is a collection of non-volatile object cells. All methods are safe
+// for concurrent use; each Apply is atomic, so the store is a linearizable
+// implementation of its objects.
+type Store struct {
+	mu    sync.Mutex
+	types []*spec.FiniteType
+	vals  []spec.Value
+	ops   []int64 // per-object applied-operation counts
+}
+
+// NewStore builds a store with the given cells.
+func NewStore(cells ...Cell) (*Store, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("nvm: store needs at least one cell")
+	}
+	s := &Store{
+		types: make([]*spec.FiniteType, len(cells)),
+		vals:  make([]spec.Value, len(cells)),
+		ops:   make([]int64, len(cells)),
+	}
+	for i, c := range cells {
+		if c.Type == nil {
+			return nil, fmt.Errorf("nvm: cell %d has nil type", i)
+		}
+		if int(c.Init) < 0 || int(c.Init) >= c.Type.NumValues() {
+			return nil, fmt.Errorf("nvm: cell %d initial value %d out of range", i, int(c.Init))
+		}
+		s.types[i] = c.Type
+		s.vals[i] = c.Init
+	}
+	return s, nil
+}
+
+// MustNewStore is NewStore that panics on error (static construction).
+func MustNewStore(cells ...Cell) *Store {
+	s, err := NewStore(cells...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumObjects returns the number of cells.
+func (s *Store) NumObjects() int { return len(s.types) }
+
+// Type returns the type of object obj.
+func (s *Store) Type(obj int) *spec.FiniteType { return s.types[obj] }
+
+// Apply atomically applies op to object obj per its sequential
+// specification and returns the response.
+func (s *Store) Apply(obj int, op spec.Op) spec.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.types[obj].Apply(s.vals[obj], op)
+	s.vals[obj] = e.Next
+	s.ops[obj]++
+	return e.Resp
+}
+
+// Value returns the current value of object obj. It exists for inspection
+// and verification; processes in the model interact only through Apply.
+func (s *Store) Value(obj int) spec.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[obj]
+}
+
+// OpCount returns the number of operations applied to object obj.
+func (s *Store) OpCount(obj int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops[obj]
+}
+
+// TotalOps returns the number of operations applied across all objects.
+func (s *Store) TotalOps() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, n := range s.ops {
+		total += n
+	}
+	return total
+}
+
+// Snapshot returns a copy of all object values (for verification).
+func (s *Store) Snapshot() []spec.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]spec.Value, len(s.vals))
+	copy(out, s.vals)
+	return out
+}

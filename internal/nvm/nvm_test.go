@@ -1,0 +1,106 @@
+package nvm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+func TestStoreBasics(t *testing.T) {
+	ft := types.TestAndSet()
+	s := MustNewStore(Cell{Type: ft, Init: 0}, Cell{Type: ft, Init: 1})
+	if s.NumObjects() != 2 {
+		t.Fatalf("NumObjects = %d", s.NumObjects())
+	}
+	tas, _ := ft.OpByName("TAS")
+	if r := s.Apply(0, tas); r != 0 {
+		t.Errorf("first TAS on obj0 = %d, want 0", r)
+	}
+	if r := s.Apply(0, tas); r != 1 {
+		t.Errorf("second TAS on obj0 = %d, want 1", r)
+	}
+	if r := s.Apply(1, tas); r != 1 {
+		t.Errorf("TAS on pre-set obj1 = %d, want 1", r)
+	}
+	if v := s.Value(0); ft.ValueName(v) != "1" {
+		t.Errorf("obj0 value = %s", ft.ValueName(v))
+	}
+	if got := s.OpCount(0); got != 2 {
+		t.Errorf("OpCount(0) = %d", got)
+	}
+	if got := s.TotalOps(); got != 3 {
+		t.Errorf("TotalOps = %d", got)
+	}
+	if snap := s.Snapshot(); len(snap) != 2 || snap[0] != 1 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	if s.Type(0) != ft {
+		t.Error("Type accessor broken")
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	if _, err := NewStore(); err == nil {
+		t.Error("empty store accepted")
+	}
+	if _, err := NewStore(Cell{Type: nil}); err == nil {
+		t.Error("nil type accepted")
+	}
+	if _, err := NewStore(Cell{Type: types.TestAndSet(), Init: 99}); err == nil {
+		t.Error("out-of-range init accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewStore should panic on error")
+		}
+	}()
+	MustNewStore()
+}
+
+// TestLinearizability hammers a fetch-and-add object from many goroutines:
+// because FetchAdd responses are the pre-increment values, a linearizable
+// store must hand out each residue class the right number of times.
+func TestLinearizability(t *testing.T) {
+	const (
+		m       = 64
+		workers = 8
+		perW    = 200
+	)
+	ft := types.FetchAdd(m)
+	s := MustNewStore(Cell{Type: ft, Init: 0})
+	faa, _ := ft.OpByName("FAA")
+
+	var mu sync.Mutex
+	seen := make(map[spec.Response]int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make(map[spec.Response]int)
+			for i := 0; i < perW; i++ {
+				local[s.Apply(0, faa)]++
+			}
+			mu.Lock()
+			for k, v := range local {
+				seen[k] += v
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	total := workers * perW
+	want := total / m // total is a multiple of m
+	for r := 0; r < m; r++ {
+		if got := seen[spec.Response(r)]; got != want {
+			t.Fatalf("response %d seen %d times, want %d (non-linearizable interleaving?)",
+				r, got, want)
+		}
+	}
+	if got := s.OpCount(0); got != int64(total) {
+		t.Errorf("OpCount = %d, want %d", got, total)
+	}
+}

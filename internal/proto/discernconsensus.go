@@ -1,0 +1,158 @@
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/discern"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// DiscernTeamConsensus is the core of Ruppert's sufficiency theorem
+// ("n-discerning readable types have consensus number >= n"), as a
+// checkable protocol: given a readable type with an n-discerning witness,
+// the n processes agree wait-free (crash-free!) on which TEAM's operation
+// was applied first.
+//
+// Each process p applies its witness operation o_p once, then reads the
+// object, and decides the team determined by the pair (own response,
+// value read). The pair is guaranteed to lie in R_{x,p} for exactly one
+// team x — the team of the actual first applier — because:
+//
+//   - the schedule of appliers before p's read is a schedule in S(P)
+//     containing p (each process applies at most once);
+//   - the read does not change the value, so the value read is the
+//     "resulting value" of that schedule;
+//   - the witness guarantees R_{0,p} and R_{1,p} are disjoint.
+//
+// Unlike TeamConsensus (the recording-based recoverable protocol), this
+// one is only wait-free: a crash between the apply and the read leaves
+// the process unable to tell whether it applied, and re-applying breaks
+// the at-most-once premise. That asymmetry is precisely the paper's
+// subject.
+type DiscernTeamConsensus struct {
+	ft      *spec.FiniteType
+	witness *discern.Witness
+	readOp  spec.Op
+	// teamOf maps (process, response, value-read) to the first team.
+	teamOf map[discernKey]int
+}
+
+type discernKey struct {
+	p    int
+	resp spec.Response
+	val  spec.Value
+}
+
+var _ model.Protocol = (*DiscernTeamConsensus)(nil)
+
+// NewDiscernTeamConsensus builds the protocol from a readable type and an
+// n-discerning witness, rejecting non-readable types and non-verifying
+// witnesses.
+func NewDiscernTeamConsensus(ft *spec.FiniteType, w *discern.Witness) (*DiscernTeamConsensus, error) {
+	if !ft.Readable() {
+		return nil, fmt.Errorf("discern consensus needs a readable type, %s is not", ft.Name())
+	}
+	n := w.N
+	teamOf := make(map[discernKey]int)
+
+	// Enumerate all schedules in S(P); for each process in the schedule,
+	// record (its response, every later value) -> first team. "Every
+	// later value" because the read may happen after more appliers.
+	inSched := make([]bool, n)
+	resps := make([]spec.Response, n)
+	order := make([]int, 0, n)
+	conflict := false
+	var dfs func(v spec.Value, team int)
+	dfs = func(v spec.Value, team int) {
+		for _, j := range order {
+			k := discernKey{p: j, resp: resps[j], val: v}
+			if old, ok := teamOf[k]; ok && old != team {
+				conflict = true
+				return
+			}
+			teamOf[k] = team
+		}
+		for p := 0; p < n; p++ {
+			if inSched[p] {
+				continue
+			}
+			e := ft.Apply(v, w.Ops[p])
+			inSched[p] = true
+			resps[p] = e.Resp
+			order = append(order, p)
+			dfs(e.Next, team)
+			order = order[:len(order)-1]
+			inSched[p] = false
+		}
+	}
+	for f := 0; f < n; f++ {
+		e := ft.Apply(w.U, w.Ops[f])
+		inSched[f] = true
+		resps[f] = e.Resp
+		order = append(order, f)
+		dfs(e.Next, w.Teams[f])
+		order = order[:len(order)-1]
+		inSched[f] = false
+	}
+	if conflict {
+		return nil, fmt.Errorf("witness does not verify: R sets intersect")
+	}
+	return &DiscernTeamConsensus{
+		ft: ft, witness: w, readOp: ft.ReadOps()[0], teamOf: teamOf,
+	}, nil
+}
+
+func (d *DiscernTeamConsensus) Name() string {
+	return fmt.Sprintf("discern-consensus[%s,n=%d]", d.ft.Name(), d.witness.N)
+}
+
+func (d *DiscernTeamConsensus) Procs() int { return d.witness.N }
+
+func (d *DiscernTeamConsensus) Objects() []model.ObjectSpec {
+	return []model.ObjectSpec{{Type: d.ft, Init: d.witness.U}}
+}
+
+func (d *DiscernTeamConsensus) Init(p, input int) string { return "apply" }
+
+func (d *DiscernTeamConsensus) Poised(p int, state string) model.Action {
+	if v, ok := parseDecided(state); ok {
+		return model.Decide(v)
+	}
+	if state == "apply" {
+		return model.Apply(0, d.witness.Ops[p])
+	}
+	// state is "read:<resp>"
+	return model.Apply(0, d.readOp)
+}
+
+func (d *DiscernTeamConsensus) Next(p int, state string, resp spec.Response) string {
+	if state == "apply" {
+		return fmt.Sprintf("read:%d", int(resp))
+	}
+	// The read response identifies the value; recover the own-op response
+	// from the state.
+	var own int
+	if _, err := fmt.Sscanf(state, "read:%d", &own); err != nil {
+		return decidedState(0)
+	}
+	val := d.valueOfReadResp(resp)
+	team, ok := d.teamOf[discernKey{p: p, resp: spec.Response(own), val: val}]
+	if !ok {
+		// Unreachable for a verified witness in crash-free executions.
+		team = d.witness.Teams[p]
+	}
+	return decidedState(team)
+}
+
+func (d *DiscernTeamConsensus) valueOfReadResp(resp spec.Response) spec.Value {
+	for v := 0; v < d.ft.NumValues(); v++ {
+		if d.ft.Apply(spec.Value(v), d.readOp).Resp == resp {
+			return spec.Value(v)
+		}
+	}
+	return 0
+}
+
+// Team reports the team of process p under the protocol's witness.
+func (d *DiscernTeamConsensus) Team(p int) int { return d.witness.Teams[p] }

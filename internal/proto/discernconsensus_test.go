@@ -1,0 +1,129 @@
+package proto
+
+import (
+	"testing"
+
+	"repro/internal/discern"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+func discernWitnessFor(t *testing.T, ft *spec.FiniteType, n int) *discern.Witness {
+	t.Helper()
+	ok, w := discern.IsNDiscerning(ft, n)
+	if !ok {
+		t.Fatalf("%s is not %d-discerning", ft.Name(), n)
+	}
+	return w
+}
+
+// TestDiscernConsensusWaitFree model-checks Ruppert's construction for
+// agreement and wait-freedom in crash-free executions, across the
+// readable zoo — including X4 at its full consensus number 4.
+func TestDiscernConsensusWaitFree(t *testing.T) {
+	cases := []struct {
+		ft *spec.FiniteType
+		n  int
+	}{
+		{types.TestAndSet(), 2},
+		{types.Swap(3), 2},
+		{types.FetchAdd(8), 2},
+		{types.CompareAndSwap(2), 3},
+		{types.StickyBit(), 3},
+		{types.XFour(), 4},
+		{types.TnnReadable(4), 4},
+	}
+	for _, c := range cases {
+		dc, err := NewDiscernTeamConsensus(c.ft, discernWitnessFor(t, c.ft, c.n))
+		if err != nil {
+			t.Fatalf("%s n=%d: %v", c.ft.Name(), c.n, err)
+		}
+		res, err := model.Check(dc, model.CheckOpts{
+			Inputs:   make([]int, c.n),
+			Validity: func(int) bool { return true },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			t.Errorf("%s n=%d: %v", c.ft.Name(), c.n, res.Violations[0])
+		}
+	}
+}
+
+// TestDiscernConsensusFirstApplierTeamWins: running one process's apply
+// first forces its team on everyone.
+func TestDiscernConsensusFirstApplierTeamWins(t *testing.T) {
+	ft := types.XFour()
+	dc, err := NewDiscernTeamConsensus(ft, discernWitnessFor(t, ft, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]int, 4)
+	for first := 0; first < 4; first++ {
+		var sigma schedule.Schedule
+		// first applies and reads, then the rest.
+		sigma = sigma.Append(schedule.Step(first), schedule.Step(first))
+		for p := 0; p < 4; p++ {
+			if p == first {
+				continue
+			}
+			sigma = sigma.Append(schedule.Step(p), schedule.Step(p))
+		}
+		cfg := model.Exec(dc, model.InitialConfig(dc, inputs), sigma, inputs)
+		want := dc.Team(first)
+		for p := 0; p < 4; p++ {
+			got, ok := model.Decision(dc, cfg, p)
+			if !ok {
+				t.Fatalf("first=%d: p%d undecided", first, p)
+			}
+			if got != want {
+				t.Errorf("first=%d: p%d decided %d, want %d", first, p, got, want)
+			}
+		}
+	}
+}
+
+// TestDiscernConsensusNotCrashSafe: unlike the recording-based protocol,
+// Ruppert's construction breaks under individual crashes on a type whose
+// recording level is below its discerning level — TAS at n = 2 — because
+// a recovered process re-applies its operation. This is Golab's gap, at
+// the witness-construction level.
+func TestDiscernConsensusNotCrashSafe(t *testing.T) {
+	ft := types.TestAndSet()
+	dc, err := NewDiscernTeamConsensus(ft, discernWitnessFor(t, ft, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.Check(dc, model.CheckOpts{
+		Inputs:     []int{0, 0},
+		CrashQuota: []int{2, 2},
+		Validity:   func(int) bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Error("expected the wait-free construction to break under crashes on TAS")
+	}
+}
+
+// TestDiscernConsensusRejects covers constructor validation.
+func TestDiscernConsensusRejects(t *testing.T) {
+	// Non-readable type.
+	ft := types.Tnn(3, 1)
+	if ok, w := discern.IsNDiscerning(ft, 3); ok {
+		if _, err := NewDiscernTeamConsensus(ft, w); err == nil {
+			t.Error("non-readable type accepted")
+		}
+	} else {
+		t.Fatal("T[3,1] should be 3-discerning")
+	}
+	// Bogus witness: both TAS processes in colliding configurations.
+	bogus := &discern.Witness{N: 2, U: 1, Teams: []int{0, 1}, Ops: []spec.Op{0, 0}}
+	if _, err := NewDiscernTeamConsensus(types.TestAndSet(), bogus); err == nil {
+		t.Error("non-verifying witness accepted")
+	}
+}

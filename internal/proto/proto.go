@@ -1,0 +1,459 @@
+// Package proto implements concrete consensus protocols as deterministic
+// step machines for the model checker in internal/model:
+//
+//   - the paper's wait-free n-process consensus algorithm using one
+//     T_{n,n'} object (Section 4, Lemma 15 lower bound);
+//   - the paper's recoverable n'-process consensus algorithm using one
+//     T_{n,n'} object (Section 4, Lemma 16 lower bound);
+//   - wait-free and recoverable consensus from compare-and-swap
+//     (baselines with unbounded consensus number);
+//   - the classic 2-process consensus from test-and-set plus registers,
+//     which is correct crash-free but fails under individual crashes
+//     (Golab's separation, Experiment E8).
+//
+// Local states are short strings; "d<v>" is a decided state with output v.
+package proto
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// decidedState encodes a decision as a state string.
+func decidedState(v int) string { return "d" + strconv.Itoa(v) }
+
+// parseDecided reports whether state is a decided state and its value.
+func parseDecided(state string) (int, bool) {
+	if !strings.HasPrefix(state, "d") {
+		return 0, false
+	}
+	v, err := strconv.Atoi(state[1:])
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// mustOp resolves an operation by name or panics (protocol construction
+// is static).
+func mustOp(t *spec.FiniteType, name string) spec.Op {
+	o, ok := t.OpByName(name)
+	if !ok {
+		panic(fmt.Sprintf("type %s has no operation %q", t.Name(), name))
+	}
+	return o
+}
+
+// mustValue resolves a value by name or panics.
+func mustValue(t *spec.FiniteType, name string) spec.Value {
+	v, ok := t.ValueByName(name)
+	if !ok {
+		panic(fmt.Sprintf("type %s has no value %q", t.Name(), name))
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// T_{n,n'} wait-free consensus (Section 4, first algorithm).
+// ---------------------------------------------------------------------------
+
+// TnnWaitFree is the paper's one-shot wait-free consensus algorithm: a
+// process with input x applies op_x to a fresh T_{n,n'} object and decides
+// the response. It solves wait-free consensus for up to n processes; run
+// with procs = n+1 it is expected to fail (the (n+1)-th operation returns
+// bot and the process has no valid decision — it decides 0, which the
+// checker flags).
+type TnnWaitFree struct {
+	N, NPrime int
+	NumProcs  int
+
+	ft       *spec.FiniteType
+	op0, op1 spec.Op
+}
+
+var _ model.Protocol = (*TnnWaitFree)(nil)
+
+// NewTnnWaitFree builds the protocol for numProcs processes over one
+// T_{n,n'} object.
+func NewTnnWaitFree(n, nPrime, numProcs int) *TnnWaitFree {
+	ft := types.Tnn(n, nPrime)
+	return &TnnWaitFree{
+		N: n, NPrime: nPrime, NumProcs: numProcs,
+		ft:  ft,
+		op0: mustOp(ft, "op0"),
+		op1: mustOp(ft, "op1"),
+	}
+}
+
+func (t *TnnWaitFree) Name() string {
+	return fmt.Sprintf("tnn-wait-free[n=%d,n'=%d,procs=%d]", t.N, t.NPrime, t.NumProcs)
+}
+
+func (t *TnnWaitFree) Procs() int { return t.NumProcs }
+
+func (t *TnnWaitFree) Objects() []model.ObjectSpec {
+	return []model.ObjectSpec{{Type: t.ft, Init: mustValue(t.ft, "s")}}
+}
+
+func (t *TnnWaitFree) Init(p, input int) string { return "in" + strconv.Itoa(input) }
+
+func (t *TnnWaitFree) Poised(p int, state string) model.Action {
+	if v, ok := parseDecided(state); ok {
+		return model.Decide(v)
+	}
+	if state == "in0" {
+		return model.Apply(0, t.op0)
+	}
+	return model.Apply(0, t.op1)
+}
+
+func (t *TnnWaitFree) Next(p int, state string, resp spec.Response) string {
+	switch resp {
+	case types.TnnResp0:
+		return decidedState(0)
+	case types.TnnResp1:
+		return decidedState(1)
+	default:
+		// bot: only reachable with more than n processes; the algorithm
+		// has no correct decision — decide 0 so the checker can exhibit
+		// the failure.
+		return decidedState(0)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// T_{n,n'} recoverable consensus (Section 4, second algorithm).
+// ---------------------------------------------------------------------------
+
+// TnnRecoverable is the paper's recoverable wait-free consensus algorithm
+// for n' processes over one T_{n,n'} object:
+//
+//	apply opR:
+//	  - response s_{v,i}: decide v
+//	  - response bot:     decide 0 (the paper argues this cannot happen
+//	                      with at most n' processes)
+//	  - response s:       apply op_x (x = own input) and decide the
+//	                      response
+//
+// A crash resets the process to the opR step, which is safe: opR is
+// read-like while the counter is at most n', and a process applies op_x at
+// most once in its life because it only does so after seeing the initial
+// value s.
+type TnnRecoverable struct {
+	N, NPrime int
+	NumProcs  int
+
+	ft            *spec.FiniteType
+	op0, op1, opR spec.Op
+	readS         spec.Response
+}
+
+var _ model.Protocol = (*TnnRecoverable)(nil)
+
+// NewTnnRecoverable builds the protocol for numProcs processes. The paper
+// proves it correct for numProcs <= n'; with numProcs = n'+1 the crash-burn
+// adversary defeats it (Experiment E5).
+func NewTnnRecoverable(n, nPrime, numProcs int) *TnnRecoverable {
+	ft := types.Tnn(n, nPrime)
+	s := mustValue(ft, "s")
+	return &TnnRecoverable{
+		N: n, NPrime: nPrime, NumProcs: numProcs,
+		ft:    ft,
+		op0:   mustOp(ft, "op0"),
+		op1:   mustOp(ft, "op1"),
+		opR:   mustOp(ft, "opR"),
+		readS: ft.Apply(s, mustOp(ft, "opR")).Resp,
+	}
+}
+
+func (t *TnnRecoverable) Name() string {
+	return fmt.Sprintf("tnn-recoverable[n=%d,n'=%d,procs=%d]", t.N, t.NPrime, t.NumProcs)
+}
+
+func (t *TnnRecoverable) Procs() int { return t.NumProcs }
+
+func (t *TnnRecoverable) Objects() []model.ObjectSpec {
+	return []model.ObjectSpec{{Type: t.ft, Init: mustValue(t.ft, "s")}}
+}
+
+func (t *TnnRecoverable) Init(p, input int) string { return "in" + strconv.Itoa(input) }
+
+func (t *TnnRecoverable) Poised(p int, state string) model.Action {
+	if v, ok := parseDecided(state); ok {
+		return model.Decide(v)
+	}
+	switch state {
+	case "in0", "in1":
+		return model.Apply(0, t.opR)
+	case "apply0":
+		return model.Apply(0, t.op0)
+	default: // "apply1"
+		return model.Apply(0, t.op1)
+	}
+}
+
+func (t *TnnRecoverable) Next(p int, state string, resp spec.Response) string {
+	switch state {
+	case "in0", "in1":
+		// Response of opR.
+		switch {
+		case resp == t.readS:
+			return "apply" + state[2:]
+		case resp == types.TnnRespBot:
+			return decidedState(0)
+		default:
+			// resp identifies a value s_{v,i}; recover v from the value
+			// index encoded in the read response.
+			idx := int(resp - types.RespReadBase)
+			v := t.teamOfValueIndex(idx)
+			return decidedState(v)
+		}
+	default:
+		// Response of op_x.
+		switch resp {
+		case types.TnnResp0:
+			return decidedState(0)
+		case types.TnnResp1:
+			return decidedState(1)
+		default:
+			return decidedState(0) // bot: unreachable with <= n' processes
+		}
+	}
+}
+
+// teamOfValueIndex maps a value index of T_{n,n'} to the team x of
+// s_{x,i}; the value ordering is s, s_{0,1..n-1}, s_{1,1..n-1}, s_bot.
+func (t *TnnRecoverable) teamOfValueIndex(idx int) int {
+	if idx <= 0 || idx >= 2*t.N-1 {
+		return 0 // s or s_bot: not a team value; arbitrary
+	}
+	if idx <= t.N-1 {
+		return 0
+	}
+	return 1
+}
+
+// ---------------------------------------------------------------------------
+// Compare-and-swap consensus (wait-free baseline).
+// ---------------------------------------------------------------------------
+
+// CASWaitFree solves wait-free binary consensus for any number of
+// processes with a single compare-and-swap object: apply cas_x; on success
+// decide x, otherwise decide the installed value.
+type CASWaitFree struct {
+	NumProcs int
+
+	ft         *spec.FiniteType
+	cas0, cas1 spec.Op
+}
+
+var _ model.Protocol = (*CASWaitFree)(nil)
+
+// NewCASWaitFree builds the protocol.
+func NewCASWaitFree(numProcs int) *CASWaitFree {
+	ft := types.CompareAndSwap(2)
+	return &CASWaitFree{
+		NumProcs: numProcs,
+		ft:       ft,
+		cas0:     mustOp(ft, "cas0"),
+		cas1:     mustOp(ft, "cas1"),
+	}
+}
+
+func (c *CASWaitFree) Name() string { return fmt.Sprintf("cas-wait-free[procs=%d]", c.NumProcs) }
+func (c *CASWaitFree) Procs() int   { return c.NumProcs }
+
+func (c *CASWaitFree) Objects() []model.ObjectSpec {
+	return []model.ObjectSpec{{Type: c.ft, Init: mustValue(c.ft, "bot")}}
+}
+
+func (c *CASWaitFree) Init(p, input int) string { return "in" + strconv.Itoa(input) }
+
+func (c *CASWaitFree) Poised(p int, state string) model.Action {
+	if v, ok := parseDecided(state); ok {
+		return model.Decide(v)
+	}
+	if state == "in0" {
+		return model.Apply(0, c.cas0)
+	}
+	return model.Apply(0, c.cas1)
+}
+
+func (c *CASWaitFree) Next(p int, state string, resp spec.Response) string {
+	if resp == 100 { // success
+		return decidedState(int(state[2] - '0'))
+	}
+	return decidedState(int(resp - 200)) // lost: decide installed value
+}
+
+// ---------------------------------------------------------------------------
+// Compare-and-swap recoverable consensus.
+// ---------------------------------------------------------------------------
+
+// CASRecoverable solves recoverable wait-free binary consensus for any
+// number of processes: read the CAS object; if a value is installed decide
+// it, otherwise cas_x and decide the response. Crashes are harmless: the
+// read-first structure makes every step idempotent, and a process that
+// crashed after a successful CAS re-reads the installed value.
+type CASRecoverable struct {
+	NumProcs int
+
+	ft               *spec.FiniteType
+	cas0, cas1, read spec.Op
+	readBot          spec.Response
+}
+
+var _ model.Protocol = (*CASRecoverable)(nil)
+
+// NewCASRecoverable builds the protocol.
+func NewCASRecoverable(numProcs int) *CASRecoverable {
+	ft := types.CompareAndSwap(2)
+	return &CASRecoverable{
+		NumProcs: numProcs,
+		ft:       ft,
+		cas0:     mustOp(ft, "cas0"),
+		cas1:     mustOp(ft, "cas1"),
+		read:     mustOp(ft, "read"),
+		readBot:  ft.Apply(mustValue(ft, "bot"), mustOp(ft, "read")).Resp,
+	}
+}
+
+func (c *CASRecoverable) Name() string {
+	return fmt.Sprintf("cas-recoverable[procs=%d]", c.NumProcs)
+}
+func (c *CASRecoverable) Procs() int { return c.NumProcs }
+
+func (c *CASRecoverable) Objects() []model.ObjectSpec {
+	return []model.ObjectSpec{{Type: c.ft, Init: mustValue(c.ft, "bot")}}
+}
+
+func (c *CASRecoverable) Init(p, input int) string { return "in" + strconv.Itoa(input) }
+
+func (c *CASRecoverable) Poised(p int, state string) model.Action {
+	if v, ok := parseDecided(state); ok {
+		return model.Decide(v)
+	}
+	switch state {
+	case "in0", "in1":
+		return model.Apply(0, c.read)
+	case "try0":
+		return model.Apply(0, c.cas0)
+	default: // "try1"
+		return model.Apply(0, c.cas1)
+	}
+}
+
+func (c *CASRecoverable) Next(p int, state string, resp spec.Response) string {
+	switch state {
+	case "in0", "in1":
+		if resp == c.readBot {
+			return "try" + state[2:]
+		}
+		// read:v_j — value index j+1, proposal j.
+		return decidedState(int(resp-types.RespReadBase) - 1)
+	default:
+		if resp == 100 {
+			return decidedState(int(state[3] - '0'))
+		}
+		return decidedState(int(resp - 200))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Test-and-set 2-process consensus (crash-free correct; crash-unsafe).
+// ---------------------------------------------------------------------------
+
+// TASConsensus is the classic 2-process consensus algorithm from one
+// test-and-set object and two single-writer registers: write your input to
+// your register, TAS; the winner decides its own input, the loser reads
+// the winner's register and decides that. It is wait-free correct for two
+// crash-free processes. Under individual crashes it is NOT correct: a
+// winner that crashes between TAS and deciding re-executes, loses its own
+// TAS, and adopts the other register, which may hold a stale or unwritten
+// value. Golab proved no algorithm from TAS and registers can work; the
+// checker exhibits the failure on this one (Experiment E8).
+type TASConsensus struct {
+	ft  *spec.FiniteType
+	reg *spec.FiniteType
+
+	tas            spec.Op
+	writeOp        [2]spec.Op // write0 / write1 on a register
+	readOp         spec.Op
+	regReadBase    spec.Response
+	regInitialName string
+}
+
+var _ model.Protocol = (*TASConsensus)(nil)
+
+// NewTASConsensus builds the protocol. Registers are three-valued
+// {v0, v1, v2} with initial value v2 ("unwritten"); a loser that reads an
+// unwritten register decides 0 arbitrarily (the checker will flag the
+// resulting validity violation under crashes).
+func NewTASConsensus() *TASConsensus {
+	reg := types.Register(3)
+	ft := types.TestAndSet()
+	return &TASConsensus{
+		ft:  ft,
+		reg: reg,
+		tas: mustOp(ft, "TAS"),
+		writeOp: [2]spec.Op{
+			mustOp(reg, "write0"),
+			mustOp(reg, "write1"),
+		},
+		readOp:         mustOp(reg, "read"),
+		regReadBase:    types.RespReadBase,
+		regInitialName: "v2",
+	}
+}
+
+func (t *TASConsensus) Name() string { return "tas-register-2consensus" }
+func (t *TASConsensus) Procs() int   { return 2 }
+
+// Objects: 0 = the TAS bit, 1 = p0's register, 2 = p1's register.
+func (t *TASConsensus) Objects() []model.ObjectSpec {
+	return []model.ObjectSpec{
+		{Type: t.ft, Init: mustValue(t.ft, "0")},
+		{Type: t.reg, Init: mustValue(t.reg, t.regInitialName)},
+		{Type: t.reg, Init: mustValue(t.reg, t.regInitialName)},
+	}
+}
+
+func (t *TASConsensus) Init(p, input int) string { return "in" + strconv.Itoa(input) }
+
+func (t *TASConsensus) Poised(p int, state string) model.Action {
+	if v, ok := parseDecided(state); ok {
+		return model.Decide(v)
+	}
+	switch state {
+	case "in0", "in1":
+		x := int(state[2] - '0')
+		return model.Apply(1+p, t.writeOp[x])
+	case "tas0", "tas1":
+		return model.Apply(0, t.tas)
+	default: // "readother"
+		return model.Apply(1+(1-p), t.readOp)
+	}
+}
+
+func (t *TASConsensus) Next(p int, state string, resp spec.Response) string {
+	switch state {
+	case "in0", "in1":
+		return "tas" + state[2:]
+	case "tas0", "tas1":
+		if resp == 0 { // won the TAS
+			return decidedState(int(state[3] - '0'))
+		}
+		return "readother"
+	default: // "readother"
+		v := int(resp - t.regReadBase)
+		if v > 1 {
+			v = 0 // unwritten register: no valid decision exists
+		}
+		return decidedState(v)
+	}
+}

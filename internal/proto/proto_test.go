@@ -1,0 +1,215 @@
+package proto
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// TestAllProtocolsValidate runs the structural validator over the whole
+// protocol suite.
+func TestAllProtocolsValidate(t *testing.T) {
+	prs := []model.Protocol{
+		NewTnnWaitFree(3, 2, 3),
+		NewTnnWaitFree(5, 2, 6),
+		NewTnnRecoverable(4, 2, 2),
+		NewTnnRecoverable(3, 1, 2),
+		NewCASWaitFree(4),
+		NewCASRecoverable(3),
+		NewTASConsensus(),
+	}
+	for _, pr := range prs {
+		if err := model.Validate(pr); err != nil {
+			t.Errorf("%s: %v", pr.Name(), err)
+		}
+		if pr.Name() == "" {
+			t.Error("empty protocol name")
+		}
+	}
+}
+
+// TestTnnWaitFreeStates walks the state machine of a single process.
+func TestTnnWaitFreeStates(t *testing.T) {
+	pr := NewTnnWaitFree(3, 1, 3)
+	st := pr.Init(0, 1)
+	a := pr.Poised(0, st)
+	if a.Decided {
+		t.Fatal("initial state should not be decided")
+	}
+	if a.Obj != 0 {
+		t.Errorf("poised on object %d", a.Obj)
+	}
+	// Response 1 (first mover was op1) leads to deciding 1.
+	next := pr.Next(0, st, 1)
+	if v, ok := decisionOf(pr, 0, next); !ok || v != 1 {
+		t.Errorf("after resp 1: state %q", next)
+	}
+	// Bot response falls back to deciding 0.
+	next = pr.Next(0, st, 3)
+	if v, ok := decisionOf(pr, 0, next); !ok || v != 0 {
+		t.Errorf("after bot: state %q", next)
+	}
+}
+
+// TestTnnRecoverableStates checks the opR dispatch of the paper's
+// algorithm: s -> apply own op; s_{v,i} -> decide v; bot -> decide 0.
+func TestTnnRecoverableStates(t *testing.T) {
+	pr := NewTnnRecoverable(4, 2, 2)
+	ft := pr.Objects()[0].Type
+
+	st := pr.Init(1, 0)
+	if st != "in0" {
+		t.Fatalf("Init = %q", st)
+	}
+	a := pr.Poised(1, st)
+	opR, _ := ft.OpByName("opR")
+	if a.Op != opR {
+		t.Errorf("first action should be opR, got %s", ft.OpName(a.Op))
+	}
+
+	// opR returned read:s -> move to applying own op.
+	s, _ := ft.ValueByName("s")
+	readS := ft.Apply(s, opR).Resp
+	next := pr.Next(1, st, readS)
+	if next != "apply0" {
+		t.Errorf("after read:s, state %q", next)
+	}
+	op0, _ := ft.OpByName("op0")
+	if got := pr.Poised(1, next); got.Op != op0 {
+		t.Errorf("apply0 poised on %s", ft.OpName(got.Op))
+	}
+
+	// opR returned read:s_{1,2} -> decide 1.
+	v12, _ := ft.ValueByName("s1,2")
+	read12 := ft.Apply(v12, opR).Resp
+	next = pr.Next(1, st, read12)
+	if v, ok := decisionOf(pr, 1, next); !ok || v != 1 {
+		t.Errorf("after read:s1,2: state %q", next)
+	}
+
+	// opR returned read:s_{0,1} -> decide 0.
+	v01, _ := ft.ValueByName("s0,1")
+	read01 := ft.Apply(v01, opR).Resp
+	next = pr.Next(1, st, read01)
+	if v, ok := decisionOf(pr, 1, next); !ok || v != 0 {
+		t.Errorf("after read:s0,1: state %q", next)
+	}
+}
+
+// TestCASRecoverableIdempotent: a process that CAS-succeeded and re-runs
+// from scratch must re-decide its own value via the read.
+func TestCASRecoverableIdempotent(t *testing.T) {
+	pr := NewCASRecoverable(2)
+	cfg := model.InitialConfig(pr, []int{1, 0})
+	// p0 runs to completion: read (bot), cas1 wins.
+	cfg = model.Step(pr, cfg, 0)
+	cfg = model.Step(pr, cfg, 0)
+	if v, ok := model.Decision(pr, cfg, 0); !ok || v != 1 {
+		t.Fatalf("p0 should have decided 1")
+	}
+	// Crash p0; re-run solo: read now sees v1, decide 1 again.
+	cfg = model.CrashProc(pr, cfg, 0, 1)
+	cfg = model.Step(pr, cfg, 0)
+	if v, ok := model.Decision(pr, cfg, 0); !ok || v != 1 {
+		t.Errorf("p0 re-decided %v (ok=%v), want 1", v, ok)
+	}
+}
+
+// TestTASWinnerFlipsAfterCrash walks the exact failure of Experiment E8 at
+// the step-machine level.
+func TestTASWinnerFlipsAfterCrash(t *testing.T) {
+	pr := NewTASConsensus()
+	inputs := []int{1, 0}
+	cfg := model.InitialConfig(pr, inputs)
+	// p0: write, TAS (wins) -> decided 1.
+	cfg = model.Step(pr, cfg, 0)
+	cfg = model.Step(pr, cfg, 0)
+	if v, ok := model.Decision(pr, cfg, 0); !ok || v != 1 {
+		t.Fatalf("p0 should have decided its input 1")
+	}
+	// p1 completes: write, TAS (loses), read R0=1 -> decides 1.
+	cfg = model.Step(pr, cfg, 1)
+	cfg = model.Step(pr, cfg, 1)
+	cfg = model.Step(pr, cfg, 1)
+	if v, ok := model.Decision(pr, cfg, 1); !ok || v != 1 {
+		t.Fatalf("p1 should have adopted 1")
+	}
+	// Crash p0 and re-run: write, TAS loses now, read R1=0 -> decides 0.
+	cfg = model.CrashProc(pr, cfg, 0, 1)
+	cfg = model.Step(pr, cfg, 0)
+	cfg = model.Step(pr, cfg, 0)
+	cfg = model.Step(pr, cfg, 0)
+	if v, ok := model.Decision(pr, cfg, 0); !ok || v != 0 {
+		t.Errorf("p0 re-decision = %v, want the flip to 0", v)
+	}
+}
+
+// decisionOf resolves a state's decision via the protocol interface.
+func decisionOf(pr model.Protocol, p int, state string) (int, bool) {
+	a := pr.Poised(p, state)
+	if !a.Decided {
+		return 0, false
+	}
+	return a.Decision, true
+}
+
+// TestDecidedStatesAreNoOps: stepping a decided process must not change
+// the configuration.
+func TestDecidedStatesAreNoOps(t *testing.T) {
+	pr := NewCASWaitFree(2)
+	cfg := model.InitialConfig(pr, []int{0, 1})
+	cfg = model.Step(pr, cfg, 0) // p0 decides
+	if _, ok := model.Decision(pr, cfg, 0); !ok {
+		t.Fatal("p0 should have decided")
+	}
+	after := model.Step(pr, cfg, 0)
+	if after.Key() != cfg.Key() {
+		t.Error("no-op step changed the configuration")
+	}
+}
+
+// TestResponsesInRange: every protocol state transition stays within the
+// object's response space (guards against stale response constants).
+func TestResponsesInRange(t *testing.T) {
+	prs := []model.Protocol{
+		NewTnnWaitFree(4, 2, 4),
+		NewTnnRecoverable(4, 2, 2),
+		NewCASWaitFree(3),
+		NewCASRecoverable(3),
+		NewTASConsensus(),
+	}
+	for _, pr := range prs {
+		objs := pr.Objects()
+		for p := 0; p < pr.Procs(); p++ {
+			for input := 0; input <= 1; input++ {
+				visited := map[string]bool{}
+				var walk func(state string, depth int)
+				walk = func(state string, depth int) {
+					if visited[state] || depth > 32 {
+						return
+					}
+					visited[state] = true
+					a := pr.Poised(p, state)
+					if a.Decided {
+						return
+					}
+					ft := objs[a.Obj].Type
+					// Feed every response the object could produce in any
+					// value; the protocol must return a nonempty state.
+					for v := 0; v < ft.NumValues(); v++ {
+						e := ft.Apply(spec.Value(v), a.Op)
+						next := pr.Next(p, state, e.Resp)
+						if next == "" {
+							t.Errorf("%s: empty state after %s resp %d",
+								pr.Name(), state, e.Resp)
+							return
+						}
+						walk(next, depth+1)
+					}
+				}
+				walk(pr.Init(p, input), 0)
+			}
+		}
+	}
+}

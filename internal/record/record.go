@@ -1,0 +1,215 @@
+// Package record decides the n-recording property of Delporte-Gallet,
+// Fatourou, Fauconnier and Ruppert (PODC 2022), as defined in Section 2 of
+// "Determining Recoverable Consensus Numbers".
+//
+// A deterministic type T is n-recording if there exist a value u, a
+// partition of the processes p_0..p_{n-1} into two nonempty teams T_0, T_1,
+// and an operation o_i for each p_i such that:
+//
+//  1. U_0 and U_1 are disjoint, where U_x is the set of object values
+//     resulting from schedules in S({p_0..p_{n-1}}) whose first process is
+//     in T_x, applied to an object with initial value u; and
+//  2. if u is in U_x, then the opposite team T_{1-x} has exactly one
+//     member.
+//
+// The paper's Theorem 13 shows n-recording is necessary for solving
+// recoverable wait-free consensus among n processes with deterministic
+// types; DFFR's Theorem 8 shows it is sufficient for deterministic,
+// readable types. Together (Theorem 14) the recoverable consensus number
+// of a deterministic readable type is exactly the largest n for which it
+// is n-recording.
+//
+// Implementation mirrors package discern: for fixed (u, operation
+// assignment), a partition is valid for condition 1 iff no constraint set
+// (the first-movers producing a given final value) is split across teams;
+// union-find gives the valid partitions directly, and condition 2 reduces
+// to the existence of a singleton component outside the component of u's
+// producers.
+package record
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/uf"
+)
+
+// Witness certifies that a type is n-recording.
+type Witness struct {
+	N     int
+	U     spec.Value
+	Teams []int
+	Ops   []spec.Op
+}
+
+// String renders the witness compactly.
+func (w *Witness) String() string {
+	return fmt.Sprintf("u=%d teams=%v ops=%v", int(w.U), w.Teams, w.Ops)
+}
+
+// Options configures the decision procedure.
+type Options struct {
+	// Naive disables the symmetry reduction over operation assignments.
+	Naive bool
+	// NoPrefixSharing re-simulates every schedule from the initial value
+	// instead of sharing prefix values (ablation; see DESIGN.md).
+	NoPrefixSharing bool
+}
+
+// IsNRecording reports whether t is n-recording, for n >= 2, and returns a
+// witness if it is. It panics if n < 2 (the partition into two nonempty
+// teams requires at least two processes).
+func IsNRecording(t *spec.FiniteType, n int) (bool, *Witness) {
+	return IsNRecordingOpt(t, n, Options{})
+}
+
+// IsNRecordingOpt is IsNRecording with explicit Options.
+func IsNRecordingOpt(t *spec.FiniteType, n int, opts Options) (bool, *Witness) {
+	if n < 2 {
+		panic(fmt.Sprintf("record: n-recording is undefined for n=%d (need n >= 2)", n))
+	}
+	numOps := t.NumOps()
+	ops := make([]spec.Op, n)
+	var tryAll func(pos int) *Witness
+	tryAll = func(pos int) *Witness {
+		if pos == n {
+			return checkAssignment(t, n, ops, opts)
+		}
+		start := spec.Op(0)
+		if !opts.Naive && pos > 0 {
+			start = ops[pos-1]
+		}
+		for o := start; int(o) < numOps; o++ {
+			ops[pos] = o
+			if w := tryAll(pos + 1); w != nil {
+				return w
+			}
+		}
+		return nil
+	}
+	if w := tryAll(0); w != nil {
+		return true, w
+	}
+	return false, nil
+}
+
+func checkAssignment(t *spec.FiniteType, n int, ops []spec.Op, opts Options) *Witness {
+	for u := 0; u < t.NumValues(); u++ {
+		if teams := checkValueAssignment(t, n, ops, spec.Value(u), opts); teams != nil {
+			w := &Witness{N: n, U: spec.Value(u), Teams: teams, Ops: make([]spec.Op, n)}
+			copy(w.Ops, ops)
+			return w
+		}
+	}
+	return nil
+}
+
+// finalValues collects the final object value of every nonempty schedule
+// in S(P) applied from u, as a map value -> bitmask of first movers,
+// using a shared-prefix DFS.
+func finalValues(t *spec.FiniteType, n int, ops []spec.Op, u spec.Value) map[spec.Value]uint32 {
+	firstMask := make(map[spec.Value]uint32)
+	inSched := make([]bool, n)
+	var dfs func(val spec.Value, first int)
+	dfs = func(val spec.Value, first int) {
+		firstMask[val] |= uint32(1) << uint(first)
+		for p := 0; p < n; p++ {
+			if inSched[p] {
+				continue
+			}
+			inSched[p] = true
+			dfs(t.Apply(val, ops[p]).Next, first)
+			inSched[p] = false
+		}
+	}
+	for f := 0; f < n; f++ {
+		inSched[f] = true
+		dfs(t.Apply(u, ops[f]).Next, f)
+		inSched[f] = false
+	}
+	return firstMask
+}
+
+// finalValuesNoShare is the ablation variant: every schedule is
+// re-simulated from u in full.
+func finalValuesNoShare(t *spec.FiniteType, n int, ops []spec.Op, u spec.Value) map[spec.Value]uint32 {
+	firstMask := make(map[spec.Value]uint32)
+	inSched := make([]bool, n)
+	order := make([]int, 0, n)
+	var rec func()
+	rec = func() {
+		if len(order) > 0 {
+			val := u
+			for _, p := range order {
+				val = t.Apply(val, ops[p]).Next
+			}
+			firstMask[val] |= uint32(1) << uint(order[0])
+		}
+		for p := 0; p < n; p++ {
+			if inSched[p] {
+				continue
+			}
+			inSched[p] = true
+			order = append(order, p)
+			rec()
+			order = order[:len(order)-1]
+			inSched[p] = false
+		}
+	}
+	rec()
+	return firstMask
+}
+
+// checkValueAssignment decides whether some partition completes
+// (u, ops) into an n-recording witness and returns the team assignment.
+func checkValueAssignment(t *spec.FiniteType, n int, ops []spec.Op, u spec.Value, opts Options) []int {
+	// firstMask[v] = bitmask of first-movers f such that some nonempty
+	// schedule starting with f leaves the object with value v.
+	var firstMask map[spec.Value]uint32
+	if opts.NoPrefixSharing {
+		firstMask = finalValuesNoShare(t, n, ops, u)
+	} else {
+		firstMask = finalValues(t, n, ops, u)
+	}
+
+	// Condition 1: every firstMask set must be monochromatic.
+	groups := uf.New(n)
+	for _, mask := range firstMask {
+		groups.UniteMask(mask)
+	}
+
+	maskU := firstMask[u]
+	if maskU == 0 {
+		// u is not producible by any nonempty schedule; condition 2 is
+		// vacuous and any valid two-coloring works.
+		return groups.TwoColor()
+	}
+
+	// u in U_x for the team x that hosts u's producers (they are all in
+	// one component, or no valid coloring exists at all). Condition 2
+	// forces the opposite team to be a single process, i.e. a singleton
+	// component different from the producers' component.
+	sizes, numComponents := groups.ComponentSizes()
+	if numComponents < 2 {
+		return nil
+	}
+	producer := -1
+	for i := 0; i < n; i++ {
+		if maskU&(1<<uint(i)) != 0 {
+			producer = i
+			break
+		}
+	}
+	producerRoot := groups.Find(producer)
+	for i := 0; i < n; i++ {
+		if sizes[i] == 1 && groups.Find(i) != producerRoot {
+			// Team 1 = {p_i}; team 0 = everything else (including all of
+			// u's producers). Then u in U_0 and |T_1| = 1 as required, and
+			// u cannot be in U_1 because p_i is not one of u's producers.
+			teams := make([]int, n)
+			teams[i] = 1
+			return teams
+		}
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package registry names the type zoo for command-line tools and
+// examples: it parses compact type descriptors such as "tas",
+// "tnn:5,2", "cas:3", "register:2", "product:tas,register:2" into
+// constructed spec.FiniteType values.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// Entry describes one registered type family.
+type Entry struct {
+	// Name is the descriptor prefix (e.g. "tnn").
+	Name string
+	// Usage documents the parameter syntax (e.g. "tnn:n,n'").
+	Usage string
+	// Help is a one-line description.
+	Help string
+	// Build constructs the type from the parsed integer parameters.
+	Build func(args []int) (*spec.FiniteType, error)
+	// MinArgs and MaxArgs bound the parameter count.
+	MinArgs, MaxArgs int
+}
+
+// entries is the static registry.
+var entries = []Entry{
+	{
+		Name: "register", Usage: "register[:k]", Help: "read/write register over k values (default 2); cons=1",
+		MinArgs: 0, MaxArgs: 1,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			k := 2
+			if len(a) > 0 {
+				k = a[0]
+			}
+			if k < 1 {
+				return nil, fmt.Errorf("register: k must be >= 1")
+			}
+			return types.Register(k), nil
+		},
+	},
+	{
+		Name: "tas", Usage: "tas", Help: "test-and-set bit; cons=2, rcons=1 (Golab's gap)",
+		MinArgs: 0, MaxArgs: 0,
+		Build: func([]int) (*spec.FiniteType, error) { return types.TestAndSet(), nil },
+	},
+	{
+		Name: "swap", Usage: "swap[:k]", Help: "swap object over k values (default 2); cons=2",
+		MinArgs: 0, MaxArgs: 1,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			k := 2
+			if len(a) > 0 {
+				k = a[0]
+			}
+			if k < 1 {
+				return nil, fmt.Errorf("swap: k must be >= 1")
+			}
+			return types.Swap(k), nil
+		},
+	},
+	{
+		Name: "faa", Usage: "faa[:m]", Help: "fetch-and-add mod m (default 8); cons=2",
+		MinArgs: 0, MaxArgs: 1,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			m := 8
+			if len(a) > 0 {
+				m = a[0]
+			}
+			if m < 2 {
+				return nil, fmt.Errorf("faa: modulus must be >= 2")
+			}
+			return types.FetchAdd(m), nil
+		},
+	},
+	{
+		Name: "cas", Usage: "cas[:k]", Help: "compare-and-swap over k proposals (default 2); cons=rcons=inf",
+		MinArgs: 0, MaxArgs: 1,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			k := 2
+			if len(a) > 0 {
+				k = a[0]
+			}
+			if k < 2 {
+				return nil, fmt.Errorf("cas: k must be >= 2")
+			}
+			return types.CompareAndSwap(k), nil
+		},
+	},
+	{
+		Name: "sticky", Usage: "sticky", Help: "sticky bit; cons=rcons=inf",
+		MinArgs: 0, MaxArgs: 0,
+		Build: func([]int) (*spec.FiniteType, error) { return types.StickyBit(), nil },
+	},
+	{
+		Name: "counter", Usage: "counter[:m]", Help: "bounded counter with blind increment; cons=1",
+		MinArgs: 0, MaxArgs: 1,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			m := 4
+			if len(a) > 0 {
+				m = a[0]
+			}
+			if m < 2 {
+				return nil, fmt.Errorf("counter: bound must be >= 2")
+			}
+			return types.Counter(m), nil
+		},
+	},
+	{
+		Name: "maxreg", Usage: "maxreg[:m]", Help: "max-register over 0..m-1; cons=1",
+		MinArgs: 0, MaxArgs: 1,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			m := 4
+			if len(a) > 0 {
+				m = a[0]
+			}
+			if m < 2 {
+				return nil, fmt.Errorf("maxreg: bound must be >= 2")
+			}
+			return types.MaxRegister(m), nil
+		},
+	},
+	{
+		Name: "queue", Usage: "queue[:cap]", Help: "bounded FIFO queue over {0,1} (default cap 2); cons=2",
+		MinArgs: 0, MaxArgs: 1,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			c := 2
+			if len(a) > 0 {
+				c = a[0]
+			}
+			if c < 1 || c > 4 {
+				return nil, fmt.Errorf("queue: capacity must be in [1,4]")
+			}
+			return types.Queue(c), nil
+		},
+	},
+	{
+		Name: "peekqueue", Usage: "peekqueue[:cap]", Help: "queue with Peek (readable); cons=rcons=inf (Herlihy's augmented queue)",
+		MinArgs: 0, MaxArgs: 1,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			c := 2
+			if len(a) > 0 {
+				c = a[0]
+			}
+			if c < 1 || c > 4 {
+				return nil, fmt.Errorf("peekqueue: capacity must be in [1,4]")
+			}
+			return types.PeekQueue(c), nil
+		},
+	},
+	{
+		Name: "stack", Usage: "stack[:cap]", Help: "bounded LIFO stack over {0,1}; cons=2",
+		MinArgs: 0, MaxArgs: 1,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			c := 2
+			if len(a) > 0 {
+				c = a[0]
+			}
+			if c < 1 || c > 4 {
+				return nil, fmt.Errorf("stack: capacity must be in [1,4]")
+			}
+			return types.Stack(c), nil
+		},
+	},
+	{
+		Name: "tnn", Usage: "tnn:n,n'", Help: "the paper's T_{n,n'}; cons=n, rcons=n' (Section 4)",
+		MinArgs: 2, MaxArgs: 2,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			if a[0] <= a[1] || a[1] < 1 {
+				return nil, fmt.Errorf("tnn: need n > n' >= 1")
+			}
+			return types.Tnn(a[0], a[1]), nil
+		},
+	},
+	{
+		Name: "y", Usage: "y:n", Help: "readable chain family Y_n; cons=n, rcons=n-1",
+		MinArgs: 1, MaxArgs: 1,
+		Build: func(a []int) (*spec.FiniteType, error) {
+			if a[0] < 2 {
+				return nil, fmt.Errorf("y: need n >= 2")
+			}
+			return types.TnnReadable(a[0]), nil
+		},
+	},
+	{
+		Name: "x4", Usage: "x4", Help: "readable type with cons=4, rcons=2 (paper's gap-2 corollary, n=4)",
+		MinArgs: 0, MaxArgs: 0,
+		Build: func([]int) (*spec.FiniteType, error) { return types.XFour(), nil },
+	},
+	{
+		Name: "x5", Usage: "x5", Help: "readable type with cons=5, rcons=3 (paper's gap-2 corollary, n=5)",
+		MinArgs: 0, MaxArgs: 0,
+		Build: func([]int) (*spec.FiniteType, error) { return types.XFive(), nil },
+	},
+	{
+		Name: "trivial", Usage: "trivial", Help: "one-value no-op type; cons=1",
+		MinArgs: 0, MaxArgs: 0,
+		Build: func([]int) (*spec.FiniteType, error) { return types.Trivial(), nil },
+	},
+}
+
+// Entries returns the registry sorted by name.
+func Entries() []Entry {
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Help renders a usage table of all registered descriptors.
+func Help() string {
+	var b strings.Builder
+	for _, e := range Entries() {
+		fmt.Fprintf(&b, "  %-14s %s\n", e.Usage, e.Help)
+	}
+	b.WriteString("  product:A,B    independent pair of two registered types\n")
+	return b.String()
+}
+
+// Parse resolves a descriptor like "tnn:5,2", "tas" or
+// "product:tas,register:2" into a type.
+func Parse(desc string) (*spec.FiniteType, error) {
+	desc = strings.TrimSpace(desc)
+	if desc == "" {
+		return nil, fmt.Errorf("empty type descriptor")
+	}
+	name, rest, hasArgs := strings.Cut(desc, ":")
+	if name == "product" {
+		if !hasArgs {
+			return nil, fmt.Errorf("product needs two component descriptors: product:A,B")
+		}
+		left, right, err := splitProductArgs(rest)
+		if err != nil {
+			return nil, err
+		}
+		a, err := Parse(left)
+		if err != nil {
+			return nil, fmt.Errorf("product left component: %w", err)
+		}
+		b, err := Parse(right)
+		if err != nil {
+			return nil, fmt.Errorf("product right component: %w", err)
+		}
+		return types.Product(a, b), nil
+	}
+	for _, e := range entries {
+		if e.Name != name {
+			continue
+		}
+		var args []int
+		if hasArgs && rest != "" {
+			for _, part := range strings.Split(rest, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad parameter %q", name, part)
+				}
+				args = append(args, v)
+			}
+		}
+		if len(args) < e.MinArgs || len(args) > e.MaxArgs {
+			return nil, fmt.Errorf("%s: want %d..%d parameters, got %d (usage: %s)",
+				name, e.MinArgs, e.MaxArgs, len(args), e.Usage)
+		}
+		return e.Build(args)
+	}
+	return nil, fmt.Errorf("unknown type %q (see --list for the registry)", name)
+}
+
+// splitProductArgs splits "A,B" at the top-level comma, where A and B may
+// themselves contain commas inside their own parameter lists. The split
+// point is the comma that leaves both sides parseable; the first comma
+// that follows a complete descriptor wins. A descriptor is complete when
+// its parameter count cannot grow (heuristic: try every comma position).
+func splitProductArgs(rest string) (string, string, error) {
+	idxs := []int{}
+	for i, c := range rest {
+		if c == ',' {
+			idxs = append(idxs, i)
+		}
+	}
+	for _, i := range idxs {
+		left, right := rest[:i], rest[i+1:]
+		if _, err := Parse(left); err != nil {
+			continue
+		}
+		if _, err := Parse(right); err != nil {
+			continue
+		}
+		return left, right, nil
+	}
+	return "", "", fmt.Errorf("cannot split product components in %q", rest)
+}

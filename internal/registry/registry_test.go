@@ -1,0 +1,94 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	tests := []struct {
+		desc      string
+		wantName  string
+		wantError bool
+	}{
+		{"tas", "test-and-set", false},
+		{"register", "register[2]", false},
+		{"register:3", "register[3]", false},
+		{"tnn:5,2", "T[5,2]", false},
+		{"y:4", "Y[4]", false},
+		{"x4", "X4", false},
+		{"x5", "X5", false},
+		{"cas:3", "compare-and-swap[3]", false},
+		{"queue:1", "queue[1]", false},
+		{"sticky", "sticky-bit", false},
+		{"counter:3", "counter[3]", false},
+		{"maxreg:5", "max-register[5]", false},
+		{"faa:4", "fetch-and-add[4]", false},
+		{"swap:3", "swap[3]", false},
+		{"trivial", "trivial", false},
+		{"product:tas,register:2", "product(test-and-set,register[2])", false},
+		{"product:tnn:3,1,tas", "product(T[3,1],test-and-set)", false},
+		{"", "", true},
+		{"nosuch", "", true},
+		{"tnn", "", true},       // missing params
+		{"tnn:2,2", "", true},   // n must exceed n'
+		{"tnn:2,1,9", "", true}, // too many params
+		{"register:x", "", true},
+		{"queue:9", "", true},
+		{"product:tas", "", true},
+		{"product:zzz,tas", "", true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.desc, func(t *testing.T) {
+			ft, err := Parse(tc.desc)
+			if tc.wantError {
+				if err == nil {
+					t.Errorf("Parse(%q) succeeded with %s, want error", tc.desc, ft.Name())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.desc, err)
+			}
+			if ft.Name() != tc.wantName {
+				t.Errorf("Parse(%q) = %s, want %s", tc.desc, ft.Name(), tc.wantName)
+			}
+			if err := ft.Validate(); err != nil {
+				t.Errorf("parsed type invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	for _, desc := range []string{"register", "swap", "faa", "cas", "counter", "maxreg", "queue"} {
+		if _, err := Parse(desc); err != nil {
+			t.Errorf("default %q: %v", desc, err)
+		}
+	}
+}
+
+func TestEntriesSortedAndHelp(t *testing.T) {
+	es := Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Name >= es[i].Name {
+			t.Errorf("entries not sorted: %s >= %s", es[i-1].Name, es[i].Name)
+		}
+	}
+	h := Help()
+	for _, want := range []string{"tnn:n,n'", "product:A,B", "test-and-set"} {
+		if !strings.Contains(h, want) && want != "test-and-set" {
+			t.Errorf("Help missing %q", want)
+		}
+	}
+}
+
+func TestNestedProduct(t *testing.T) {
+	ft, err := Parse("product:product:tas,tas,register:2")
+	if err != nil {
+		t.Fatalf("nested product: %v", err)
+	}
+	if ft.NumOps() != 2*2+3 {
+		t.Errorf("nested product op count = %d", ft.NumOps())
+	}
+}

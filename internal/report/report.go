@@ -1,0 +1,136 @@
+// Package report defines the experiment harness: one Experiment per paper
+// artifact (figure, lemma, theorem or derived table), each of which
+// re-derives the paper's claim from the library and reports
+// paper-vs-measured rows. cmd/experiments runs the suite and prints the
+// tables recorded in EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Outcome of one experiment.
+type Outcome struct {
+	// ID is the experiment identifier (E1..E11).
+	ID string
+	// Title summarizes the experiment.
+	Title string
+	// Claim is the paper's claim being reproduced.
+	Claim string
+	// Rows are the measured table rows (already formatted).
+	Rows []string
+	// Pass reports whether every measured row matched the claim.
+	Pass bool
+	// Detail carries failure diagnostics.
+	Detail string
+}
+
+// Experiment is one runnable reproduction unit.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func() (rows []string, pass bool, detail string)
+}
+
+// Suite is an ordered collection of experiments.
+type Suite struct {
+	experiments []Experiment
+}
+
+// Add appends an experiment.
+func (s *Suite) Add(e Experiment) { s.experiments = append(s.experiments, e) }
+
+// IDs lists the registered experiment IDs in order.
+func (s *Suite) IDs() []string {
+	out := make([]string, len(s.experiments))
+	for i, e := range s.experiments {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunAll executes every experiment (or only those whose ID is in filter,
+// if filter is nonempty) and returns outcomes in registration order.
+func (s *Suite) RunAll(filter []string) []Outcome {
+	want := make(map[string]bool, len(filter))
+	for _, id := range filter {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
+	var out []Outcome
+	for _, e := range s.experiments {
+		if len(want) > 0 && !want[strings.ToUpper(e.ID)] {
+			continue
+		}
+		rows, pass, detail := e.Run()
+		out = append(out, Outcome{
+			ID: e.ID, Title: e.Title, Claim: e.Claim,
+			Rows: rows, Pass: pass, Detail: detail,
+		})
+	}
+	return out
+}
+
+// Render formats outcomes as a text report.
+func Render(outcomes []Outcome) string {
+	var b strings.Builder
+	passed := 0
+	for _, o := range outcomes {
+		status := "PASS"
+		if !o.Pass {
+			status = "FAIL"
+		} else {
+			passed++
+		}
+		fmt.Fprintf(&b, "== %s: %s [%s]\n", o.ID, o.Title, status)
+		fmt.Fprintf(&b, "   paper: %s\n", o.Claim)
+		for _, row := range o.Rows {
+			fmt.Fprintf(&b, "   %s\n", row)
+		}
+		if o.Detail != "" {
+			fmt.Fprintf(&b, "   detail: %s\n", o.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d/%d experiments passed\n", passed, len(outcomes))
+	return b.String()
+}
+
+// Markdown formats outcomes as the EXPERIMENTS.md body.
+func Markdown(outcomes []Outcome) string {
+	var b strings.Builder
+	for _, o := range outcomes {
+		status := "PASS"
+		if !o.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "### %s — %s (%s)\n\n", o.ID, o.Title, status)
+		fmt.Fprintf(&b, "**Paper claim.** %s\n\n**Measured.**\n\n```\n", o.Claim)
+		for _, row := range o.Rows {
+			fmt.Fprintf(&b, "%s\n", row)
+		}
+		b.WriteString("```\n\n")
+		if o.Detail != "" {
+			fmt.Fprintf(&b, "_%s_\n\n", o.Detail)
+		}
+	}
+	return b.String()
+}
+
+// SortByID orders outcomes E1 < E2 < ... < E10 (numeric suffix).
+func SortByID(outcomes []Outcome) {
+	num := func(id string) int {
+		n := 0
+		for _, c := range id {
+			if c >= '0' && c <= '9' {
+				n = n*10 + int(c-'0')
+			}
+		}
+		return n
+	}
+	sort.SliceStable(outcomes, func(i, j int) bool {
+		return num(outcomes[i].ID) < num(outcomes[j].ID)
+	})
+}

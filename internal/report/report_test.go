@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperSuiteAllPass runs the entire experiment suite; every experiment
+// must reproduce its paper claim.
+func TestPaperSuiteAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite takes ~10s")
+	}
+	outcomes := PaperSuite().RunAll(nil)
+	if len(outcomes) != 15 {
+		t.Fatalf("suite ran %d experiments, want 15", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if !o.Pass {
+			t.Errorf("%s (%s) failed:\n%s\n%s", o.ID, o.Title, strings.Join(o.Rows, "\n"), o.Detail)
+		}
+		if len(o.Rows) == 0 {
+			t.Errorf("%s produced no rows", o.ID)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	outcomes := PaperSuite().RunAll([]string{"e1"})
+	if len(outcomes) != 1 || outcomes[0].ID != "E1" {
+		t.Fatalf("filter broke: %+v", outcomes)
+	}
+}
+
+func TestIDs(t *testing.T) {
+	ids := PaperSuite().IDs()
+	if len(ids) != 15 || ids[0] != "E1" || ids[14] != "E15" {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestRenderAndMarkdown(t *testing.T) {
+	outcomes := PaperSuite().RunAll([]string{"E1"})
+	txt := Render(outcomes)
+	for _, want := range []string{"E1", "PASS", "paper:", "experiments passed"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+	md := Markdown(outcomes)
+	for _, want := range []string{"### E1", "**Paper claim.**", "```"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q", want)
+		}
+	}
+}
+
+func TestRenderFailCase(t *testing.T) {
+	out := []Outcome{{ID: "EX", Title: "t", Claim: "c", Rows: []string{"r"}, Pass: false, Detail: "boom"}}
+	txt := Render(out)
+	for _, want := range []string{"FAIL", "boom", "0/1 experiments passed"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Render missing %q:\n%s", want, txt)
+		}
+	}
+	md := Markdown(out)
+	for _, want := range []string{"(FAIL)", "_boom_"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestSortByID(t *testing.T) {
+	out := []Outcome{{ID: "E10"}, {ID: "E2"}, {ID: "E1"}}
+	SortByID(out)
+	if out[0].ID != "E1" || out[1].ID != "E2" || out[2].ID != "E10" {
+		t.Errorf("sorted = %v", out)
+	}
+}

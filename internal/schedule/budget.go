@@ -1,0 +1,96 @@
+package schedule
+
+import "fmt"
+
+// Budget describes the crash-budgeted execution sets E_z(C) and E*_z(C) of
+// Section 3 for a system of n processes: a schedule is admissible if p0
+// never crashes and, for every process p_i with i >= 1, the number of
+// crashes by p_i is at most z*n times the number of steps collectively
+// taken by p_0, ..., p_{i-1}.
+//
+// E_z requires the bound to hold for the full schedule only; E*_z requires
+// it for every prefix (E*_z is prefix-closed, E_z is not — see the paper's
+// example after the definitions).
+type Budget struct {
+	// N is the number of processes in the system (processes are 0..N-1).
+	N int
+	// Z is the multiplier z; the per-process crash bound is Z*N times the
+	// steps of lower-identifier processes.
+	Z int
+}
+
+// InE reports whether the schedule belongs to E_z: p0 crash-free and, for
+// each p_i (i >= 1), crashes(p_i) <= z*n * steps(p_0..p_{i-1}) over the
+// whole schedule.
+func (b Budget) InE(s Schedule) bool {
+	return b.check(s, false)
+}
+
+// InEStar reports whether the schedule belongs to E*_z: the E_z condition
+// holds for every prefix of the schedule.
+func (b Budget) InEStar(s Schedule) bool {
+	return b.check(s, true)
+}
+
+func (b Budget) check(s Schedule, everyPrefix bool) bool {
+	steps := make([]int, b.N)   // steps[i] = steps taken by p_i so far
+	crashes := make([]int, b.N) // crashes[i] = crashes of p_i so far
+	ok := func() bool {
+		if crashes[0] > 0 {
+			return false
+		}
+		lower := 0
+		for i := 1; i < b.N; i++ {
+			lower += steps[i-1]
+			if crashes[i] > b.Z*b.N*lower {
+				return false
+			}
+		}
+		return true
+	}
+	for _, e := range s {
+		if e.P < 0 || e.P >= b.N {
+			return false
+		}
+		if e.Crash {
+			crashes[e.P]++
+		} else {
+			steps[e.P]++
+		}
+		if everyPrefix && !ok() {
+			return false
+		}
+	}
+	return ok()
+}
+
+// MaxCrashes returns, for the given schedule prefix, the number of further
+// crashes process p could take immediately while keeping the schedule in
+// E*_z. It returns 0 for p = 0.
+func (b Budget) MaxCrashes(s Schedule, p int) int {
+	if p <= 0 || p >= b.N {
+		return 0
+	}
+	lower := 0
+	for _, e := range s {
+		if !e.Crash && e.P < p {
+			lower++
+		}
+	}
+	allowed := b.Z*b.N*lower - s.CrashesOf(p)
+	if allowed < 0 {
+		return 0
+	}
+	return allowed
+}
+
+// Validate checks the budget parameters.
+func (b Budget) Validate() error {
+	if b.N < 1 {
+		return fmt.Errorf("budget: need N >= 1, got %d", b.N)
+	}
+	if b.Z < 1 {
+		return fmt.Errorf("budget: need Z >= 1, got %d", b.Z)
+	}
+	return nil
+}

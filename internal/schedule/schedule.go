@@ -1,0 +1,186 @@
+// Package schedule implements schedules and the schedule sets used by the
+// paper's valency argument: S(P') (at most one step per process, no
+// crashes) and the crash-budgeted execution sets E_z and E*_z of Section 3.
+//
+// A schedule is a sequence of events; each event is either a step by a
+// process p_i or a crash c_i of process p_i. The schedule of an execution
+// is the sequence of processes that take steps and crashes that occur in
+// it (Section 2).
+package schedule
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Event is one element of a schedule: a step by, or crash of, process P.
+type Event struct {
+	P     int
+	Crash bool
+}
+
+// Step returns a step event for process p.
+func Step(p int) Event { return Event{P: p} }
+
+// Crash returns a crash event for process p.
+func Crash(p int) Event { return Event{P: p, Crash: true} }
+
+// String renders the event in the paper's notation: "p3" or "c3".
+func (e Event) String() string {
+	if e.Crash {
+		return "c" + strconv.Itoa(e.P)
+	}
+	return "p" + strconv.Itoa(e.P)
+}
+
+// Schedule is a finite sequence of events.
+type Schedule []Event
+
+// Steps builds a crash-free schedule from a sequence of process ids.
+func Steps(procs ...int) Schedule {
+	s := make(Schedule, len(procs))
+	for i, p := range procs {
+		s[i] = Step(p)
+	}
+	return s
+}
+
+// String renders the schedule in the paper's notation, e.g. "p0 p2 c2 p1".
+// The empty schedule renders as "<>".
+func (s Schedule) String() string {
+	if len(s) == 0 {
+		return "<>"
+	}
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Append returns a new schedule consisting of s followed by events. The
+// receiver is not modified.
+func (s Schedule) Append(events ...Event) Schedule {
+	out := make(Schedule, 0, len(s)+len(events))
+	out = append(out, s...)
+	out = append(out, events...)
+	return out
+}
+
+// Concat returns s followed by t as a new schedule.
+func (s Schedule) Concat(t Schedule) Schedule { return s.Append(t...) }
+
+// CrashFree reports whether the schedule contains no crash events.
+func (s Schedule) CrashFree() bool {
+	for _, e := range s {
+		if e.Crash {
+			return false
+		}
+	}
+	return true
+}
+
+// StepsBy returns the number of steps (not crashes) taken by processes for
+// which include returns true.
+func (s Schedule) StepsBy(include func(p int) bool) int {
+	n := 0
+	for _, e := range s {
+		if !e.Crash && include(e.P) {
+			n++
+		}
+	}
+	return n
+}
+
+// CrashesOf returns the number of crash events of process p.
+func (s Schedule) CrashesOf(p int) int {
+	n := 0
+	for _, e := range s {
+		if e.Crash && e.P == p {
+			n++
+		}
+	}
+	return n
+}
+
+// AtMostOncePerProcess reports whether the schedule is crash-free and
+// contains at most one step per process, i.e. whether it belongs to S(P)
+// for P = the set of processes appearing in it.
+func (s Schedule) AtMostOncePerProcess() bool {
+	seen := make(map[int]bool, len(s))
+	for _, e := range s {
+		if e.Crash || seen[e.P] {
+			return false
+		}
+		seen[e.P] = true
+	}
+	return true
+}
+
+// Parse parses the rendering produced by String: whitespace-separated
+// events "p<i>" and "c<i>", or "<>" for the empty schedule.
+func Parse(text string) (Schedule, error) {
+	text = strings.TrimSpace(text)
+	if text == "" || text == "<>" {
+		return Schedule{}, nil
+	}
+	fields := strings.Fields(text)
+	out := make(Schedule, 0, len(fields))
+	for _, f := range fields {
+		if len(f) < 2 || (f[0] != 'p' && f[0] != 'c') {
+			return nil, fmt.Errorf("bad event %q", f)
+		}
+		id, err := strconv.Atoi(f[1:])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad process id in event %q", f)
+		}
+		out = append(out, Event{P: id, Crash: f[0] == 'c'})
+	}
+	return out, nil
+}
+
+// EnumerateS enumerates the set S(P') of Section 2: all schedules (including
+// the empty one) that contain at most one step of every process in procs and
+// no crashes. The schedules are passed to visit; enumeration stops early if
+// visit returns false. The visited slice is reused between calls — callers
+// that retain a schedule must copy it.
+func EnumerateS(procs []int, visit func(Schedule) bool) {
+	used := make([]bool, len(procs))
+	cur := make(Schedule, 0, len(procs))
+	if !visit(cur) {
+		return
+	}
+	var rec func() bool
+	rec = func() bool {
+		for i, p := range procs {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, Step(p))
+			if !visit(cur) {
+				return false
+			}
+			if !rec() {
+				return false
+			}
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+		return true
+	}
+	rec()
+}
+
+// CountS returns |S(P')| for a process set of size m: the number of
+// sequences of distinct processes of length 0..m.
+func CountS(m int) int {
+	total := 0
+	perm := 1
+	for k := 0; k <= m; k++ {
+		total += perm
+		perm *= m - k
+	}
+	return total
+}

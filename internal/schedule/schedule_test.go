@@ -1,0 +1,282 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventString(t *testing.T) {
+	if got := Step(3).String(); got != "p3" {
+		t.Errorf("Step(3) = %q", got)
+	}
+	if got := Crash(0).String(); got != "c0" {
+		t.Errorf("Crash(0) = %q", got)
+	}
+}
+
+func TestScheduleStringAndParse(t *testing.T) {
+	tests := []struct {
+		s    Schedule
+		text string
+	}{
+		{Schedule{}, "<>"},
+		{Steps(0), "p0"},
+		{Steps(0, 2, 1), "p0 p2 p1"},
+		{Schedule{Step(1), Crash(1), Step(0)}, "p1 c1 p0"},
+	}
+	for _, tc := range tests {
+		if got := tc.s.String(); got != tc.text {
+			t.Errorf("String() = %q, want %q", got, tc.text)
+		}
+		back, err := Parse(tc.text)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.text, err)
+			continue
+		}
+		if !reflect.DeepEqual(back, tc.s) && !(len(back) == 0 && len(tc.s) == 0) {
+			t.Errorf("Parse(%q) = %v, want %v", tc.text, back, tc.s)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"x0", "p", "pX", "p-1", "q1 p2"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		s := make(Schedule, 0, len(raw))
+		for _, b := range raw {
+			s = append(s, Event{P: int(b % 7), Crash: b%2 == 0})
+		}
+		back, err := Parse(s.String())
+		if err != nil {
+			return false
+		}
+		if len(back) != len(s) {
+			return false
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendDoesNotMutate(t *testing.T) {
+	s := Steps(0, 1)
+	u := s.Append(Crash(1))
+	if len(s) != 2 {
+		t.Error("Append mutated the receiver")
+	}
+	if len(u) != 3 || !u[2].Crash {
+		t.Errorf("Append result wrong: %v", u)
+	}
+	v := s.Concat(Steps(2, 3))
+	if len(v) != 4 || v[3].P != 3 {
+		t.Errorf("Concat result wrong: %v", v)
+	}
+}
+
+func TestCounting(t *testing.T) {
+	s := Schedule{Step(0), Step(1), Crash(1), Step(1), Crash(2), Crash(1)}
+	if got := s.StepsBy(func(p int) bool { return p <= 1 }); got != 3 {
+		t.Errorf("StepsBy = %d, want 3", got)
+	}
+	if got := s.CrashesOf(1); got != 2 {
+		t.Errorf("CrashesOf(1) = %d, want 2", got)
+	}
+	if got := s.CrashesOf(0); got != 0 {
+		t.Errorf("CrashesOf(0) = %d, want 0", got)
+	}
+	if s.CrashFree() {
+		t.Error("CrashFree on crashing schedule")
+	}
+	if !Steps(0, 1, 2).CrashFree() {
+		t.Error("Steps schedule should be crash-free")
+	}
+}
+
+func TestAtMostOncePerProcess(t *testing.T) {
+	if !Steps(0, 2, 1).AtMostOncePerProcess() {
+		t.Error("distinct steps should qualify")
+	}
+	if Steps(0, 1, 0).AtMostOncePerProcess() {
+		t.Error("repeated process should not qualify")
+	}
+	if (Schedule{Step(0), Crash(1)}).AtMostOncePerProcess() {
+		t.Error("schedules with crashes should not qualify")
+	}
+	if !(Schedule{}).AtMostOncePerProcess() {
+		t.Error("empty schedule should qualify")
+	}
+}
+
+// TestEnumerateS checks the S(P') enumeration against the paper's example:
+// S({p0, p2}) = { <>, p0, p2, p0 p2, p2 p0 }.
+func TestEnumerateS(t *testing.T) {
+	var got []string
+	EnumerateS([]int{0, 2}, func(s Schedule) bool {
+		got = append(got, s.String())
+		return true
+	})
+	want := []string{"<>", "p0", "p0 p2", "p2", "p2 p0"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("EnumerateS = %v, want %v", got, want)
+	}
+}
+
+func TestEnumerateSEarlyStop(t *testing.T) {
+	count := 0
+	EnumerateS([]int{0, 1, 2}, func(s Schedule) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d schedules, want 3", count)
+	}
+}
+
+func TestCountS(t *testing.T) {
+	// |S(P)| = sum over k of m!/(m-k)!.
+	tests := []struct{ m, want int }{
+		{0, 1}, {1, 2}, {2, 5}, {3, 16}, {4, 65}, {5, 326},
+	}
+	for _, tc := range tests {
+		if got := CountS(tc.m); got != tc.want {
+			t.Errorf("CountS(%d) = %d, want %d", tc.m, got, tc.want)
+		}
+	}
+	// Cross-check against the enumerator.
+	for m := 0; m <= 5; m++ {
+		procs := make([]int, m)
+		for i := range procs {
+			procs[i] = i
+		}
+		n := 0
+		EnumerateS(procs, func(Schedule) bool { n++; return true })
+		if n != CountS(m) {
+			t.Errorf("enumerated %d schedules for m=%d, CountS says %d", n, m, CountS(m))
+		}
+	}
+}
+
+// TestBudgetPaperExample reproduces the example after the E definitions in
+// Section 3: for n = 2, exec(C, p1 c1 p0) is in E_1(C) but not E*_1(C).
+func TestBudgetPaperExample(t *testing.T) {
+	b := Budget{N: 2, Z: 1}
+	s, err := Parse("p1 c1 p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.InE(s) {
+		t.Error("p1 c1 p0 should be in E_1")
+	}
+	if b.InEStar(s) {
+		t.Error("p1 c1 p0 should NOT be in E*_1 (prefix p1 c1 violates the bound)")
+	}
+}
+
+func TestBudgetP0NeverCrashes(t *testing.T) {
+	b := Budget{N: 3, Z: 2}
+	s := Schedule{Step(1), Crash(0)}
+	if b.InE(s) || b.InEStar(s) {
+		t.Error("schedules where p0 crashes are never admissible")
+	}
+}
+
+func TestBudgetBounds(t *testing.T) {
+	b := Budget{N: 2, Z: 1}
+	// p0 takes 1 step: p1 may crash up to z*n*1 = 2 times.
+	ok := Schedule{Step(0), Crash(1), Crash(1)}
+	if !b.InEStar(ok) {
+		t.Error("2 crashes after one p0 step should be within E*_1")
+	}
+	tooMany := Schedule{Step(0), Crash(1), Crash(1), Crash(1)}
+	if b.InEStar(tooMany) || b.InE(tooMany) {
+		t.Error("3 crashes after one p0 step should exceed the budget")
+	}
+}
+
+func TestBudgetOutOfRangeProcess(t *testing.T) {
+	b := Budget{N: 2, Z: 1}
+	if b.InE(Schedule{Step(5)}) {
+		t.Error("steps of out-of-range processes should be rejected")
+	}
+}
+
+// TestBudgetPrefixClosureProperty checks Observation 3's engine-level
+// counterpart: E*_z is prefix-closed.
+func TestBudgetPrefixClosureProperty(t *testing.T) {
+	b := Budget{N: 3, Z: 1}
+	f := func(raw []uint8) bool {
+		s := make(Schedule, 0, len(raw))
+		for _, x := range raw {
+			s = append(s, Event{P: int(x) % 3, Crash: x%3 == 0 && x%2 == 0})
+		}
+		if !b.InEStar(s) {
+			return true // nothing to check
+		}
+		for i := 0; i <= len(s); i++ {
+			if !b.InEStar(s[:i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBudgetCrashFreeExtension checks Observation 4's engine-level
+// counterpart: appending crash-free events preserves membership.
+func TestBudgetCrashFreeExtension(t *testing.T) {
+	b := Budget{N: 3, Z: 1}
+	base := Schedule{Step(0), Crash(1), Step(1)}
+	if !b.InEStar(base) {
+		t.Fatal("base should be admissible")
+	}
+	ext := base.Concat(Steps(2, 1, 0, 2))
+	if !b.InEStar(ext) || !b.InE(ext) {
+		t.Error("crash-free extension must preserve membership")
+	}
+}
+
+func TestMaxCrashes(t *testing.T) {
+	b := Budget{N: 2, Z: 1}
+	if got := b.MaxCrashes(Schedule{}, 1); got != 0 {
+		t.Errorf("before any p0 step, p1 may crash %d times, want 0", got)
+	}
+	if got := b.MaxCrashes(Steps(0), 1); got != 2 {
+		t.Errorf("after one p0 step, p1 may crash %d times, want 2", got)
+	}
+	if got := b.MaxCrashes(Schedule{Step(0), Crash(1)}, 1); got != 1 {
+		t.Errorf("after one p0 step and one crash, MaxCrashes = %d, want 1", got)
+	}
+	if got := b.MaxCrashes(Steps(0), 0); got != 0 {
+		t.Errorf("p0 may never crash, got %d", got)
+	}
+}
+
+func TestBudgetValidate(t *testing.T) {
+	if err := (Budget{N: 2, Z: 1}).Validate(); err != nil {
+		t.Errorf("valid budget rejected: %v", err)
+	}
+	if err := (Budget{N: 0, Z: 1}).Validate(); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if err := (Budget{N: 2, Z: 0}).Validate(); err == nil {
+		t.Error("Z=0 accepted")
+	}
+}

@@ -1,0 +1,311 @@
+// Package sim is the concurrent crash-recovery runtime: it executes
+// process programs as goroutines over a non-volatile store, under a
+// deterministic scheduler driven by an adversary that chooses, before
+// every shared-memory step, which process moves next and whether it
+// crashes instead.
+//
+// Crash semantics follow Section 2 of the paper exactly: a crashed process
+// loses all local state (its program is aborted via a panic that the
+// runtime recovers, and restarted from the top, so ordinary Go local
+// variables are the volatile state), while the nvm.Store it accesses is
+// never reset.
+//
+// The runtime is fully deterministic for a deterministic adversary: only
+// one process runs between grants, so every run with the same adversary
+// produces the same schedule.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/nvm"
+	"repro/internal/schedule"
+	"repro/internal/spec"
+)
+
+// Ctx is the interface a process program uses to interact with shared
+// memory. Programs must perform ALL inter-process communication through
+// Apply; anything else is local (volatile) state.
+type Ctx struct {
+	pid   int
+	input int
+	store *nvm.Store
+	rt    *runtime // nil for solo (unscheduled) execution
+}
+
+// PID returns the process identifier.
+func (c *Ctx) PID() int { return c.pid }
+
+// Input returns the process's consensus input.
+func (c *Ctx) Input() int { return c.input }
+
+// Apply performs one shared-memory step: it blocks until the scheduler
+// grants this process a step, then applies op to object obj. If the
+// adversary chose to crash the process instead, Apply never returns: the
+// program is aborted and restarted from its initial state.
+func (c *Ctx) Apply(obj int, op spec.Op) spec.Response {
+	if c.rt != nil {
+		c.rt.awaitGrant(c.pid)
+	}
+	return c.store.Apply(obj, op)
+}
+
+// Program is a process's code: it runs to completion and returns a
+// decision. After a crash it is re-invoked from the top with a fresh Ctx.
+type Program func(ctx *Ctx) int
+
+// crashSignal aborts a program run; the process runner recovers it.
+type crashSignal struct{}
+
+// abortSignal terminates a process goroutine for good (run aborted).
+type abortSignal struct{}
+
+// Adversary decides the next event. runnable lists the processes that
+// have not yet decided; crashes[p] counts crashes injected into p so far;
+// steps is the number of steps granted so far. The adversary returns the
+// process to schedule and whether it crashes instead of stepping.
+type Adversary interface {
+	Next(runnable []int, crashes []int, steps int) (p int, crash bool)
+}
+
+// Result reports one run.
+type Result struct {
+	// Decisions[p] is the decision of process p.
+	Decisions []int
+	// Schedule is the sequence of granted steps and injected crashes.
+	Schedule schedule.Schedule
+	// Steps and Crashes are the totals.
+	Steps   int
+	Crashes int
+	// Store is the non-volatile memory after the run. Because it models
+	// NVM, it can be handed back to RunSolo to model processes that crash
+	// AFTER deciding and re-execute from their initial state.
+	Store *nvm.Store
+}
+
+// VerifyConsensus checks agreement and validity of the result against the
+// inputs.
+func (r *Result) VerifyConsensus(inputs []int) error {
+	for p := 1; p < len(r.Decisions); p++ {
+		if r.Decisions[p] != r.Decisions[0] {
+			return fmt.Errorf("agreement violated: p0 decided %d, p%d decided %d",
+				r.Decisions[0], p, r.Decisions[p])
+		}
+	}
+	for p, d := range r.Decisions {
+		ok := false
+		for _, in := range inputs {
+			if d == in {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("validity violated: p%d decided %d, not an input", p, d)
+		}
+	}
+	return nil
+}
+
+// runtime coordinates the scheduler and the process goroutines.
+type runtime struct {
+	store *nvm.Store
+	// grant[p] delivers one token per allowed step; a crash token is
+	// delivered as a closed-over flag.
+	grant []chan grantMsg
+	// ready[p] signals that p is blocked waiting for a grant (i.e. it is
+	// about to perform a step) or has decided.
+	ready chan readyMsg
+}
+
+type grantMsg struct {
+	crash bool
+}
+
+type readyMsg struct {
+	pid     int
+	decided bool
+	value   int
+}
+
+func (rt *runtime) awaitGrant(pid int) {
+	rt.ready <- readyMsg{pid: pid}
+	g, ok := <-rt.grant[pid]
+	if !ok {
+		panic(abortSignal{})
+	}
+	if g.crash {
+		panic(crashSignal{})
+	}
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxEvents aborts runs whose adversary never lets the protocol finish
+	// (default 1,000,000).
+	MaxEvents int
+}
+
+// Run executes programs (one per process) with the given inputs over a
+// fresh store built from cells, scheduling with adv. It returns the
+// decisions and the schedule, or an error if the run was aborted.
+func Run(cells []nvm.Cell, programs []Program, inputs []int, adv Adversary, opts Options) (*Result, error) {
+	n := len(programs)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: no processes")
+	}
+	if len(inputs) != n {
+		return nil, fmt.Errorf("sim: %d inputs for %d processes", len(inputs), n)
+	}
+	store, err := nvm.NewStore(cells...)
+	if err != nil {
+		return nil, err
+	}
+	maxEvents := opts.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 1_000_000
+	}
+
+	rt := &runtime{
+		store: store,
+		grant: make([]chan grantMsg, n),
+		ready: make(chan readyMsg),
+	}
+	for p := range rt.grant {
+		rt.grant[p] = make(chan grantMsg)
+	}
+
+	res := &Result{Decisions: make([]int, n), Store: store}
+	decided := make([]bool, n)
+	crashes := make([]int, n)
+
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for {
+				value, outcome := runOnce(programs[p],
+					&Ctx{pid: p, input: inputs[p], store: store, rt: rt})
+				switch outcome {
+				case ranDecided:
+					rt.ready <- readyMsg{pid: p, decided: true, value: value}
+					return
+				case ranAborted:
+					return
+				}
+				// ranCrashed: restart the program from its initial state.
+			}
+		}(p)
+	}
+
+	// Scheduler: wait until every undecided process is parked at a grant
+	// point, then let the adversary pick an event.
+	waiting := make([]bool, n)
+	numParked := 0
+	numDecided := 0
+	// abort terminates every live process goroutine (a closed grant
+	// channel panics the program with abortSignal) and waits for them to
+	// exit; in-flight ready messages are drained.
+	abort := func() {
+		for p := 0; p < n; p++ {
+			close(rt.grant[p])
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			wg.Wait()
+		}()
+		for {
+			select {
+			case <-rt.ready:
+			case <-done:
+				return
+			}
+		}
+	}
+
+	for numDecided < n {
+		if res.Steps+res.Crashes > maxEvents {
+			abort()
+			return nil, fmt.Errorf("sim: exceeded %d events without termination", maxEvents)
+		}
+		// Wait until every live process is parked at a grant point (the
+		// run stays deterministic: at most one process is ever running
+		// between grants).
+		if numParked+numDecided < n {
+			msg := <-rt.ready
+			if msg.decided {
+				decided[msg.pid] = true
+				res.Decisions[msg.pid] = msg.value
+				numDecided++
+			} else {
+				waiting[msg.pid] = true
+				numParked++
+			}
+			continue
+		}
+		var runnable []int
+		for p := 0; p < n; p++ {
+			if waiting[p] {
+				runnable = append(runnable, p)
+			}
+		}
+		pick, crash := adv.Next(runnable, crashes, res.Steps)
+		if pick < 0 || pick >= n || !waiting[pick] {
+			abort()
+			return nil, fmt.Errorf("sim: adversary picked non-runnable process %d", pick)
+		}
+		waiting[pick] = false
+		numParked--
+		if crash {
+			crashes[pick]++
+			res.Crashes++
+			res.Schedule = append(res.Schedule, schedule.Crash(pick))
+			rt.grant[pick] <- grantMsg{crash: true}
+		} else {
+			res.Steps++
+			res.Schedule = append(res.Schedule, schedule.Step(pick))
+			rt.grant[pick] <- grantMsg{}
+		}
+	}
+	wg.Wait()
+	return res, nil
+}
+
+// RunSolo executes one program to completion over an existing store,
+// without a scheduler and without crashes, and returns its decision. It
+// models a process that crashed (possibly after deciding) and now runs
+// alone from its initial state: the paper's model requires it to output a
+// value consistent with every earlier output, which callers check by
+// comparing against the original run's decisions.
+func RunSolo(store *nvm.Store, program Program, pid, input int) int {
+	return program(&Ctx{pid: pid, input: input, store: store})
+}
+
+// runOutcome is the result of one program attempt.
+type runOutcome int
+
+const (
+	ranDecided runOutcome = iota
+	ranCrashed
+	ranAborted
+)
+
+// runOnce runs one attempt of a program, converting crash and abort
+// signals into outcomes.
+func runOnce(prog Program, ctx *Ctx) (value int, outcome runOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case crashSignal:
+				outcome = ranCrashed
+			case abortSignal:
+				outcome = ranAborted
+			default:
+				panic(r)
+			}
+		}
+	}()
+	return prog(ctx), ranDecided
+}

@@ -1,0 +1,218 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/algo"
+	"repro/internal/sim"
+)
+
+func programs(a *algo.Algorithm, n int) []sim.Program {
+	out := make([]sim.Program, n)
+	for p := 0; p < n; p++ {
+		out[p] = a.Program(p)
+	}
+	return out
+}
+
+// TestTnnRecoverableUnderRandomCrashes fuzzes the paper's recoverable
+// algorithm with seeded random adversaries: agreement and validity must
+// hold for every seed, input vector and crash pattern within n' processes.
+func TestTnnRecoverableUnderRandomCrashes(t *testing.T) {
+	cases := []struct{ n, np int }{{3, 2}, {4, 2}, {5, 3}, {6, 4}}
+	for _, c := range cases {
+		a := algo.TnnRecoverable(c.n, c.np)
+		for seed := int64(0); seed < 30; seed++ {
+			for m := 0; m < 1<<uint(c.np); m++ {
+				inputs := make([]int, c.np)
+				for p := range inputs {
+					inputs[p] = (m >> uint(p)) & 1
+				}
+				adv := adversary.NewRandom(seed, 0.3, 4)
+				res, err := sim.Run(a.Cells, programs(a, c.np), inputs, adv, sim.Options{})
+				if err != nil {
+					t.Fatalf("%s seed %d inputs %v: %v", a.Name, seed, inputs, err)
+				}
+				if err := res.VerifyConsensus(inputs); err != nil {
+					t.Errorf("%s seed %d inputs %v: %v\nschedule: %s",
+						a.Name, seed, inputs, err, res.Schedule)
+				}
+			}
+		}
+	}
+}
+
+// TestTnnWaitFreeCrashFree runs the wait-free algorithm with the fair
+// round-robin adversary (no crashes).
+func TestTnnWaitFreeCrashFree(t *testing.T) {
+	a := algo.TnnWaitFree(4, 2)
+	inputs := []int{0, 1, 1, 0}
+	res, err := sim.Run(a.Cells, programs(a, 4), inputs, &adversary.RoundRobin{}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyConsensus(inputs); err != nil {
+		t.Error(err)
+	}
+	if res.Crashes != 0 {
+		t.Errorf("round-robin adversary crashed %d times", res.Crashes)
+	}
+	if res.Steps != 4 {
+		t.Errorf("one-shot algorithm took %d steps for 4 processes, want 4", res.Steps)
+	}
+}
+
+// TestCASRecoverableUnderCrashStorm hits every process with a burst of
+// crashes right before each of its first steps.
+func TestCASRecoverableUnderCrashStorm(t *testing.T) {
+	a := algo.CASRecoverable()
+	for n := 2; n <= 5; n++ {
+		inputs := make([]int, n)
+		for p := range inputs {
+			inputs[p] = p % 2
+		}
+		targets := make([]int, n)
+		for p := range targets {
+			targets[p] = p
+		}
+		adv := &adversary.CrashStorm{Targets: targets, Times: 3}
+		res, err := sim.Run(a.Cells, programs(a, n), inputs, adv, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.VerifyConsensus(inputs); err != nil {
+			t.Errorf("n=%d: %v\nschedule: %s", n, err, res.Schedule)
+		}
+		if res.Crashes != 3*n {
+			t.Errorf("n=%d: expected %d crashes, got %d", n, 3*n, res.Crashes)
+		}
+	}
+}
+
+// TestTnnRecoverableUnderBudgetedAdversary uses the E*_z-respecting
+// adversary, whose crash pattern follows the paper's budget discipline.
+func TestTnnRecoverableUnderBudgetedAdversary(t *testing.T) {
+	a := algo.TnnRecoverable(5, 3)
+	inputs := []int{1, 0, 1}
+	for seed := int64(0); seed < 20; seed++ {
+		adv := adversary.NewBudgeted(seed, 3, 1, 0.4)
+		res, err := sim.Run(a.Cells, programs(a, 3), inputs, adv, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.VerifyConsensus(inputs); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestTASBreaksOnCrashAfterDecide is Experiment E8 at runtime: run the
+// crash-free-correct TAS algorithm to completion, then model a process
+// that crashes AFTER deciding by re-executing its program solo over the
+// same non-volatile store. The TAS winner re-runs, loses its own TAS and
+// adopts the other register — an agreement violation with its own earlier
+// output, exactly the failure mode behind Golab's separation (TAS has
+// consensus number 2 but recoverable consensus number 1).
+func TestTASBreaksOnCrashAfterDecide(t *testing.T) {
+	a := algo.TASConsensus()
+	inputs := []int{1, 0}
+	res, err := sim.Run(a.Cells, programs(a, 2), inputs, &adversary.RoundRobin{}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyConsensus(inputs); err != nil {
+		t.Fatalf("crash-free run should be correct: %v", err)
+	}
+	broken := false
+	for p := 0; p < 2; p++ {
+		redecision := sim.RunSolo(res.Store, a.Program(p), p, inputs[p])
+		if redecision != res.Decisions[p] {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Error("no process re-decided inconsistently; expected the TAS winner to flip")
+	}
+}
+
+// TestRecoverableAlgosReDecideConsistently is the positive counterpart:
+// the paper's T_{n,n'} algorithm and the CAS baseline must re-decide the
+// SAME value when a process crashes after deciding and re-runs.
+func TestRecoverableAlgosReDecideConsistently(t *testing.T) {
+	for _, a := range []*algoPack{
+		{algo.TnnRecoverable(4, 2), 2},
+		{algo.TnnRecoverable(5, 3), 3},
+		{algo.CASRecoverable(), 3},
+	} {
+		inputs := make([]int, a.n)
+		for p := range inputs {
+			inputs[p] = (p + 1) % 2
+		}
+		res, err := sim.Run(a.alg.Cells, programs(a.alg, a.n), inputs,
+			adversary.NewRandom(11, 0.3, 3), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.VerifyConsensus(inputs); err != nil {
+			t.Fatalf("%s: %v", a.alg.Name, err)
+		}
+		for p := 0; p < a.n; p++ {
+			if re := sim.RunSolo(res.Store, a.alg.Program(p), p, inputs[p]); re != res.Decisions[p] {
+				t.Errorf("%s: p%d decided %d but re-decided %d after crash-after-decide",
+					a.alg.Name, p, res.Decisions[p], re)
+			}
+		}
+	}
+}
+
+type algoPack struct {
+	alg *algo.Algorithm
+	n   int
+}
+
+// TestDeterminism: the same adversary seed must produce the same schedule.
+func TestDeterminism(t *testing.T) {
+	a := algo.TnnRecoverable(4, 2)
+	inputs := []int{0, 1}
+	run := func() string {
+		adv := adversary.NewRandom(7, 0.3, 3)
+		res, err := sim.Run(a.Cells, programs(a, 2), inputs, adv, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Schedule.String()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Errorf("non-deterministic schedules:\n%s\n%s", s1, s2)
+	}
+}
+
+// TestRunArgumentErrors checks argument validation.
+func TestRunArgumentErrors(t *testing.T) {
+	a := algo.CASRecoverable()
+	if _, err := sim.Run(a.Cells, nil, nil, &adversary.RoundRobin{}, sim.Options{}); err == nil {
+		t.Error("no processes accepted")
+	}
+	if _, err := sim.Run(a.Cells, programs(a, 2), []int{0}, &adversary.RoundRobin{}, sim.Options{}); err == nil {
+		t.Error("input arity mismatch accepted")
+	}
+}
+
+// TestMaxEventsAborts checks that a pathological adversary cannot hang the
+// runtime: crashing a process forever must trip MaxEvents.
+func TestMaxEventsAborts(t *testing.T) {
+	a := algo.CASRecoverable()
+	adv := &foreverCrash{}
+	_, err := sim.Run(a.Cells, programs(a, 2), []int{0, 1}, adv, sim.Options{MaxEvents: 500})
+	if err == nil {
+		t.Error("expected MaxEvents abort")
+	}
+}
+
+type foreverCrash struct{}
+
+func (f *foreverCrash) Next(runnable []int, crashes []int, steps int) (int, bool) {
+	return runnable[0], true
+}

@@ -1,0 +1,173 @@
+package spec
+
+import (
+	"fmt"
+)
+
+// Builder constructs FiniteType instances incrementally. A Builder is not
+// safe for concurrent use. The typical flow is:
+//
+//	b := spec.NewBuilder("test-and-set")
+//	b.Values("0", "1")
+//	b.Ops("TAS", "Read")
+//	b.Transition("0", "TAS", 0, "1")
+//	...
+//	t, err := b.Build()
+type Builder struct {
+	name       string
+	valueNames []string
+	valueIdx   map[string]Value
+	opNames    []string
+	opIdx      map[string]Op
+	respNames  map[Response]string
+	// transitions[valueName][opName] = effect
+	transitions map[string]map[string]Effect
+	errs        []error
+}
+
+// NewBuilder returns a Builder for a type with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:        name,
+		valueIdx:    make(map[string]Value),
+		opIdx:       make(map[string]Op),
+		respNames:   make(map[Response]string),
+		transitions: make(map[string]map[string]Effect),
+	}
+}
+
+// Values declares the values of the type, in order. The first declared
+// value has index 0. Duplicate names are recorded as errors.
+func (b *Builder) Values(names ...string) *Builder {
+	for _, n := range names {
+		if _, dup := b.valueIdx[n]; dup {
+			b.errs = append(b.errs, fmt.Errorf("duplicate value name %q", n))
+			continue
+		}
+		b.valueIdx[n] = Value(len(b.valueNames))
+		b.valueNames = append(b.valueNames, n)
+	}
+	return b
+}
+
+// Ops declares the operations of the type, in order.
+func (b *Builder) Ops(names ...string) *Builder {
+	for _, n := range names {
+		if _, dup := b.opIdx[n]; dup {
+			b.errs = append(b.errs, fmt.Errorf("duplicate operation name %q", n))
+			continue
+		}
+		b.opIdx[n] = Op(len(b.opNames))
+		b.opNames = append(b.opNames, n)
+	}
+	return b
+}
+
+// NameResponse attaches a human-readable name to a response code. Naming is
+// optional and affects only rendering.
+func (b *Builder) NameResponse(r Response, name string) *Builder {
+	b.respNames[r] = name
+	return b
+}
+
+// Transition records that applying op to an object with value from returns
+// resp and changes the value to next. Values and operations must already be
+// declared. Redefining a transition is recorded as an error, since the
+// specification must be deterministic.
+func (b *Builder) Transition(from, op string, resp Response, next string) *Builder {
+	if _, ok := b.valueIdx[from]; !ok {
+		b.errs = append(b.errs, fmt.Errorf("transition from undeclared value %q", from))
+		return b
+	}
+	if _, ok := b.valueIdx[next]; !ok {
+		b.errs = append(b.errs, fmt.Errorf("transition to undeclared value %q", next))
+		return b
+	}
+	if _, ok := b.opIdx[op]; !ok {
+		b.errs = append(b.errs, fmt.Errorf("transition via undeclared operation %q", op))
+		return b
+	}
+	row, ok := b.transitions[from]
+	if !ok {
+		row = make(map[string]Effect)
+		b.transitions[from] = row
+	}
+	if _, dup := row[op]; dup {
+		b.errs = append(b.errs, fmt.Errorf(
+			"non-deterministic specification: transition (%q, %q) defined twice", from, op))
+		return b
+	}
+	row[op] = Effect{Resp: resp, Next: b.valueIdx[next]}
+	return b
+}
+
+// ReadOp declares op to be a Read operation: for every value v it returns a
+// response that uniquely identifies v (the value's index, offset by base)
+// and leaves the value unchanged. base lets callers keep Read responses
+// disjoint from other responses.
+func (b *Builder) ReadOp(op string, base Response) *Builder {
+	if _, ok := b.opIdx[op]; !ok {
+		b.errs = append(b.errs, fmt.Errorf("ReadOp on undeclared operation %q", op))
+		return b
+	}
+	for i, vn := range b.valueNames {
+		r := base + Response(i)
+		b.NameResponse(r, "read:"+vn)
+		b.Transition(vn, op, r, vn)
+	}
+	return b
+}
+
+// Build validates the accumulated specification and returns the type. It
+// fails if any declaration error occurred or if the transition table is not
+// total (some (value, operation) pair lacks a transition).
+func (b *Builder) Build() (*FiniteType, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("type %q: %d specification error(s), first: %w",
+			b.name, len(b.errs), b.errs[0])
+	}
+	if len(b.valueNames) == 0 {
+		return nil, fmt.Errorf("type %q has no values", b.name)
+	}
+	if len(b.opNames) == 0 {
+		return nil, fmt.Errorf("type %q has no operations", b.name)
+	}
+	table := make([][]Effect, len(b.valueNames))
+	for v, vn := range b.valueNames {
+		table[v] = make([]Effect, len(b.opNames))
+		for o, on := range b.opNames {
+			e, ok := b.transitions[vn][on]
+			if !ok {
+				return nil, fmt.Errorf("type %q: missing transition (%q, %q)", b.name, vn, on)
+			}
+			table[v][o] = e
+		}
+	}
+	respNames := make(map[Response]string, len(b.respNames))
+	for k, v := range b.respNames {
+		respNames[k] = v
+	}
+	t := &FiniteType{
+		name:       b.name,
+		valueNames: append([]string(nil), b.valueNames...),
+		opNames:    append([]string(nil), b.opNames...),
+		respNames:  respNames,
+		table:      table,
+	}
+	for o := 0; o < t.NumOps(); o++ {
+		if t.IsReadOp(Op(o)) {
+			t.readOps = append(t.readOps, Op(o))
+		}
+	}
+	return t, nil
+}
+
+// MustBuild is Build that panics on error. It is intended for statically
+// known specifications (package-level type zoo constructors and tests).
+func (b *Builder) MustBuild() *FiniteType {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,92 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// typeJSON is the serialized form of a FiniteType. The transition table is
+// stored as a map from "value/op" to {resp, next} so that hand-written JSON
+// files stay readable.
+type typeJSON struct {
+	Name        string                    `json:"name"`
+	Values      []string                  `json:"values"`
+	Ops         []string                  `json:"ops"`
+	RespNames   map[string]string         `json:"respNames,omitempty"`
+	Transitions map[string]transitionJSON `json:"transitions"`
+}
+
+type transitionJSON struct {
+	Resp int    `json:"resp"`
+	Next string `json:"next"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *FiniteType) MarshalJSON() ([]byte, error) {
+	out := typeJSON{
+		Name:        t.name,
+		Values:      t.valueNames,
+		Ops:         t.opNames,
+		Transitions: make(map[string]transitionJSON, t.NumValues()*t.NumOps()),
+	}
+	if len(t.respNames) > 0 {
+		out.RespNames = make(map[string]string, len(t.respNames))
+		for r, n := range t.respNames {
+			out.RespNames[fmt.Sprintf("%d", int(r))] = n
+		}
+	}
+	for v := 0; v < t.NumValues(); v++ {
+		for o := 0; o < t.NumOps(); o++ {
+			e := t.table[v][o]
+			key := t.valueNames[v] + "/" + t.opNames[o]
+			out.Transitions[key] = transitionJSON{Resp: int(e.Resp), Next: t.valueNames[e.Next]}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded type is validated
+// for totality and determinism.
+func (t *FiniteType) UnmarshalJSON(data []byte) error {
+	var in typeJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	b := NewBuilder(in.Name)
+	b.Values(in.Values...)
+	b.Ops(in.Ops...)
+	for rs, n := range in.RespNames {
+		var r int
+		if _, err := fmt.Sscanf(rs, "%d", &r); err != nil {
+			return fmt.Errorf("bad response key %q: %w", rs, err)
+		}
+		b.NameResponse(Response(r), n)
+	}
+	for key, tr := range in.Transitions {
+		var from, op string
+		if n, err := fmt.Sscanf(key, "%s", &from); n != 1 || err != nil {
+			return fmt.Errorf("bad transition key %q", key)
+		}
+		// Split on the last '/' so value names may contain '/' only if op
+		// names do not; keep it simple: first '/' is the separator and
+		// neither side may contain '/'.
+		idx := -1
+		for i, c := range key {
+			if c == '/' {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("bad transition key %q: missing '/'", key)
+		}
+		from, op = key[:idx], key[idx+1:]
+		b.Transition(from, op, Response(tr.Resp), tr.Next)
+	}
+	built, err := b.Build()
+	if err != nil {
+		return err
+	}
+	*t = *built
+	return nil
+}

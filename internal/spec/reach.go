@@ -1,0 +1,61 @@
+package spec
+
+// Reachable returns the set of values reachable from start by applying
+// any sequence of the given operations (including the empty sequence), as
+// a boolean slice indexed by value. A nil ops slice means all operations.
+func (t *FiniteType) Reachable(start Value, ops []Op) []bool {
+	if ops == nil {
+		ops = make([]Op, t.NumOps())
+		for i := range ops {
+			ops[i] = Op(i)
+		}
+	}
+	seen := make([]bool, t.NumValues())
+	stack := []Value{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, o := range ops {
+			next := t.Apply(v, o).Next
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachableCount returns the number of values reachable from start.
+func (t *FiniteType) ReachableCount(start Value, ops []Op) int {
+	n := 0
+	for _, ok := range t.Reachable(start, ops) {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Absorbing reports whether value v is absorbing: every operation applied
+// to v leaves the value at v (like s_bot of T_{n,n'}).
+func (t *FiniteType) Absorbing(v Value) bool {
+	for o := 0; o < t.NumOps(); o++ {
+		if t.Apply(v, Op(o)).Next != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AbsorbingValues returns all absorbing values of the type.
+func (t *FiniteType) AbsorbingValues() []Value {
+	var out []Value
+	for v := 0; v < t.NumValues(); v++ {
+		if t.Absorbing(Value(v)) {
+			out = append(out, Value(v))
+		}
+	}
+	return out
+}

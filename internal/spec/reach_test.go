@@ -1,0 +1,57 @@
+package spec
+
+import "testing"
+
+func buildChain(t *testing.T) *FiniteType {
+	t.Helper()
+	// a --op--> b --op--> c (absorbing); plus a read.
+	b := NewBuilder("chain")
+	b.Values("a", "b", "c")
+	b.Ops("op", "read")
+	b.Transition("a", "op", 0, "b")
+	b.Transition("b", "op", 1, "c")
+	b.Transition("c", "op", 2, "c")
+	b.ReadOp("read", 100)
+	ft, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft
+}
+
+func TestReachable(t *testing.T) {
+	ft := buildChain(t)
+	op, _ := ft.OpByName("op")
+
+	all := ft.Reachable(0, nil)
+	if !all[0] || !all[1] || !all[2] {
+		t.Errorf("from a, everything should be reachable: %v", all)
+	}
+	fromC := ft.Reachable(2, nil)
+	if fromC[0] || fromC[1] || !fromC[2] {
+		t.Errorf("c is absorbing: %v", fromC)
+	}
+	// With only the read op, nothing moves.
+	read, _ := ft.OpByName("read")
+	onlyRead := ft.Reachable(0, []Op{read})
+	if onlyRead[1] || onlyRead[2] {
+		t.Errorf("read-only reachability should be trivial: %v", onlyRead)
+	}
+	if got := ft.ReachableCount(1, []Op{op}); got != 2 {
+		t.Errorf("from b via op: %d values, want 2", got)
+	}
+}
+
+func TestAbsorbing(t *testing.T) {
+	ft := buildChain(t)
+	if ft.Absorbing(0) || ft.Absorbing(1) {
+		t.Error("a and b are not absorbing")
+	}
+	if !ft.Absorbing(2) {
+		t.Error("c is absorbing")
+	}
+	vals := ft.AbsorbingValues()
+	if len(vals) != 1 || vals[0] != 2 {
+		t.Errorf("AbsorbingValues = %v", vals)
+	}
+}

@@ -1,0 +1,248 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func buildTAS(t *testing.T) *FiniteType {
+	t.Helper()
+	b := NewBuilder("tas")
+	b.Values("0", "1")
+	b.Ops("TAS", "read")
+	b.Transition("0", "TAS", 0, "1")
+	b.Transition("1", "TAS", 1, "1")
+	b.ReadOp("read", 100)
+	ft, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ft
+}
+
+func TestBuilderBasics(t *testing.T) {
+	ft := buildTAS(t)
+	if got, want := ft.Name(), "tas"; got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+	if got, want := ft.NumValues(), 2; got != want {
+		t.Errorf("NumValues = %d, want %d", got, want)
+	}
+	if got, want := ft.NumOps(), 2; got != want {
+		t.Errorf("NumOps = %d, want %d", got, want)
+	}
+	if err := ft.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestApply(t *testing.T) {
+	ft := buildTAS(t)
+	tas, _ := ft.OpByName("TAS")
+	read, _ := ft.OpByName("read")
+	zero, _ := ft.ValueByName("0")
+	one, _ := ft.ValueByName("1")
+
+	tests := []struct {
+		name string
+		v    Value
+		op   Op
+		want Effect
+	}{
+		{"TAS on 0 wins", zero, tas, Effect{Resp: 0, Next: one}},
+		{"TAS on 1 loses", one, tas, Effect{Resp: 1, Next: one}},
+		{"read 0", zero, read, Effect{Resp: 100, Next: zero}},
+		{"read 1", one, read, Effect{Resp: 101, Next: one}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ft.Apply(tc.v, tc.op); got != tc.want {
+				t.Errorf("Apply(%d, %d) = %+v, want %+v", tc.v, tc.op, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	ft := buildTAS(t)
+	tas, _ := ft.OpByName("TAS")
+	read, _ := ft.OpByName("read")
+	if got := ft.ApplyAll(0, []Op{read, tas, tas, read}); got != 1 {
+		t.Errorf("ApplyAll = %d, want 1", got)
+	}
+	if got := ft.ApplyAll(0, nil); got != 0 {
+		t.Errorf("ApplyAll(empty) = %d, want 0", got)
+	}
+}
+
+func TestReadability(t *testing.T) {
+	ft := buildTAS(t)
+	read, _ := ft.OpByName("read")
+	tas, _ := ft.OpByName("TAS")
+	if !ft.Readable() {
+		t.Error("TAS type should be readable")
+	}
+	if !ft.IsReadOp(read) {
+		t.Error("read should be a Read operation")
+	}
+	if ft.IsReadOp(tas) {
+		t.Error("TAS should not be a Read operation")
+	}
+	if ops := ft.ReadOps(); len(ops) != 1 || ops[0] != read {
+		t.Errorf("ReadOps = %v, want [%d]", ops, read)
+	}
+}
+
+func TestNotReadable(t *testing.T) {
+	// An operation that leaves every value unchanged but returns the same
+	// response everywhere is not a Read (it does not identify the value).
+	b := NewBuilder("blind")
+	b.Values("a", "b")
+	b.Ops("peek")
+	b.Transition("a", "peek", 7, "a")
+	b.Transition("b", "peek", 7, "b")
+	ft, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if ft.Readable() {
+		t.Error("blind type should not be readable")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (*FiniteType, error)
+	}{
+		{"no values", func() (*FiniteType, error) {
+			return NewBuilder("x").Ops("o").Build()
+		}},
+		{"no ops", func() (*FiniteType, error) {
+			return NewBuilder("x").Values("v").Build()
+		}},
+		{"missing transition", func() (*FiniteType, error) {
+			return NewBuilder("x").Values("v").Ops("o").Build()
+		}},
+		{"duplicate value", func() (*FiniteType, error) {
+			b := NewBuilder("x").Values("v", "v").Ops("o")
+			b.Transition("v", "o", 0, "v")
+			return b.Build()
+		}},
+		{"duplicate op", func() (*FiniteType, error) {
+			b := NewBuilder("x").Values("v").Ops("o", "o")
+			b.Transition("v", "o", 0, "v")
+			return b.Build()
+		}},
+		{"undeclared from", func() (*FiniteType, error) {
+			b := NewBuilder("x").Values("v").Ops("o")
+			b.Transition("w", "o", 0, "v")
+			b.Transition("v", "o", 0, "v")
+			return b.Build()
+		}},
+		{"undeclared next", func() (*FiniteType, error) {
+			b := NewBuilder("x").Values("v").Ops("o")
+			b.Transition("v", "o", 0, "w")
+			return b.Build()
+		}},
+		{"undeclared op", func() (*FiniteType, error) {
+			b := NewBuilder("x").Values("v").Ops("o")
+			b.Transition("v", "q", 0, "v")
+			b.Transition("v", "o", 0, "v")
+			return b.Build()
+		}},
+		{"non-deterministic", func() (*FiniteType, error) {
+			b := NewBuilder("x").Values("v").Ops("o")
+			b.Transition("v", "o", 0, "v")
+			b.Transition("v", "o", 1, "v")
+			return b.Build()
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.build(); err == nil {
+				t.Error("Build succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestTransitionTableRendering(t *testing.T) {
+	ft := buildTAS(t)
+	txt := ft.TransitionTable()
+	for _, want := range []string{"type tas", "(readable)", "0 --TAS/", "--> 1"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("TransitionTable missing %q in:\n%s", want, txt)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	ft := buildTAS(t)
+	dot := ft.Dot()
+	for _, want := range []string{"digraph", "v0 -> v1", "rankdir=LR"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot missing %q in:\n%s", want, dot)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ft := buildTAS(t)
+	data, err := json.Marshal(ft)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back FiniteType
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !ft.Equal(&back) {
+		t.Errorf("round-trip mismatch:\n%s\nvs\n%s", ft.TransitionTable(), back.TransitionTable())
+	}
+	if !back.Readable() {
+		t.Error("decoded type lost readability")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := buildTAS(t)
+	b := buildTAS(t)
+	if !a.Equal(b) {
+		t.Error("identical builds should be Equal")
+	}
+	c := NewBuilder("tas").Values("0", "1").Ops("TAS", "read")
+	c.Transition("0", "TAS", 5, "1") // different response
+	c.Transition("1", "TAS", 1, "1")
+	c.ReadOp("read", 100)
+	cf, err := c.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if a.Equal(cf) {
+		t.Error("types with different responses should not be Equal")
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	ft := buildTAS(t)
+	if got := ft.ValueName(0); got != "0" {
+		t.Errorf("ValueName(0) = %q", got)
+	}
+	if got := ft.ValueName(99); !strings.Contains(got, "?") {
+		t.Errorf("ValueName(out of range) = %q, want placeholder", got)
+	}
+	if got := ft.OpName(99); !strings.Contains(got, "?") {
+		t.Errorf("OpName(out of range) = %q, want placeholder", got)
+	}
+	if got := ft.RespName(12345); !strings.Contains(got, "12345") {
+		t.Errorf("RespName(unnamed) = %q, want numeric placeholder", got)
+	}
+	if _, ok := ft.OpByName("nope"); ok {
+		t.Error("OpByName should fail for unknown op")
+	}
+	if _, ok := ft.ValueByName("nope"); ok {
+		t.Error("ValueByName should fail for unknown value")
+	}
+}

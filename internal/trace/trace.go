@@ -1,0 +1,89 @@
+// Package trace renders executions for humans: annotated event logs of
+// simulator runs and model-checker counterexamples, in the paper's
+// notation (steps p_i, crashes c_i).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schedule"
+)
+
+// Annotation attaches free-form text to an event index (for example the
+// operation applied and the response received).
+type Annotation struct {
+	Index int
+	Text  string
+}
+
+// Render formats a schedule with optional per-event annotations and a
+// decisions footer, one event per line:
+//
+//  1. p0        write input
+//  2. c1        CRASH
+//     ...
+//     decisions: p0=1 p1=1
+func Render(s schedule.Schedule, annotations []Annotation, decisions []int) string {
+	notes := make(map[int]string, len(annotations))
+	for _, a := range annotations {
+		if a.Text != "" {
+			notes[a.Index] = a.Text
+		}
+	}
+	var b strings.Builder
+	for i, e := range s {
+		fmt.Fprintf(&b, "%4d. %-4s", i+1, e.String())
+		if e.Crash {
+			b.WriteString("  CRASH")
+		}
+		if note, ok := notes[i]; ok {
+			b.WriteString("  ")
+			b.WriteString(note)
+		}
+		b.WriteByte('\n')
+	}
+	if decisions != nil {
+		b.WriteString("decisions:")
+		for p, d := range decisions {
+			fmt.Fprintf(&b, " p%d=%d", p, d)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary renders one-line statistics of a schedule: event, step and
+// crash counts plus per-process crash counts.
+func Summary(s schedule.Schedule) string {
+	steps := 0
+	crashesByProc := make(map[int]int)
+	maxP := -1
+	for _, e := range s {
+		if e.P > maxP {
+			maxP = e.P
+		}
+		if e.Crash {
+			crashesByProc[e.P]++
+		} else {
+			steps++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events: %d steps, %d crashes", len(s), steps, len(s)-steps)
+	if len(crashesByProc) > 0 {
+		b.WriteString(" (")
+		first := true
+		for p := 0; p <= maxP; p++ {
+			if c, ok := crashesByProc[p]; ok {
+				if !first {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "c%d×%d", p, c)
+				first = false
+			}
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}

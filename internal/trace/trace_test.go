@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+func TestRender(t *testing.T) {
+	s := schedule.Schedule{
+		schedule.Step(0),
+		schedule.Crash(1),
+		schedule.Step(1),
+	}
+	out := Render(s, []Annotation{{Index: 0, Text: "opR -> s"}}, []int{1, 1})
+	for _, want := range []string{"1. p0", "opR -> s", "2. c1", "CRASH", "decisions: p0=1 p1=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderNoDecisions(t *testing.T) {
+	out := Render(schedule.Steps(0, 1), nil, nil)
+	if strings.Contains(out, "decisions") {
+		t.Error("decisions footer should be absent")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := schedule.Schedule{
+		schedule.Step(0),
+		schedule.Crash(1),
+		schedule.Crash(1),
+		schedule.Step(2),
+		schedule.Crash(2),
+	}
+	got := Summary(s)
+	for _, want := range []string{"5 events", "2 steps", "3 crashes", "c1×2", "c2×1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Summary missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestSummaryCrashFree(t *testing.T) {
+	got := Summary(schedule.Steps(0, 1, 2))
+	if strings.Contains(got, "(") {
+		t.Errorf("crash-free summary should have no per-process section: %q", got)
+	}
+}

@@ -1,0 +1,61 @@
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Product composes two types into a single type whose objects behave as an
+// independent pair: the value set is the Cartesian product of the component
+// value sets, and the operation set is the disjoint union of the component
+// operation sets, each acting on its own component.
+//
+// Product types model "a process may access several objects of different
+// types" at the granularity of a single object, and are used by the
+// robustness experiments (E7): by Theorems 13/14, the consensus and
+// recoverable consensus power of Product(a, b) must not exceed the maximum
+// power of a and b when both are readable and deterministic.
+//
+// Response disambiguation: responses of b's operations are offset by
+// ProductRespOffset so they cannot collide with responses of a's
+// operations. (Within the deciders only per-process response comparisons
+// matter, but keeping them disjoint also makes traces unambiguous.)
+func Product(a, b *spec.FiniteType) *spec.FiniteType {
+	bld := spec.NewBuilder(fmt.Sprintf("product(%s,%s)", a.Name(), b.Name()))
+
+	name := func(va, vb int) string {
+		return "(" + a.ValueName(spec.Value(va)) + "," + b.ValueName(spec.Value(vb)) + ")"
+	}
+	for va := 0; va < a.NumValues(); va++ {
+		for vb := 0; vb < b.NumValues(); vb++ {
+			bld.Values(name(va, vb))
+		}
+	}
+	for o := 0; o < a.NumOps(); o++ {
+		bld.Ops("L." + a.OpName(spec.Op(o)))
+	}
+	for o := 0; o < b.NumOps(); o++ {
+		bld.Ops("R." + b.OpName(spec.Op(o)))
+	}
+
+	for va := 0; va < a.NumValues(); va++ {
+		for vb := 0; vb < b.NumValues(); vb++ {
+			from := name(va, vb)
+			for o := 0; o < a.NumOps(); o++ {
+				e := a.Apply(spec.Value(va), spec.Op(o))
+				bld.Transition(from, "L."+a.OpName(spec.Op(o)), e.Resp, name(int(e.Next), vb))
+			}
+			for o := 0; o < b.NumOps(); o++ {
+				e := b.Apply(spec.Value(vb), spec.Op(o))
+				bld.Transition(from, "R."+b.OpName(spec.Op(o)),
+					ProductRespOffset+e.Resp, name(va, int(e.Next)))
+			}
+		}
+	}
+	return bld.MustBuild()
+}
+
+// ProductRespOffset is added to every response of the second component of a
+// Product type to keep the two components' response spaces disjoint.
+const ProductRespOffset spec.Response = 1 << 16

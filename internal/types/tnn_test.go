@@ -1,0 +1,178 @@
+package types
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestTnnFigure3 checks the state machine of T_{5,2} transition-by-
+// transition against Figure 3 of the paper (Experiment E1).
+func TestTnnFigure3(t *testing.T) {
+	ft := Tnn(5, 2)
+
+	if got, want := ft.NumValues(), 10; got != want {
+		t.Fatalf("T[5,2] has %d values, want 2n = %d", got, want)
+	}
+	if got, want := ft.NumOps(), 3; got != want {
+		t.Fatalf("T[5,2] has %d ops, want %d", got, want)
+	}
+
+	op0, _ := ft.OpByName("op0")
+	op1, _ := ft.OpByName("op1")
+	opR, _ := ft.OpByName("opR")
+	val := func(name string) spec.Value {
+		v, ok := ft.ValueByName(name)
+		if !ok {
+			t.Fatalf("missing value %q", name)
+		}
+		return v
+	}
+
+	type want struct {
+		from string
+		op   spec.Op
+		resp spec.Response
+		next string
+	}
+	// The respRead helper mirrors the encoding used by Tnn: the read-like
+	// responses identify the value read.
+	respRead := func(name string) spec.Response {
+		return RespReadBase + spec.Response(int(val(name)))
+	}
+
+	wants := []want{
+		// Figure 3, center: op0/op1 from s.
+		{"s", op0, TnnResp0, "s0,1"},
+		{"s", op1, TnnResp1, "s1,1"},
+		// opR on s returns s.
+		{"s", opR, respRead("s"), "s"},
+		// Chains: op0,op1 return x and advance.
+		{"s0,1", op0, TnnResp0, "s0,2"},
+		{"s0,1", op1, TnnResp0, "s0,2"},
+		{"s0,2", op0, TnnResp0, "s0,3"},
+		{"s0,3", op1, TnnResp0, "s0,4"},
+		{"s0,4", op0, TnnResp0, "s_bot"},
+		{"s0,4", op1, TnnResp0, "s_bot"},
+		{"s1,1", op0, TnnResp1, "s1,2"},
+		{"s1,2", op1, TnnResp1, "s1,3"},
+		{"s1,3", op0, TnnResp1, "s1,4"},
+		{"s1,4", op1, TnnResp1, "s_bot"},
+		// opR is read-like for i <= n' = 2.
+		{"s0,1", opR, respRead("s0,1"), "s0,1"},
+		{"s0,2", opR, respRead("s0,2"), "s0,2"},
+		{"s1,1", opR, respRead("s1,1"), "s1,1"},
+		{"s1,2", opR, respRead("s1,2"), "s1,2"},
+		// opR is destructive for i > n'.
+		{"s0,3", opR, TnnRespBot, "s_bot"},
+		{"s0,4", opR, TnnRespBot, "s_bot"},
+		{"s1,3", opR, TnnRespBot, "s_bot"},
+		{"s1,4", opR, TnnRespBot, "s_bot"},
+		// s_bot absorbs everything with response bot.
+		{"s_bot", op0, TnnRespBot, "s_bot"},
+		{"s_bot", op1, TnnRespBot, "s_bot"},
+		{"s_bot", opR, TnnRespBot, "s_bot"},
+	}
+	for _, w := range wants {
+		e := ft.Apply(val(w.from), w.op)
+		if e.Resp != w.resp || e.Next != val(w.next) {
+			t.Errorf("%s --%s--> got (%s, %s), want (%s, %s)",
+				w.from, ft.OpName(w.op),
+				ft.RespName(e.Resp), ft.ValueName(e.Next),
+				ft.RespName(w.resp), w.next)
+		}
+	}
+}
+
+// TestTnnFirstOpDeterminesResponses checks the property the wait-free
+// algorithm relies on (Section 4): the first operation applied to a fresh
+// object determines the responses of the next n-1 op0/op1 operations.
+func TestTnnFirstOpDeterminesResponses(t *testing.T) {
+	for _, params := range []struct{ n, np int }{{2, 1}, {3, 1}, {3, 2}, {5, 2}, {6, 4}} {
+		ft := Tnn(params.n, params.np)
+		op0, _ := ft.OpByName("op0")
+		op1, _ := ft.OpByName("op1")
+		s, _ := ft.ValueByName("s")
+		for first, firstOp := range []spec.Op{op0, op1} {
+			e := ft.Apply(s, firstOp)
+			if int(e.Resp) != first {
+				t.Errorf("T[%d,%d]: first %s returned %d, want %d",
+					params.n, params.np, ft.OpName(firstOp), e.Resp, first)
+			}
+			v := e.Next
+			for k := 2; k <= params.n; k++ {
+				// Alternate op0/op1 to show the op identity is irrelevant.
+				op := op0
+				if k%2 == 0 {
+					op = op1
+				}
+				e = ft.Apply(v, op)
+				if int(e.Resp) != first {
+					t.Errorf("T[%d,%d]: op #%d returned %d, want %d",
+						params.n, params.np, k, e.Resp, first)
+				}
+				v = e.Next
+			}
+			if ft.ValueName(v) != "s_bot" {
+				t.Errorf("T[%d,%d]: after n ops value = %s, want s_bot",
+					params.n, params.np, ft.ValueName(v))
+			}
+			// Further ops return bot.
+			if e := ft.Apply(v, op0); e.Resp != TnnRespBot {
+				t.Errorf("op after exhaustion returned %d, want bot", e.Resp)
+			}
+		}
+	}
+}
+
+// TestTnnValueHelpers checks the index helpers against ValueByName.
+func TestTnnValueHelpers(t *testing.T) {
+	for _, params := range []struct{ n, np int }{{2, 1}, {5, 2}, {4, 3}} {
+		ft := Tnn(params.n, params.np)
+		for x := 0; x <= 1; x++ {
+			for i := 1; i <= params.n-1; i++ {
+				want, ok := ft.ValueByName(TnnValueName(x, i))
+				if !ok {
+					t.Fatalf("T[%d,%d]: missing %s", params.n, params.np, TnnValueName(x, i))
+				}
+				if got := TnnValue(params.n, x, i); got != want {
+					t.Errorf("TnnValue(%d,%d,%d) = %d, want %d", params.n, x, i, got, want)
+				}
+			}
+		}
+		want, _ := ft.ValueByName("s_bot")
+		if got := TnnBot(params.n); got != want {
+			t.Errorf("TnnBot(%d) = %d, want %d", params.n, got, want)
+		}
+	}
+}
+
+// TestTnnOpRDestructionThreshold checks that opR's behaviour switches
+// exactly at i = n' for a sweep of (n, n') pairs.
+func TestTnnOpRDestructionThreshold(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		for np := 1; np < n; np++ {
+			ft := Tnn(n, np)
+			opR, _ := ft.OpByName("opR")
+			for x := 0; x <= 1; x++ {
+				for i := 1; i <= n-1; i++ {
+					v, _ := ft.ValueByName(TnnValueName(x, i))
+					e := ft.Apply(v, opR)
+					if i <= np {
+						if e.Next != v {
+							t.Errorf("T[%d,%d]: opR on s%d,%d should not move", n, np, x, i)
+						}
+						if e.Resp == TnnRespBot {
+							t.Errorf("T[%d,%d]: opR on s%d,%d returned bot", n, np, x, i)
+						}
+					} else {
+						if ft.ValueName(e.Next) != "s_bot" || e.Resp != TnnRespBot {
+							t.Errorf("T[%d,%d]: opR on s%d,%d should destroy, got (%s,%s)",
+								n, np, x, i, ft.RespName(e.Resp), ft.ValueName(e.Next))
+						}
+					}
+				}
+			}
+		}
+	}
+}

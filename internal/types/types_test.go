@@ -1,0 +1,353 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+)
+
+// zoo returns every constructor instance exercised by the generic tests.
+func zoo() map[string]*spec.FiniteType {
+	return map[string]*spec.FiniteType{
+		"register":  Register(3),
+		"tas":       TestAndSet(),
+		"swap":      Swap(3),
+		"faa":       FetchAdd(4),
+		"cas":       CompareAndSwap(3),
+		"sticky":    StickyBit(),
+		"counter":   Counter(4),
+		"maxreg":    MaxRegister(3),
+		"queue":     Queue(2),
+		"peekqueue": PeekQueue(2),
+		"stack":     Stack(2),
+		"trivial":   Trivial(),
+		"tnn52":     Tnn(5, 2),
+		"tnn21":     Tnn(2, 1),
+		"product":   Product(TestAndSet(), Register(2)),
+		"productQ":  Product(Queue(1), TestAndSet()),
+		"productRR": Product(Register(2), Register(2)),
+	}
+}
+
+func TestZooValidates(t *testing.T) {
+	for name, ft := range zoo() {
+		t.Run(name, func(t *testing.T) {
+			if err := ft.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestZooDeterminismProperty(t *testing.T) {
+	// Applying the same operation to the same value always yields the same
+	// effect; this is guaranteed structurally, so the property test checks
+	// that repeated Apply calls are stable and in-range.
+	for name, ft := range zoo() {
+		ft := ft
+		t.Run(name, func(t *testing.T) {
+			f := func(v uint8, o uint8) bool {
+				val := spec.Value(int(v) % ft.NumValues())
+				op := spec.Op(int(o) % ft.NumOps())
+				e1 := ft.Apply(val, op)
+				e2 := ft.Apply(val, op)
+				return e1 == e2 && int(e1.Next) >= 0 && int(e1.Next) < ft.NumValues()
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestReadabilityFlags(t *testing.T) {
+	tests := []struct {
+		name     string
+		ft       *spec.FiniteType
+		readable bool
+	}{
+		{"register", Register(2), true},
+		{"tas", TestAndSet(), true},
+		{"swap", Swap(2), true},
+		{"faa", FetchAdd(3), true},
+		{"cas", CompareAndSwap(2), true},
+		{"sticky", StickyBit(), true},
+		{"counter", Counter(3), true},
+		{"maxreg", MaxRegister(3), true},
+		{"queue", Queue(2), false},
+		// A one-value type is vacuously readable: its no-op uniquely
+		// identifies the only value.
+		{"trivial", Trivial(), true},
+		{"tnn", Tnn(5, 2), false},
+		{"tnn42", Tnn(4, 2), false},
+		// For n' = n-1 the destructive branch of opR is unreachable
+		// (i <= n-1 = n'), so opR is a true Read and T_{n,n-1} is readable.
+		{"tnn-min", Tnn(2, 1), true},
+		{"tnn32", Tnn(3, 2), true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.ft.Readable(); got != tc.readable {
+				t.Errorf("Readable() = %v, want %v", got, tc.readable)
+			}
+		})
+	}
+}
+
+func TestRegisterSemantics(t *testing.T) {
+	r := Register(3)
+	w2, _ := r.OpByName("write2")
+	read, _ := r.OpByName("read")
+	e := r.Apply(0, w2)
+	if e.Resp != RespOK {
+		t.Errorf("write response = %d, want RespOK", e.Resp)
+	}
+	if got := r.ValueName(e.Next); got != "v2" {
+		t.Errorf("after write2, value = %s, want v2", got)
+	}
+	e = r.Apply(e.Next, read)
+	if got := r.ValueName(e.Next); got != "v2" {
+		t.Errorf("read changed value to %s", got)
+	}
+}
+
+func TestTASSemantics(t *testing.T) {
+	ft := TestAndSet()
+	tas, _ := ft.OpByName("TAS")
+	if e := ft.Apply(0, tas); e.Resp != 0 || ft.ValueName(e.Next) != "1" {
+		t.Errorf("first TAS: got resp=%d next=%s", e.Resp, ft.ValueName(e.Next))
+	}
+	if e := ft.Apply(1, tas); e.Resp != 1 || ft.ValueName(e.Next) != "1" {
+		t.Errorf("second TAS: got resp=%d next=%s", e.Resp, ft.ValueName(e.Next))
+	}
+}
+
+func TestSwapSemantics(t *testing.T) {
+	s := Swap(3)
+	swap1, _ := s.OpByName("swap1")
+	swap2, _ := s.OpByName("swap2")
+	e := s.Apply(0, swap1)
+	if e.Resp != 0 {
+		t.Errorf("swap1 on v0 returned %d, want 0", e.Resp)
+	}
+	e = s.Apply(e.Next, swap2)
+	if e.Resp != 1 {
+		t.Errorf("swap2 on v1 returned %d, want 1", e.Resp)
+	}
+	if s.ValueName(e.Next) != "v2" {
+		t.Errorf("value after swap2 = %s", s.ValueName(e.Next))
+	}
+}
+
+func TestFetchAddSemantics(t *testing.T) {
+	f := FetchAdd(3)
+	faa, _ := f.OpByName("FAA")
+	v := spec.Value(0)
+	for i := 0; i < 5; i++ {
+		e := f.Apply(v, faa)
+		if int(e.Resp) != i%3 {
+			t.Errorf("FAA #%d returned %d, want %d", i, e.Resp, i%3)
+		}
+		v = e.Next
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	c := CompareAndSwap(2)
+	cas0, _ := c.OpByName("cas0")
+	cas1, _ := c.OpByName("cas1")
+	bot, _ := c.ValueByName("bot")
+
+	e := c.Apply(bot, cas0)
+	if e.Resp != 100 {
+		t.Errorf("first CAS response = %d, want success(100)", e.Resp)
+	}
+	if c.ValueName(e.Next) != "v0" {
+		t.Errorf("value after cas0 = %s", c.ValueName(e.Next))
+	}
+	e2 := c.Apply(e.Next, cas1)
+	if e2.Resp != 200 {
+		t.Errorf("losing CAS response = %d, want lost:v0(200)", e2.Resp)
+	}
+	if e2.Next != e.Next {
+		t.Error("losing CAS changed the value")
+	}
+}
+
+func TestStickyBitSemantics(t *testing.T) {
+	s := StickyBit()
+	set0, _ := s.OpByName("set0")
+	set1, _ := s.OpByName("set1")
+	bot, _ := s.ValueByName("bot")
+	e := s.Apply(bot, set1)
+	if e.Resp != 1 {
+		t.Errorf("first set1 returned %d, want 1", e.Resp)
+	}
+	e2 := s.Apply(e.Next, set0)
+	if e2.Resp != 1 || e2.Next != e.Next {
+		t.Errorf("sticky bit moved: resp=%d next=%s", e2.Resp, s.ValueName(e2.Next))
+	}
+}
+
+func TestCounterSaturates(t *testing.T) {
+	c := Counter(3)
+	inc, _ := c.OpByName("inc")
+	v := spec.Value(0)
+	for i := 0; i < 5; i++ {
+		v = c.Apply(v, inc).Next
+	}
+	if c.ValueName(v) != "2" {
+		t.Errorf("counter = %s, want saturated at 2", c.ValueName(v))
+	}
+}
+
+func TestMaxRegisterSemantics(t *testing.T) {
+	m := MaxRegister(4)
+	w2, _ := m.OpByName("wmax2")
+	w1, _ := m.OpByName("wmax1")
+	v := m.Apply(0, w2).Next
+	v = m.Apply(v, w1).Next // lower write must not reduce the value
+	if m.ValueName(v) != "2" {
+		t.Errorf("max register = %s, want 2", m.ValueName(v))
+	}
+}
+
+func TestQueueSemantics(t *testing.T) {
+	q := Queue(2)
+	enq0, _ := q.OpByName("enq0")
+	enq1, _ := q.OpByName("enq1")
+	deq, _ := q.OpByName("deq")
+	empty, _ := q.ValueByName("q")
+
+	if e := q.Apply(empty, deq); e.Resp != 99 || e.Next != empty {
+		t.Errorf("deq on empty: resp=%d", e.Resp)
+	}
+	v := q.Apply(empty, enq0).Next
+	v = q.Apply(v, enq1).Next
+	// Full: further enqueues drop.
+	v2 := q.Apply(v, enq0).Next
+	if v2 != v {
+		t.Error("enqueue on full queue changed value")
+	}
+	e := q.Apply(v, deq)
+	if e.Resp != 0 {
+		t.Errorf("FIFO violated: deq returned %d, want 0", e.Resp)
+	}
+	e = q.Apply(e.Next, deq)
+	if e.Resp != 1 {
+		t.Errorf("FIFO violated: second deq returned %d, want 1", e.Resp)
+	}
+}
+
+func TestPeekQueueSemantics(t *testing.T) {
+	q := PeekQueue(2)
+	if !q.Readable() {
+		t.Fatal("peek-queue must be readable")
+	}
+	enq1, _ := q.OpByName("enq1")
+	peek, _ := q.OpByName("peek")
+	deq, _ := q.OpByName("deq")
+	empty, _ := q.ValueByName("q")
+	v := q.Apply(empty, enq1).Next
+	e := q.Apply(v, peek)
+	if e.Next != v {
+		t.Error("peek changed the queue")
+	}
+	if e.Resp != RespReadBase+spec.Response(int(v)) {
+		t.Errorf("peek response %d does not identify the value", e.Resp)
+	}
+	if e := q.Apply(v, deq); e.Resp != 1 || e.Next != empty {
+		t.Errorf("deq after enq1: resp=%d", e.Resp)
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	s := Stack(2)
+	push0, _ := s.OpByName("push0")
+	push1, _ := s.OpByName("push1")
+	pop, _ := s.OpByName("pop")
+	empty, _ := s.ValueByName("s")
+
+	if e := s.Apply(empty, pop); e.Resp != 99 {
+		t.Errorf("pop on empty: %d", e.Resp)
+	}
+	v := s.Apply(empty, push0).Next
+	v = s.Apply(v, push1).Next
+	// Full: drops.
+	if e := s.Apply(v, push0); e.Next != v {
+		t.Error("push on full stack changed value")
+	}
+	e := s.Apply(v, pop)
+	if e.Resp != 1 {
+		t.Errorf("LIFO violated: first pop = %d, want 1", e.Resp)
+	}
+	if e2 := s.Apply(e.Next, pop); e2.Resp != 0 {
+		t.Errorf("LIFO violated: second pop = %d, want 0", e2.Resp)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"register0", func() { Register(0) }},
+		{"swap0", func() { Swap(0) }},
+		{"faa1", func() { FetchAdd(1) }},
+		{"cas1", func() { CompareAndSwap(1) }},
+		{"counter1", func() { Counter(1) }},
+		{"maxreg1", func() { MaxRegister(1) }},
+		{"queue0", func() { Queue(0) }},
+		{"queue5", func() { Queue(5) }},
+		{"peekqueue0", func() { PeekQueue(0) }},
+		{"stack9", func() { Stack(9) }},
+		{"tnn equal", func() { Tnn(2, 2) }},
+		{"tnn zero", func() { Tnn(1, 0) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestProductIndependence(t *testing.T) {
+	p := Product(TestAndSet(), Register(2))
+	ltas, ok := p.OpByName("L.TAS")
+	if !ok {
+		t.Fatal("missing L.TAS")
+	}
+	rw1, ok := p.OpByName("R.write1")
+	if !ok {
+		t.Fatal("missing R.write1")
+	}
+	// Initial value is (0, v0) = index 0.
+	e := p.Apply(0, ltas)
+	if e.Resp != 0 {
+		t.Errorf("L.TAS resp = %d, want 0", e.Resp)
+	}
+	e2 := p.Apply(e.Next, rw1)
+	if e2.Resp != ProductRespOffset+RespOK {
+		t.Errorf("R.write1 resp = %d, want offset+ok", e2.Resp)
+	}
+	if got := p.ValueName(e2.Next); got != "(1,v1)" {
+		t.Errorf("value = %s, want (1,v1)", got)
+	}
+}
+
+func TestProductSize(t *testing.T) {
+	a, b := TestAndSet(), Register(2)
+	p := Product(a, b)
+	if got, want := p.NumValues(), a.NumValues()*b.NumValues(); got != want {
+		t.Errorf("NumValues = %d, want %d", got, want)
+	}
+	if got, want := p.NumOps(), a.NumOps()+b.NumOps(); got != want {
+		t.Errorf("NumOps = %d, want %d", got, want)
+	}
+}

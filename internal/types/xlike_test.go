@@ -1,0 +1,54 @@
+package types
+
+import "testing"
+
+func TestTnnReadableStructure(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		ft := TnnReadable(n)
+		if err := ft.Validate(); err != nil {
+			t.Errorf("Y[%d]: %v", n, err)
+		}
+		if !ft.Readable() {
+			t.Errorf("Y[%d] must be readable", n)
+		}
+		if got, want := ft.NumValues(), 2*n; got != want {
+			t.Errorf("Y[%d] has %d values, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTnnReadableChains(t *testing.T) {
+	ft := TnnReadable(4)
+	op0, _ := ft.OpByName("op0")
+	op1, _ := ft.OpByName("op1")
+	s, _ := ft.ValueByName("s")
+
+	// First op1 fixes the team to 1; three more ops exhaust to s_bot.
+	e := ft.Apply(s, op1)
+	if e.Resp != TnnResp1 {
+		t.Errorf("first op1 returned %d", e.Resp)
+	}
+	v := e.Next
+	for i := 0; i < 3; i++ {
+		e = ft.Apply(v, op0)
+		if e.Resp != TnnResp1 {
+			t.Errorf("op #%d returned %d, want 1", i+2, e.Resp)
+		}
+		v = e.Next
+	}
+	if ft.ValueName(v) != "s_bot" {
+		t.Errorf("after n ops value = %s", ft.ValueName(v))
+	}
+	if e := ft.Apply(v, op1); e.Resp != TnnRespBot {
+		t.Errorf("op on s_bot returned %d", e.Resp)
+	}
+}
+
+func TestTnnReadablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=1")
+		}
+	}()
+	TnnReadable(1)
+}

@@ -1,0 +1,92 @@
+// Package uf provides a minimal union-find (disjoint-set) structure used by
+// the discerning and recording deciders to compute which team partitions
+// keep all constraint sets monochromatic.
+package uf
+
+// UnionFind is a union-find over the elements 0..n-1.
+type UnionFind struct {
+	parent []int
+}
+
+// New returns a UnionFind with n singleton components.
+func New(n int) *UnionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &UnionFind{parent: p}
+}
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Find returns the representative of x's component.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the components of a and b.
+func (u *UnionFind) Union(a, b int) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// UniteMask merges all elements whose bit is set in mask into one
+// component.
+func (u *UnionFind) UniteMask(mask uint32) {
+	first := -1
+	for i := 0; i < len(u.parent); i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if first < 0 {
+			first = i
+		} else {
+			u.Union(first, i)
+		}
+	}
+}
+
+// SameComponent reports whether a and b are in the same component.
+func (u *UnionFind) SameComponent(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// TwoColor returns a team assignment (0/1 per element) in which every
+// component is monochromatic and both teams are nonempty, or nil if there
+// is only one component. Element 0's component is always team 0.
+func (u *UnionFind) TwoColor() []int {
+	n := len(u.parent)
+	r0 := u.Find(0)
+	teams := make([]int, n)
+	hasOther := false
+	for i := 0; i < n; i++ {
+		if u.Find(i) != r0 {
+			teams[i] = 1
+			hasOther = true
+		}
+	}
+	if !hasOther {
+		return nil
+	}
+	return teams
+}
+
+// ComponentSizes returns, for each element, the size of its component, and
+// the number of distinct components.
+func (u *UnionFind) ComponentSizes() (sizes []int, numComponents int) {
+	n := len(u.parent)
+	count := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		count[u.Find(i)]++
+	}
+	sizes = make([]int, n)
+	for i := 0; i < n; i++ {
+		sizes[i] = count[u.Find(i)]
+	}
+	return sizes, len(count)
+}

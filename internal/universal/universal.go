@@ -1,0 +1,454 @@
+// Package universal implements a recoverable, linearizable universal
+// construction: a shared object of ANY deterministic finite type, usable
+// by n crash-prone processes, built from recoverable consensus objects
+// and non-volatile registers.
+//
+// The paper's introduction cites two universality results for the
+// recoverable setting: Berryhill-Golab-Tripunitara (simultaneous crashes)
+// and Delporte-Gallet-Fatourou-Fauconnier-Ruppert (individual crashes),
+// the latter providing detectability: after a crash, the invoking process
+// can tell whether its interrupted operation linearized and, if so,
+// obtain its response. This package reproduces that functionality:
+//
+//   - the shared state is an unbounded log of slots, each decided by a
+//     recoverable consensus object (package-provided ConsensusCell, which
+//     stands in for "any object with recoverable consensus number >= n",
+//     e.g. compare-and-swap per the deciders in this repository);
+//   - a process announces its operation in a non-volatile announce array
+//     and then drives the log forward, helping announced operations of
+//     other processes in round-robin slot order (Herlihy-style helping,
+//     which yields wait-freedom);
+//   - every piece of process-local progress state is recomputable from
+//     the log and announce array, so a crashed process recovers by
+//     re-scanning: if its announced (pid, seq) pair is in the log, the
+//     operation linearized and its response is obtained by replay
+//     (detectability); otherwise it re-drives the log.
+//
+// Crashes are simulated by abandoning an Invoke mid-flight (the test
+// harness bounds the number of shared-memory steps); all volatile state
+// is function-local by construction.
+package universal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// Entry is a log entry: process pid's seq-th operation, applying op.
+type Entry struct {
+	Pid int
+	Seq int
+	Op  spec.Op
+}
+
+// ConsensusCell is a recoverable consensus object over Entry proposals:
+// the first proposal wins and every later (or repeated) proposal returns
+// the winner. Decide is atomic and idempotent, so a process that crashed
+// after proposing can simply propose again — this is exactly the
+// behaviour a compare-and-swap object (recoverable consensus number
+// infinity in this repository's analyses) provides.
+type ConsensusCell struct {
+	mu      sync.Mutex
+	decided bool
+	value   Entry
+}
+
+// Decide proposes v and returns the cell's decision.
+func (c *ConsensusCell) Decide(v Entry) Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.decided {
+		c.decided = true
+		c.value = v
+	}
+	return c.value
+}
+
+// Peek returns the decision without proposing.
+func (c *ConsensusCell) Peek() (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value, c.decided
+}
+
+// announce is one slot of the non-volatile announce array.
+type announce struct {
+	mu      sync.Mutex
+	pending bool
+	seq     int
+	op      spec.Op
+}
+
+// Universal is a recoverable wait-free linearizable implementation of one
+// object of an arbitrary deterministic finite type, shared by n
+// processes.
+type Universal struct {
+	ft   *spec.FiniteType
+	init spec.Value
+	n    int
+
+	ann []announce
+
+	mu   sync.Mutex
+	log  []*ConsensusCell
+	head int // first slot not known to be decided (monotonic hint)
+
+	// Replay cache over the decided log prefix. Decided slots are
+	// immutable, so the cache only ever extends. Guarded by cacheMu.
+	cacheMu    sync.Mutex
+	cacheUpTo  int                     // slots [0, cacheUpTo) are folded in
+	cacheVal   spec.Value              // abstract value after the cached prefix
+	cacheResp  map[Entry]spec.Response // (pid,seq) -> linearized response
+	cacheSlot  map[Entry]int           // (pid,seq) -> first slot index
+	cacheSeen  map[Entry]bool          // dedup across helping races
+	cacheReady bool
+}
+
+// ErrCrashed is returned by step-bounded invocations when the budget is
+// exhausted (the test harness's crash injection).
+var ErrCrashed = errors.New("universal: crashed (step budget exhausted)")
+
+// New builds a universal object of type ft with the given initial value
+// for n processes.
+func New(ft *spec.FiniteType, init spec.Value, n int) (*Universal, error) {
+	if ft == nil {
+		return nil, errors.New("universal: nil type")
+	}
+	if int(init) < 0 || int(init) >= ft.NumValues() {
+		return nil, fmt.Errorf("universal: initial value %d out of range", int(init))
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("universal: need n >= 1 processes, got %d", n)
+	}
+	return &Universal{ft: ft, init: init, n: n, ann: make([]announce, n)}, nil
+}
+
+// Type returns the implemented type.
+func (u *Universal) Type() *spec.FiniteType { return u.ft }
+
+// slot returns the i-th consensus cell, growing the log as needed.
+func (u *Universal) slot(i int) *ConsensusCell {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for len(u.log) <= i {
+		u.log = append(u.log, &ConsensusCell{})
+	}
+	return u.log[i]
+}
+
+// Invoke applies op as process pid's next operation and returns its
+// response. It is the unbounded (crash-free) form of InvokeSteps.
+func (u *Universal) Invoke(pid int, op spec.Op) (spec.Response, error) {
+	return u.InvokeSteps(pid, op, -1)
+}
+
+// InvokeSteps is Invoke with a crash budget: every shared-memory step
+// (announce write, cell decision, log scan unit) consumes one step; when
+// the budget reaches zero the invocation "crashes" with ErrCrashed,
+// leaving all non-volatile state behind. A subsequent Recover or
+// InvokeSteps by the same process resumes correctly. budget < 0 means
+// unbounded.
+func (u *Universal) InvokeSteps(pid int, op spec.Op, budget int) (spec.Response, error) {
+	if pid < 0 || pid >= u.n {
+		return 0, fmt.Errorf("universal: pid %d out of range", pid)
+	}
+	if int(op) < 0 || int(op) >= u.ft.NumOps() {
+		return 0, fmt.Errorf("universal: op %d out of range", int(op))
+	}
+	steps := newBudget(budget)
+
+	// Detectability first: if a previous invocation of this process was
+	// interrupted, finish (or discover the completion of) that one
+	// instead of starting a new operation. Callers that want the old
+	// response use Recover; Invoke of a new op requires the previous one
+	// to be resolved, which resolveAnnounced guarantees.
+	if _, _, err := u.resolveAnnounced(pid, steps); err != nil {
+		return 0, err
+	}
+
+	// Announce the new operation with the next sequence number.
+	seq, err := u.announceOp(pid, op, steps)
+	if err != nil {
+		return 0, err
+	}
+	return u.drive(pid, seq, op, steps)
+}
+
+// Recover resolves the state of process pid after a crash: if pid has an
+// announced operation, Recover drives it to completion (helping may
+// already have finished it) and returns (resp, true, nil). If pid has no
+// pending operation, it returns (0, false, nil).
+func (u *Universal) Recover(pid int) (spec.Response, bool, error) {
+	return u.RecoverSteps(pid, -1)
+}
+
+// RecoverSteps is Recover with a crash budget.
+func (u *Universal) RecoverSteps(pid int, budget int) (spec.Response, bool, error) {
+	if pid < 0 || pid >= u.n {
+		return 0, false, fmt.Errorf("universal: pid %d out of range", pid)
+	}
+	steps := newBudget(budget)
+	return u.resolveAnnounced(pid, steps)
+}
+
+// announceOp writes the (seq, op) announce record for pid.
+func (u *Universal) announceOp(pid int, op spec.Op, steps *stepBudget) (int, error) {
+	if err := steps.take(); err != nil {
+		return 0, err
+	}
+	a := &u.ann[pid]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	a.op = op
+	a.pending = true
+	return a.seq, nil
+}
+
+// readAnnounce reads pid's announce record.
+func (u *Universal) readAnnounce(pid int) (seq int, op spec.Op, pending bool) {
+	a := &u.ann[pid]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq, a.op, a.pending
+}
+
+// clearAnnounce marks pid's announced operation resolved (idempotent;
+// guarded by seq so a stale clear cannot erase a newer announce).
+func (u *Universal) clearAnnounce(pid, seq int) {
+	a := &u.ann[pid]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pending && a.seq == seq {
+		a.pending = false
+	}
+}
+
+// resolveAnnounced completes pid's announced operation if one is pending,
+// returning its response.
+func (u *Universal) resolveAnnounced(pid int, steps *stepBudget) (spec.Response, bool, error) {
+	seq, op, pending := u.readAnnounce(pid)
+	if !pending {
+		return 0, false, nil
+	}
+	resp, err := u.drive(pid, seq, op, steps)
+	if err != nil {
+		return 0, true, err
+	}
+	return resp, true, nil
+}
+
+// drive pushes the log forward until (pid, seq, op) is in it, helping
+// announced operations of other processes along the way, then replays the
+// log to compute the response.
+func (u *Universal) drive(pid, seq int, op spec.Op, steps *stepBudget) (spec.Response, error) {
+	mine := Entry{Pid: pid, Seq: seq, Op: op}
+	i := u.headHint()
+	for {
+		if err := steps.take(); err != nil {
+			return 0, err
+		}
+		// Choose a proposal: help the announced operation of the process
+		// owning this slot (round-robin), if it is still unlogged;
+		// otherwise push our own.
+		proposal := mine
+		helpee := i % u.n
+		if helpee != pid {
+			if hseq, hop, hpending := u.readAnnounce(helpee); hpending {
+				if _, found := u.find(helpee, hseq, i); !found {
+					proposal = Entry{Pid: helpee, Seq: hseq, Op: hop}
+				}
+			}
+		}
+		// Skip proposals already in the log (helping races): re-deciding
+		// an already-logged entry would double-apply it.
+		if _, found := u.find(proposal.Pid, proposal.Seq, i); found {
+			proposal = mine
+		}
+		if _, found := u.find(mine.Pid, mine.Seq, i); found {
+			break // someone helped us into the log already
+		}
+		// Note: a helper must NOT clear the helpee's announce record —
+		// the record is the helpee's only evidence of its interrupted
+		// operation (detectability). Only the owner clears it, below.
+		won := u.slot(i).Decide(proposal)
+		if won == mine {
+			break
+		}
+		i++
+	}
+	u.clearAnnounce(pid, seq)
+	u.bumpHead(i)
+	return u.replayFor(pid, seq)
+}
+
+// advanceCache folds newly decided contiguous slots into the replay
+// cache and returns the cached state accessors. Must be called with
+// cacheMu held.
+func (u *Universal) advanceCacheLocked() {
+	if !u.cacheReady {
+		u.cacheVal = u.init
+		u.cacheResp = make(map[Entry]spec.Response)
+		u.cacheSlot = make(map[Entry]int)
+		u.cacheSeen = make(map[Entry]bool)
+		u.cacheReady = true
+	}
+	for {
+		cell := u.peekSlot(u.cacheUpTo)
+		if cell == nil {
+			return
+		}
+		e, ok := cell.Peek()
+		if !ok {
+			return
+		}
+		key := Entry{Pid: e.Pid, Seq: e.Seq}
+		if !u.cacheSeen[key] {
+			u.cacheSeen[key] = true
+			u.cacheSlot[key] = u.cacheUpTo
+			eff := u.ft.Apply(u.cacheVal, e.Op)
+			u.cacheResp[key] = eff.Resp
+			u.cacheVal = eff.Next
+		}
+		u.cacheUpTo++
+	}
+}
+
+// find reports whether (pid, seq) appears in the decided prefix of the
+// log. It consults the replay cache first and scans any decided slots
+// beyond the cached prefix.
+func (u *Universal) find(pid, seq, limit int) (int, bool) {
+	key := Entry{Pid: pid, Seq: seq}
+	u.cacheMu.Lock()
+	u.advanceCacheLocked()
+	slot, ok := u.cacheSlot[key]
+	upTo := u.cacheUpTo
+	u.cacheMu.Unlock()
+	if ok {
+		return slot, true
+	}
+	// Scan the (possibly non-contiguous) decided slots beyond the cache.
+	for i := upTo; i <= limit; i++ {
+		cell := u.peekSlot(i)
+		if cell == nil {
+			return 0, false
+		}
+		if e, decided := cell.Peek(); decided && e.Pid == pid && e.Seq == seq {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// peekSlot returns slot i if it exists (without growing the log).
+func (u *Universal) peekSlot(i int) *ConsensusCell {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if i < len(u.log) {
+		return u.log[i]
+	}
+	return nil
+}
+
+// headHint returns the monotonic decided-prefix hint.
+func (u *Universal) headHint() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.head
+}
+
+// bumpHead advances the decided-prefix hint (performance only).
+func (u *Universal) bumpHead(i int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if i > u.head {
+		u.head = i
+	}
+}
+
+// replayFor returns the linearized response of (pid, seq) from the
+// replay cache (the cache folds the decided prefix through the
+// sequential specification, deduplicating by (pid, seq): two helpers can
+// race the same announced operation into two different slots, and the
+// operation linearizes at its FIRST occurrence only; every process uses
+// the same rule, so all observers agree).
+func (u *Universal) replayFor(pid, seq int) (spec.Response, error) {
+	key := Entry{Pid: pid, Seq: seq}
+	u.cacheMu.Lock()
+	defer u.cacheMu.Unlock()
+	u.advanceCacheLocked()
+	resp, ok := u.cacheResp[key]
+	if !ok {
+		return 0, fmt.Errorf("universal: entry (p%d,#%d) not in decided prefix", pid, seq)
+	}
+	return resp, nil
+}
+
+// Log returns the decided log prefix (for verification).
+func (u *Universal) Log() []Entry {
+	var out []Entry
+	for i := 0; ; i++ {
+		cell := u.peekSlot(i)
+		if cell == nil {
+			return out
+		}
+		e, ok := cell.Peek()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+// DedupedLog returns the decided log prefix with helping-race duplicates
+// removed — the linearization order of the implemented object.
+func (u *Universal) DedupedLog() []Entry {
+	seen := make(map[Entry]bool)
+	var out []Entry
+	for _, e := range u.Log() {
+		key := Entry{Pid: e.Pid, Seq: e.Seq}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// Value returns the current abstract value (the deduplicated decided log
+// replayed through the sequential specification).
+func (u *Universal) Value() spec.Value {
+	v := u.init
+	for _, e := range u.DedupedLog() {
+		v = u.ft.Apply(v, e.Op).Next
+	}
+	return v
+}
+
+// stepBudget implements crash injection by bounding shared-memory steps.
+type stepBudget struct {
+	unbounded bool
+	left      int
+}
+
+func newBudget(budget int) *stepBudget {
+	if budget < 0 {
+		return &stepBudget{unbounded: true}
+	}
+	return &stepBudget{left: budget}
+}
+
+func (b *stepBudget) take() error {
+	if b.unbounded {
+		return nil
+	}
+	if b.left == 0 {
+		return ErrCrashed
+	}
+	b.left--
+	return nil
+}

@@ -1,0 +1,352 @@
+package universal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+func mustNew(t *testing.T, ft *spec.FiniteType, init spec.Value, n int) *Universal {
+	t.Helper()
+	u, err := New(ft, init, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 0, 2); err == nil {
+		t.Error("nil type accepted")
+	}
+	if _, err := New(types.TestAndSet(), 99, 2); err == nil {
+		t.Error("bad init accepted")
+	}
+	if _, err := New(types.TestAndSet(), 0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	// A universal queue must behave exactly like the sequential queue.
+	q := types.Queue(2)
+	enq0, _ := q.OpByName("enq0")
+	enq1, _ := q.OpByName("enq1")
+	deq, _ := q.OpByName("deq")
+	u := mustNew(t, q, 0, 1)
+
+	apply := func(op spec.Op) spec.Response {
+		r, err := u.Invoke(0, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	apply(enq1)
+	apply(enq0)
+	if r := apply(deq); r != 1 {
+		t.Errorf("first deq = %d, want 1 (FIFO)", r)
+	}
+	if r := apply(deq); r != 0 {
+		t.Errorf("second deq = %d, want 0", r)
+	}
+	if r := apply(deq); r != 99 {
+		t.Errorf("empty deq = %d, want 99", r)
+	}
+	if got := u.ft.ValueName(u.Value()); got != "q" {
+		t.Errorf("final value = %s, want empty queue", got)
+	}
+}
+
+func TestInvokeArgErrors(t *testing.T) {
+	u := mustNew(t, types.TestAndSet(), 0, 2)
+	if _, err := u.Invoke(5, 0); err == nil {
+		t.Error("bad pid accepted")
+	}
+	if _, err := u.Invoke(0, 99); err == nil {
+		t.Error("bad op accepted")
+	}
+	if _, _, err := u.RecoverSteps(9, -1); err == nil {
+		t.Error("bad pid accepted by Recover")
+	}
+}
+
+// TestConcurrentLinearizability hammers a universal fetch-and-add from
+// many goroutines and verifies every response against a sequential replay
+// of the deduplicated log — the definition of linearizability for this
+// log-based construction.
+func TestConcurrentLinearizability(t *testing.T) {
+	const (
+		procs  = 6
+		perOp  = 40
+		modulo = 16
+	)
+	ft := types.FetchAdd(modulo)
+	faa, _ := ft.OpByName("FAA")
+	u := mustNew(t, ft, 0, procs)
+
+	type obs struct {
+		pid, seq int
+		resp     spec.Response
+	}
+	var mu sync.Mutex
+	var observed []obs
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 1; k <= perOp; k++ {
+				r, err := u.Invoke(p, faa)
+				if err != nil {
+					t.Errorf("p%d: %v", p, err)
+					return
+				}
+				mu.Lock()
+				observed = append(observed, obs{pid: p, seq: k, resp: r})
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	log := u.DedupedLog()
+	if len(log) != procs*perOp {
+		t.Fatalf("deduped log has %d entries, want %d", len(log), procs*perOp)
+	}
+	// Replay the log; record the response of each (pid, seq).
+	want := make(map[[2]int]spec.Response, len(log))
+	v := spec.Value(0)
+	for _, e := range log {
+		eff := ft.Apply(v, e.Op)
+		want[[2]int{e.Pid, e.Seq}] = eff.Resp
+		v = eff.Next
+	}
+	for _, o := range observed {
+		if w, ok := want[[2]int{o.pid, o.seq}]; !ok {
+			t.Errorf("p%d#%d missing from log", o.pid, o.seq)
+		} else if w != o.resp {
+			t.Errorf("p%d#%d observed %d, log says %d", o.pid, o.seq, o.resp, w)
+		}
+	}
+	// Each process's operations must appear in its program order.
+	lastSeq := make([]int, procs)
+	for _, e := range log {
+		if e.Seq != lastSeq[e.Pid]+1 {
+			t.Errorf("p%d operations out of order: #%d after #%d", e.Pid, e.Seq, lastSeq[e.Pid])
+		}
+		lastSeq[e.Pid] = e.Seq
+	}
+}
+
+// TestCrashRecoveryDetectability crashes invocations at every possible
+// step boundary and checks the detectability contract: after the crash,
+// Recover either reports "no pending operation" (the crash hit before the
+// announce) or completes the operation with a response consistent with
+// the log — and the operation appears in the log AT MOST once.
+func TestCrashRecoveryDetectability(t *testing.T) {
+	ft := types.FetchAdd(8)
+	faa, _ := ft.OpByName("FAA")
+
+	for crashAt := 0; crashAt < 10; crashAt++ {
+		u := mustNew(t, ft, 0, 2)
+		// p1 applies one op cleanly first, so the log is nonempty.
+		if _, err := u.Invoke(1, faa); err != nil {
+			t.Fatal(err)
+		}
+		// p0 crashes after crashAt steps.
+		_, err := u.InvokeSteps(0, faa, crashAt)
+		if err == nil {
+			continue // budget was enough: no crash at this boundary
+		}
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crashAt=%d: unexpected error %v", crashAt, err)
+		}
+		// Recover: must resolve the pending op (if it was announced).
+		resp, pending, err := u.Recover(0)
+		if err != nil {
+			t.Fatalf("crashAt=%d: recover: %v", crashAt, err)
+		}
+		log := u.DedupedLog()
+		count := 0
+		for _, e := range log {
+			if e.Pid == 0 {
+				count++
+			}
+		}
+		if pending {
+			if count != 1 {
+				t.Errorf("crashAt=%d: p0 has %d log entries after recovery, want 1", crashAt, count)
+			}
+			// Response must match replay.
+			v := spec.Value(0)
+			for _, e := range log {
+				eff := ft.Apply(v, e.Op)
+				if e.Pid == 0 {
+					if eff.Resp != resp {
+						t.Errorf("crashAt=%d: recovered resp %d, log says %d", crashAt, resp, eff.Resp)
+					}
+					break
+				}
+				v = eff.Next
+			}
+		} else if count != 0 {
+			t.Errorf("crashAt=%d: no pending op reported but %d log entries", crashAt, count)
+		}
+	}
+}
+
+// TestCrashStormWithConcurrency mixes crashing and non-crashing
+// invocations across goroutines, then verifies global log consistency.
+func TestCrashStormWithConcurrency(t *testing.T) {
+	ft := types.Swap(4)
+	u := mustNew(t, ft, 0, 4)
+	ops := make([]spec.Op, 0, 4)
+	for i := 0; i < 4; i++ {
+		op, _ := ft.OpByName(fmt.Sprintf("swap%d", i))
+		ops = append(ops, op)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			for k := 0; k < 30; k++ {
+				op := ops[rng.Intn(len(ops))]
+				if rng.Intn(3) == 0 {
+					// Crash-prone invocation, then recover until done.
+					_, err := u.InvokeSteps(p, op, rng.Intn(4))
+					for errors.Is(err, ErrCrashed) {
+						_, _, err = u.RecoverSteps(p, rng.Intn(4)+1)
+					}
+					if err != nil {
+						t.Errorf("p%d: %v", p, err)
+						return
+					}
+				} else {
+					if _, err := u.Invoke(p, op); err != nil {
+						t.Errorf("p%d: %v", p, err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Global consistency: per-process seq numbers strictly increase and
+	// are unique in the deduplicated log.
+	seen := make(map[[2]int]bool)
+	last := make(map[int]int)
+	for _, e := range u.DedupedLog() {
+		k := [2]int{e.Pid, e.Seq}
+		if seen[k] {
+			t.Fatalf("duplicate entry %v in deduped log", k)
+		}
+		seen[k] = true
+		if e.Seq <= last[e.Pid] {
+			t.Fatalf("p%d: seq %d after %d", e.Pid, e.Seq, last[e.Pid])
+		}
+		last[e.Pid] = e.Seq
+	}
+}
+
+// TestHelpingCompletesCrashedOps: an operation announced by a crashed
+// process must be finished by OTHER processes' helping, without the
+// crashed process ever recovering.
+func TestHelpingCompletesCrashedOps(t *testing.T) {
+	ft := types.FetchAdd(8)
+	faa, _ := ft.OpByName("FAA")
+	u := mustNew(t, ft, 0, 2)
+
+	// p0 announces and crashes immediately after the announce
+	// (1 step = the announce write, crash on the first drive step).
+	if _, err := u.InvokeSteps(0, faa, 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("expected announce-then-crash, got %v", err)
+	}
+	// p1 runs a few operations; the helping rule must log p0's op.
+	for k := 0; k < 4; k++ {
+		if _, err := u.Invoke(1, faa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	found := false
+	for _, e := range u.DedupedLog() {
+		if e.Pid == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("helping did not complete the crashed process's operation")
+	}
+	// And p0's recovery must now return the response without new log
+	// entries.
+	before := len(u.DedupedLog())
+	_, pending, err := u.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pending {
+		t.Error("recovery should report the completed pending op")
+	}
+	if after := len(u.DedupedLog()); after != before {
+		t.Errorf("recovery grew the log from %d to %d entries", before, after)
+	}
+}
+
+// TestConsensusCell checks the cell primitive directly.
+func TestConsensusCell(t *testing.T) {
+	var c ConsensusCell
+	if _, ok := c.Peek(); ok {
+		t.Error("fresh cell should be undecided")
+	}
+	a := Entry{Pid: 1, Seq: 1, Op: 0}
+	b := Entry{Pid: 2, Seq: 1, Op: 1}
+	if got := c.Decide(a); got != a {
+		t.Errorf("first decide = %+v", got)
+	}
+	if got := c.Decide(b); got != a {
+		t.Errorf("second decide = %+v, want first winner", got)
+	}
+	if v, ok := c.Peek(); !ok || v != a {
+		t.Errorf("peek = %+v/%v", v, ok)
+	}
+}
+
+// TestUniversalOverEveryZooType sanity-runs the construction over each
+// zoo type with a couple of processes.
+func TestUniversalOverEveryZooType(t *testing.T) {
+	for _, ft := range []*spec.FiniteType{
+		types.Register(2), types.TestAndSet(), types.Queue(2),
+		types.CompareAndSwap(2), types.Tnn(3, 1), types.StickyBit(),
+	} {
+		u := mustNew(t, ft, 0, 2)
+		var wg sync.WaitGroup
+		for p := 0; p < 2; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(p + 7)))
+				for k := 0; k < 20; k++ {
+					op := spec.Op(rng.Intn(ft.NumOps()))
+					if _, err := u.Invoke(p, op); err != nil {
+						t.Errorf("%s p%d: %v", ft.Name(), p, err)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		if got := len(u.DedupedLog()); got != 40 {
+			t.Errorf("%s: log has %d entries, want 40", ft.Name(), got)
+		}
+	}
+}

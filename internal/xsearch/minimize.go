@@ -1,0 +1,103 @@
+package xsearch
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Minimize tries to shrink a type that has the X_n signature while
+// preserving the signature, by repeatedly redirecting transitions to
+// collapse a value out of the reachable set and dropping it. It returns a
+// (possibly) smaller type with the same signature; if no value can be
+// removed, the input is returned unchanged.
+//
+// The procedure is greedy and value-at-a-time: for each value v, build
+// the candidate type with v deleted and every transition into v rerouted
+// to each other value w in turn; the first candidate that still has the
+// signature replaces the current type. This is a test-time tool (used to
+// look for smaller X_4 instances); it makes no optimality claim.
+func Minimize(t *spec.FiniteType, n int) *spec.FiniteType {
+	cur := t
+	for {
+		next := shrinkOnce(cur, n)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// shrinkOnce removes one value if possible.
+func shrinkOnce(t *spec.FiniteType, n int) *spec.FiniteType {
+	nv := t.NumValues()
+	if nv <= 2 {
+		return nil
+	}
+	for victim := 0; victim < nv; victim++ {
+		for target := 0; target < nv; target++ {
+			if target == victim {
+				continue
+			}
+			cand, err := deleteValue(t, spec.Value(victim), spec.Value(target))
+			if err != nil {
+				continue
+			}
+			if HasXSignature(cand, n) {
+				return cand
+			}
+		}
+	}
+	return nil
+}
+
+// deleteValue builds a copy of t without the victim value; transitions
+// that led to victim lead to target instead. Mutating-op responses are
+// renumbered to stay distinct per (value, op); read responses are
+// regenerated.
+func deleteValue(t *spec.FiniteType, victim, target spec.Value) (*spec.FiniteType, error) {
+	b := spec.NewBuilder(fmt.Sprintf("%s-minus-%s", t.Name(), t.ValueName(victim)))
+	var names []string
+	oldToNew := make(map[spec.Value]string)
+	for v := 0; v < t.NumValues(); v++ {
+		if spec.Value(v) == victim {
+			continue
+		}
+		name := t.ValueName(spec.Value(v))
+		names = append(names, name)
+		oldToNew[spec.Value(v)] = name
+	}
+	b.Values(names...)
+
+	var readOp spec.Op = -1
+	for o := 0; o < t.NumOps(); o++ {
+		if t.IsReadOp(spec.Op(o)) && readOp < 0 {
+			readOp = spec.Op(o)
+			continue
+		}
+		b.Ops(t.OpName(spec.Op(o)))
+	}
+	resp := spec.Response(0)
+	for v := 0; v < t.NumValues(); v++ {
+		if spec.Value(v) == victim {
+			continue
+		}
+		for o := 0; o < t.NumOps(); o++ {
+			if spec.Op(o) == readOp {
+				continue
+			}
+			e := t.Apply(spec.Value(v), spec.Op(o))
+			dest := e.Next
+			if dest == victim {
+				dest = target
+			}
+			b.Transition(oldToNew[spec.Value(v)], t.OpName(spec.Op(o)), resp, oldToNew[dest])
+			resp++
+		}
+	}
+	if readOp >= 0 {
+		b.Ops("read")
+		b.ReadOp("read", 2000)
+	}
+	return b.Build()
+}

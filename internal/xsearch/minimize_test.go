@@ -1,0 +1,55 @@
+package xsearch
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestMinimizePreservesSignature: whatever Minimize returns for X4 must
+// still carry the X_4 signature.
+func TestMinimizePreservesSignature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minimization re-runs the deciders many times")
+	}
+	out := Minimize(types.XFour(), 4)
+	if !HasXSignature(out, 4) {
+		t.Fatal("minimized type lost the signature")
+	}
+	if out.NumValues() > types.XFour().NumValues() {
+		t.Errorf("minimize grew the type: %d values", out.NumValues())
+	}
+	t.Logf("X4 minimized from %d to %d values", types.XFour().NumValues(), out.NumValues())
+}
+
+// TestDeleteValueStructure checks the rerouting helper directly.
+func TestDeleteValueStructure(t *testing.T) {
+	ft := types.XFour()
+	cand, err := deleteValue(ft, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.NumValues() != ft.NumValues()-1 {
+		t.Errorf("deleted type has %d values", cand.NumValues())
+	}
+	if err := cand.Validate(); err != nil {
+		t.Errorf("deleted type invalid: %v", err)
+	}
+	if !cand.Readable() {
+		t.Error("deleted type lost readability")
+	}
+}
+
+// TestMinimizeTrivialStops: minimizing a 2-value type returns it
+// unchanged (nothing can be removed).
+func TestMinimizeTrivialStops(t *testing.T) {
+	ft := types.TestAndSet()
+	// TAS does not have the X signature; Minimize still terminates by
+	// returning the input once no shrink preserves the (absent)
+	// signature... guard: Minimize assumes input HAS the signature; for
+	// this test we only check termination and non-growth.
+	out := Minimize(ft, 4)
+	if out.NumValues() > ft.NumValues() {
+		t.Error("minimize grew a type")
+	}
+}

@@ -1,0 +1,113 @@
+// Package xsearch hunts for readable deterministic types with the
+// discerning/recording signature of DFFR's X_4: 4-discerning, 2-recording
+// and not 3-recording.
+//
+// Such a type has consensus number exactly 4 and recoverable consensus
+// number exactly 2 (gap 2), because:
+//
+//   - 4-discerning gives cons >= 4 (Ruppert, readable);
+//   - NOT 3-recording gives cons <= 4: by DFFR's Theorem 5 any readable
+//     deterministic type with consensus number n >= 4 is (n-2)-recording,
+//     so cons >= 5 would force 3-recording;
+//   - 2-recording and not 3-recording give rcons = 2 exactly by the
+//     paper's Theorem 14.
+//
+// The definition of X_n itself appears in DFFR (PODC 2022), not in the
+// paper reproduced here, so this package searches for an instance instead
+// of transcribing one: it samples random transition tables over a small
+// value set with two mutating operations and a Read, with maximally
+// informative responses (every (value, op) pair returns a distinct
+// response, which is the best case for discerning and irrelevant to
+// recording).
+package xsearch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/discern"
+	"repro/internal/record"
+	"repro/internal/spec"
+)
+
+// Candidate is one sampled type together with its verified signature.
+type Candidate struct {
+	Type *spec.FiniteType
+	// Seed reproduces the candidate via Sample(seed, numValues).
+	Seed      int64
+	NumValues int
+}
+
+// Sample deterministically generates a candidate type from a seed: two
+// mutating operations with random transitions over numValues values, plus
+// a Read. Response codes are distinct per (value, op), which is the most
+// favourable response structure for discerning.
+func Sample(seed int64, numValues int) *spec.FiniteType {
+	rng := rand.New(rand.NewSource(seed))
+	b := spec.NewBuilder(fmt.Sprintf("x4-candidate[%d,%d]", numValues, seed))
+	names := make([]string, numValues)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	b.Values(names...)
+	b.Ops("a", "b", "read")
+	resp := spec.Response(0)
+	for v := 0; v < numValues; v++ {
+		for _, op := range []string{"a", "b"} {
+			next := names[rng.Intn(numValues)]
+			b.Transition(names[v], op, resp, next)
+			resp++
+		}
+	}
+	// Read responses use the same base as the type zoo (types.RespReadBase)
+	// so frozen candidates can be compared transition-for-transition.
+	b.ReadOp("read", 2000)
+	return b.MustBuild()
+}
+
+// HasXSignature checks the X_n signature on t: readable, (n-2)-recording,
+// not (n-1)-recording, n-discerning. For a readable deterministic type
+// this pins both hierarchy positions exactly: cons = n (Ruppert plus DFFR
+// Theorem 5) and rcons = n-2 (the paper's Theorem 14). The checks are
+// ordered cheapest-first. n must be at least 4.
+func HasXSignature(t *spec.FiniteType, n int) bool {
+	if n < 4 {
+		panic(fmt.Sprintf("xsearch: X_n signature needs n >= 4, got %d", n))
+	}
+	if !t.Readable() {
+		return false
+	}
+	if ok, _ := record.IsNRecording(t, n-1); ok {
+		return false
+	}
+	if ok, _ := record.IsNRecording(t, n-2); !ok {
+		return false
+	}
+	ok, _ := discern.IsNDiscerning(t, n)
+	return ok
+}
+
+// HasX4Signature checks the X_4 signature (see HasXSignature).
+func HasX4Signature(t *spec.FiniteType) bool { return HasXSignature(t, 4) }
+
+// Search samples candidates with seeds [seedStart, seedStart+attempts) and
+// value-set sizes in sizes, returning every candidate with the X_n
+// signature (possibly none). progress, if non-nil, is called every
+// progressEvery attempts with the attempt count.
+func Search(n int, seedStart int64, attempts int, sizes []int, progressEvery int, progress func(done int)) []Candidate {
+	var found []Candidate
+	done := 0
+	for i := 0; i < attempts; i++ {
+		for _, sz := range sizes {
+			t := Sample(seedStart+int64(i), sz)
+			if HasXSignature(t, n) {
+				found = append(found, Candidate{Type: t, Seed: seedStart + int64(i), NumValues: sz})
+			}
+		}
+		done++
+		if progress != nil && progressEvery > 0 && done%progressEvery == 0 {
+			progress(done)
+		}
+	}
+	return found
+}

@@ -1,0 +1,116 @@
+// Package repro is a library reproduction of "Determining Recoverable
+// Consensus Numbers" (Sean Ovens, PODC 2024, arXiv:2405.04775).
+//
+// It makes the paper's theory executable for finite deterministic types:
+//
+//   - deciders for Ruppert's n-discerning property and DFFR's n-recording
+//     property (package internal/discern, internal/record), which pin the
+//     consensus number and — by the paper's Theorem 14 — the recoverable
+//     consensus number of readable types exactly;
+//   - the non-readable family T_{n,n'} of Section 4 with its wait-free and
+//     recoverable consensus algorithms, plus readable separation families
+//     (Y_n with gap 1; X4/X5 with the paper's gap 2);
+//   - a crash-recovery shared-memory model checker (the "valency engine"),
+//     with critical-execution search and Observation 11 classification;
+//   - a concurrent simulation runtime with crash-injecting adversaries.
+//
+// This facade re-exports the main entry points; the sub-packages under
+// internal/ carry the full API surface and documentation.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/discern"
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// Re-exported core data types.
+type (
+	// Type is a deterministic sequential specification over finite sets of
+	// values and operations.
+	Type = spec.FiniteType
+	// Value, Op and Response are the primitive identifiers of a Type.
+	Value = spec.Value
+	// Op identifies an operation of a Type.
+	Op = spec.Op
+	// Response is an operation response.
+	Response = spec.Response
+	// TypeBuilder constructs Types.
+	TypeBuilder = spec.Builder
+	// Analysis is a hierarchy analysis of one type.
+	Analysis = core.Analysis
+	// DiscernWitness certifies n-discerning.
+	DiscernWitness = discern.Witness
+	// RecordWitness certifies n-recording.
+	RecordWitness = record.Witness
+	// Protocol is a consensus protocol in model-checkable form.
+	Protocol = model.Protocol
+	// CheckResult is the outcome of model checking a protocol.
+	CheckResult = model.Result
+)
+
+// Unbounded marks a hierarchy level that still holds at the search limit.
+const Unbounded = core.Unbounded
+
+// NewType returns a builder for a custom type.
+func NewType(name string) *TypeBuilder { return spec.NewBuilder(name) }
+
+// Analyze computes the discerning/recording spectrum of t for process
+// counts 2..maxN and derives its consensus and recoverable consensus
+// numbers (exact for readable types).
+func Analyze(t *Type, maxN int) (*Analysis, error) { return core.Analyze(t, maxN) }
+
+// IsNDiscerning decides Ruppert's n-discerning property (n >= 2).
+func IsNDiscerning(t *Type, n int) (bool, *DiscernWitness) { return discern.IsNDiscerning(t, n) }
+
+// IsNRecording decides DFFR's n-recording property (n >= 2).
+func IsNRecording(t *Type, n int) (bool, *RecordWitness) { return record.IsNRecording(t, n) }
+
+// CheckProtocol model-checks a consensus protocol under per-process crash
+// quotas (see model.CheckOpts for details).
+func CheckProtocol(p Protocol, inputs []int, crashQuota []int) (*CheckResult, error) {
+	return model.Check(p, model.CheckOpts{Inputs: inputs, CrashQuota: crashQuota})
+}
+
+// FindCritical searches a checked protocol's state space for a critical
+// execution (Lemma 6) and classifies the critical configuration per
+// Observation 11.
+func FindCritical(r *CheckResult) (*model.CriticalInfo, error) { return model.FindCritical(r) }
+
+// Theorem13Chain mechanizes the paper's main proof (Figures 1-2): it
+// iterates critical-execution search with the v-hiding and colliding
+// moves until an n-recording configuration is reached.
+func Theorem13Chain(p Protocol, inputs, crashQuota []int) (*model.Chain, error) {
+	return model.Theorem13Chain(p, inputs, crashQuota)
+}
+
+// The type zoo.
+var (
+	// Tnn is the paper's T_{n,n'} (consensus number n, recoverable
+	// consensus number n').
+	Tnn = types.Tnn
+	// TnnReadable is the readable chain family Y_n (cons n, rcons n-1).
+	TnnReadable = types.TnnReadable
+	// XFour is a readable type with cons 4 and rcons 2 (the paper's
+	// corollary gap for n = 4).
+	XFour = types.XFour
+	// XFive is a readable type with cons 5 and rcons 3.
+	XFive = types.XFive
+	// Register, TestAndSet, Swap, FetchAdd, CompareAndSwap, StickyBit,
+	// Queue, Counter, MaxRegister and Product build the classical zoo.
+	Register       = types.Register
+	TestAndSet     = types.TestAndSet
+	Swap           = types.Swap
+	FetchAdd       = types.FetchAdd
+	CompareAndSwap = types.CompareAndSwap
+	StickyBit      = types.StickyBit
+	Queue          = types.Queue
+	PeekQueue      = types.PeekQueue
+	Stack          = types.Stack
+	Counter        = types.Counter
+	MaxRegister    = types.MaxRegister
+	Product        = types.Product
+)

@@ -1,0 +1,108 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// facadeProtocol returns a small recoverable protocol for facade tests.
+func facadeProtocol() Protocol { return proto.NewCASRecoverable(2) }
+
+// TestFacadeAnalyze exercises the re-exported analysis path end to end.
+func TestFacadeAnalyze(t *testing.T) {
+	a, err := Analyze(TestAndSet(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ConsensusNumber != 2 || a.RecoverableConsensusNumber != 1 {
+		t.Errorf("TAS analysis: cons=%d rcons=%d, want 2/1",
+			a.ConsensusNumber, a.RecoverableConsensusNumber)
+	}
+}
+
+// TestFacadeDeciders exercises the re-exported deciders.
+func TestFacadeDeciders(t *testing.T) {
+	if ok, w := IsNDiscerning(TestAndSet(), 2); !ok || w == nil {
+		t.Error("TAS should be 2-discerning with a witness")
+	}
+	if ok, _ := IsNRecording(TestAndSet(), 2); ok {
+		t.Error("TAS should not be 2-recording")
+	}
+}
+
+// TestFacadeCustomType builds a type through the facade builder and
+// analyzes it.
+func TestFacadeCustomType(t *testing.T) {
+	b := NewType("mini-sticky")
+	b.Values("bot", "0", "1")
+	b.Ops("set0", "set1", "read")
+	b.Transition("bot", "set0", 0, "0")
+	b.Transition("bot", "set1", 1, "1")
+	for _, v := range []string{"0", "1"} {
+		r := 0
+		if v == "1" {
+			r = 1
+		}
+		b.Transition(v, "set0", Response(r), v)
+		b.Transition(v, "set1", Response(r), v)
+	}
+	b.ReadOp("read", 100)
+	ft, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(ft, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ConsensusNumber != Unbounded {
+		t.Errorf("sticky bit should be unbounded at maxN=4, got %d", a.ConsensusNumber)
+	}
+}
+
+// TestFacadeModelChecking drives the checker and the Theorem 13 chain
+// through the facade.
+func TestFacadeModelChecking(t *testing.T) {
+	pr := facadeProtocol()
+	res, err := CheckProtocol(pr, []int{0, 1}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("CAS recoverable should check clean: %v", res.Violations)
+	}
+	if _, err := FindCritical(res); err != nil {
+		t.Fatalf("FindCritical: %v", err)
+	}
+	chain, err := Theorem13Chain(pr, []int{0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chain.Recording {
+		t.Error("chain should reach an n-recording configuration")
+	}
+}
+
+// TestFacadeZoo spot-checks the re-exported constructors.
+func TestFacadeZoo(t *testing.T) {
+	for name, ft := range map[string]*Type{
+		"tnn":    Tnn(4, 2),
+		"y4":     TnnReadable(4),
+		"x4":     XFour(),
+		"x5":     XFive(),
+		"reg":    Register(2),
+		"swap":   Swap(2),
+		"faa":    FetchAdd(3),
+		"cas":    CompareAndSwap(2),
+		"sticky": StickyBit(),
+		"queue":  Queue(2),
+		"cnt":    Counter(3),
+		"maxreg": MaxRegister(3),
+		"prod":   Product(TestAndSet(), Register(2)),
+	} {
+		if err := ft.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
