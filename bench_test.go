@@ -2,12 +2,14 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/adversary"
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/discern"
+	"repro/internal/engine"
 	"repro/internal/lineariz"
 	"repro/internal/model"
 	"repro/internal/proto"
@@ -245,6 +247,56 @@ func BenchmarkE11SimThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(events)/float64(b.N), "events/run")
 		})
+	}
+}
+
+// BenchmarkEngineAnalyzeParallel measures the engine's worker pool on
+// multi-level types, sweeping pool widths: workers=1 is the serial
+// baseline, wider pools quantify the speedup from running independent
+// (property, n) level checks concurrently. Each iteration uses a fresh
+// cache so the decider work is really re-done.
+func BenchmarkEngineAnalyzeParallel(b *testing.B) {
+	workerSet := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		workerSet = append(workerSet, n)
+	}
+	for _, tc := range []struct {
+		name string
+		t    *Type
+		maxN int
+	}{
+		{"tnn52", types.Tnn(5, 2), 5},
+		{"x5", types.XFive(), 5},
+	} {
+		for _, workers := range workerSet {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					eng := engine.New(
+						engine.WithParallelism(workers),
+						engine.WithMaxN(tc.maxN),
+						engine.WithCache(engine.NewCache()),
+					)
+					if _, err := eng.Analyze(tc.t); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineAnalyzeCached measures a warm-cache Analyze — the
+// steady-state cost when a long-lived engine re-serves a known type.
+func BenchmarkEngineAnalyzeCached(b *testing.B) {
+	eng := engine.New(engine.WithMaxN(5))
+	if _, err := eng.Analyze(types.Tnn(5, 2)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Analyze(types.Tnn(5, 2)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -7,19 +7,25 @@
 //	crashsim -algo tnn -n 5 -nprime 3 -procs 3 -seeds 100 -crash 0.4
 //	crashsim -algo cas -procs 4 -adversary storm
 //	crashsim -algo tas -procs 2 -redecide     # Golab's separation, live
+//	crashsim -algo tnn -seeds 5000 -parallel 8 -timeout 1m
 //
 // Adversaries: rr (round-robin, crash-free), random (seeded, -crash
 // probability), storm (deterministic crash bursts), budget (the paper's
-// E*_z discipline).
+// E*_z discipline). Seeds are independent, so the sweep runs on a worker
+// pool (-parallel); output stays in seed order regardless of width.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
 
 	"repro/internal/adversary"
 	"repro/internal/algo"
+	"repro/internal/cli"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -29,6 +35,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crashsim:", err)
 		os.Exit(1)
 	}
+}
+
+// seedResult is one seed's aggregated outcome, rendered later in order.
+type seedResult struct {
+	steps, crashes int
+	violation      bool
+	flips          int
+	output         string
+	err            error
 }
 
 func run(args []string) error {
@@ -43,6 +58,7 @@ func run(args []string) error {
 	advName := fs.String("adversary", "random", "adversary: rr | random | storm | budget")
 	verbose := fs.Bool("v", false, "print every run's schedule")
 	redecide := fs.Bool("redecide", false, "after each run, crash every process post-decision and re-run solo")
+	ef := cli.AddEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,44 +107,111 @@ func run(args []string) error {
 		return fmt.Errorf("unknown adversary %q", *advName)
 	}
 
-	programs := make([]sim.Program, *procs)
-	for p := range programs {
-		programs[p] = a.Program(p)
-	}
+	ctx, cancel := ef.Context()
+	defer cancel()
 
-	var totalSteps, totalCrashes, violations, flips int
-	for seed := int64(0); seed < int64(*seeds); seed++ {
+	// Seeds are independent; sweep them on a worker pool and render the
+	// collected per-seed output in seed order afterwards.
+	runSeed := func(seed int64) seedResult {
+		var r seedResult
+		var b strings.Builder
 		inputs := make([]int, *procs)
 		for p := range inputs {
 			inputs[p] = int(seed>>uint(p)) & 1
 		}
+		programs := make([]sim.Program, *procs)
+		for p := range programs {
+			programs[p] = a.Program(p)
+		}
 		res, err := sim.Run(a.Cells, programs, inputs, newAdv(seed), sim.Options{})
 		if err != nil {
-			return fmt.Errorf("seed %d: %w", seed, err)
+			r.err = fmt.Errorf("seed %d: %w", seed, err)
+			return r
 		}
-		totalSteps += res.Steps
-		totalCrashes += res.Crashes
+		r.steps = res.Steps
+		r.crashes = res.Crashes
 		if *verbose {
-			fmt.Printf("seed %-4d inputs %v: %s\n", seed, inputs, trace.Summary(res.Schedule))
-			fmt.Print(trace.Render(res.Schedule, nil, res.Decisions))
+			fmt.Fprintf(&b, "seed %-4d inputs %v: %s\n", seed, inputs, trace.Summary(res.Schedule))
+			b.WriteString(trace.Render(res.Schedule, nil, res.Decisions))
 		}
 		if err := res.VerifyConsensus(inputs); err != nil {
-			violations++
-			fmt.Printf("seed %-4d inputs %v: VIOLATION: %v\n", seed, inputs, err)
-			fmt.Printf("  schedule: %s\n", res.Schedule)
+			r.violation = true
+			fmt.Fprintf(&b, "seed %-4d inputs %v: VIOLATION: %v\n", seed, inputs, err)
+			fmt.Fprintf(&b, "  schedule: %s\n", res.Schedule)
 		}
 		if *redecide {
 			for p := 0; p < *procs; p++ {
 				if re := sim.RunSolo(res.Store, a.Program(p), p, inputs[p]); re != res.Decisions[p] {
-					flips++
-					fmt.Printf("seed %-4d: p%d decided %d, re-decided %d after crash-after-decide\n",
+					r.flips++
+					fmt.Fprintf(&b, "seed %-4d: p%d decided %d, re-decided %d after crash-after-decide\n",
 						seed, p, res.Decisions[p], re)
 				}
 			}
 		}
+		r.output = b.String()
+		return r
+	}
+
+	if *seeds < 0 {
+		*seeds = 0
+	}
+	// Stream results in seed order as the pool advances: a completed
+	// seed is parked only until every earlier seed has printed, so
+	// memory is bounded by the out-of-order window rather than the
+	// whole sweep, and a violation at seed 3 is visible while late
+	// seeds are still running.
+	var (
+		mu                                          sync.Mutex
+		pending                                     = make(map[int]seedResult)
+		next                                        int
+		totalSteps, totalCrashes, violations, flips int
+	)
+	progressEvery := *seeds / 10
+	if progressEvery < 1 {
+		progressEvery = 1
+	}
+	finish := func(i int, r seedResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		pending[i] = r
+		for {
+			r, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			next++
+			if r.output != "" {
+				fmt.Print(r.output)
+			}
+			totalSteps += r.steps
+			totalCrashes += r.crashes
+			if r.violation {
+				violations++
+			}
+			flips += r.flips
+			if ef.Progress && next%progressEvery == 0 {
+				fmt.Fprintf(os.Stderr, "crashsim: %d/%d seeds done (%d violations)\n",
+					next, *seeds, violations)
+			}
+		}
+	}
+	ran, err := pool.Run(ctx, *seeds, ef.Parallel, func(i int) error {
+		r := runSeed(int64(i))
+		if r.err != nil {
+			return r.err
+		}
+		finish(i, r)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil && ran < *seeds {
+		fmt.Printf("note: stopped after %d/%d seeds (%v)\n", ran, *seeds, err)
 	}
 	fmt.Printf("\n%s, %d procs, %d seeds (%s adversary): %d steps, %d crashes, %d violations",
-		a.Name, *procs, *seeds, *advName, totalSteps, totalCrashes, violations)
+		a.Name, *procs, ran, *advName, totalSteps, totalCrashes, violations)
 	if *redecide {
 		fmt.Printf(", %d re-decision flips", flips)
 	}

@@ -1,4 +1,4 @@
-// Command experiments runs the reproduction suite E1..E11 (every figure,
+// Command experiments runs the reproduction suite E1..E15 (every figure,
 // lemma and derived table documented in DESIGN.md) and prints
 // paper-vs-measured rows. Its markdown output is the measured section of
 // EXPERIMENTS.md.
@@ -8,6 +8,10 @@
 //	experiments                # run everything, text report
 //	experiments -only E4,E5    # a subset
 //	experiments -markdown      # EXPERIMENTS.md body
+//	experiments -parallel 8    # run experiments on a worker pool
+//	experiments -timeout 2m    # best-effort bound: skips experiments
+//	                           # not yet started when the deadline fires
+//	                           # (a running experiment finishes)
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/report"
 )
 
@@ -30,6 +35,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default all)")
 	markdown := fs.Bool("markdown", false, "emit markdown instead of text")
+	ef := cli.AddEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,7 +43,22 @@ func run(args []string) error {
 	if *only != "" {
 		filter = strings.Split(*only, ",")
 	}
-	outcomes := report.PaperSuite().RunAll(filter)
+	ctx, cancel := ef.Context()
+	defer cancel()
+	var onDone func(report.Outcome)
+	if ef.Progress {
+		onDone = func(o report.Outcome) {
+			status := "PASS"
+			switch {
+			case o.Skipped:
+				status = "SKIP"
+			case !o.Pass:
+				status = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "experiments: %s done [%s]\n", o.ID, status)
+		}
+	}
+	outcomes := report.PaperSuite().RunAllOpts(ctx, filter, ef.Parallel, onDone)
 	if len(outcomes) == 0 {
 		return fmt.Errorf("no experiments matched %q (have %v)",
 			*only, report.PaperSuite().IDs())
@@ -48,10 +69,18 @@ func run(args []string) error {
 	} else {
 		fmt.Print(report.Render(outcomes))
 	}
+	skipped := 0
 	for _, o := range outcomes {
+		if o.Skipped {
+			skipped++
+			continue
+		}
 		if !o.Pass {
 			return fmt.Errorf("experiment %s failed", o.ID)
 		}
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) skipped (deadline); the ones that ran all passed\n", skipped)
 	}
 	return nil
 }

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	rcnum [-n maxN] [-witness] [-json file] <type>...
+//	rcnum [-n maxN] [-parallel k] [-timeout 30s] [-progress] [-witness] [-json file] <type>...
 //	rcnum -list
 //
 // Type descriptors come from the registry, e.g. "tas", "tnn:5,2", "x4",
 // "product:tas,register:2". With -json, the type is loaded from a JSON
-// specification file instead.
+// specification file instead. Level checks for all requested types run
+// concurrently on the engine's worker pool.
 package main
 
 import (
@@ -19,9 +20,9 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro"
+	"repro/internal/cli"
 	"repro/internal/registry"
-	"repro/internal/spec"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func run(args []string) error {
 	witness := fs.Bool("witness", false, "print discerning/recording witnesses")
 	list := fs.Bool("list", false, "list registered type descriptors")
 	jsonFile := fs.String("json", "", "load a type from a JSON specification file")
+	ef := cli.AddEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,20 +47,23 @@ func run(args []string) error {
 		return nil
 	}
 
-	var typs []*spec.FiniteType
+	eng, cancel := ef.Engine(repro.WithMaxN(*maxN))
+	defer cancel()
+
+	var typs []*repro.Type
 	if *jsonFile != "" {
 		data, err := os.ReadFile(*jsonFile)
 		if err != nil {
 			return err
 		}
-		var ft spec.FiniteType
+		var ft repro.Type
 		if err := json.Unmarshal(data, &ft); err != nil {
 			return fmt.Errorf("parse %s: %w", *jsonFile, err)
 		}
 		typs = append(typs, &ft)
 	}
 	for _, desc := range fs.Args() {
-		ft, err := registry.Parse(desc)
+		ft, err := eng.Resolve(desc)
 		if err != nil {
 			return err
 		}
@@ -68,11 +73,11 @@ func run(args []string) error {
 		return fmt.Errorf("no types given (try: rcnum -list)")
 	}
 
-	for _, ft := range typs {
-		a, err := core.Analyze(ft, *maxN)
-		if err != nil {
-			return err
-		}
+	analyses, err := eng.AnalyzeAll(typs)
+	if err != nil {
+		return err
+	}
+	for _, a := range analyses {
 		fmt.Println(a.Summary())
 		fmt.Print(a.Spectrum())
 		if !a.Readable {

@@ -7,7 +7,8 @@
 //	statemachine -json t.json     # a hand-written JSON type
 //
 // With -export, the type itself is written as JSON (round-trippable with
-// rcnum -json).
+// rcnum -json). With -analyze, each type's hierarchy summary (computed on
+// the engine, honoring -parallel/-timeout/-progress) is appended.
 package main
 
 import (
@@ -16,8 +17,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro"
+	"repro/internal/cli"
 	"repro/internal/registry"
-	"repro/internal/spec"
 )
 
 func main() {
@@ -33,6 +35,8 @@ func run(args []string) error {
 	export := fs.Bool("export", false, "emit the type as JSON")
 	jsonFile := fs.String("json", "", "load the type from a JSON specification file")
 	list := fs.Bool("list", false, "list registered type descriptors")
+	analyze := fs.Bool("analyze", false, "append the type's hierarchy summary")
+	ef := cli.AddEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,20 +45,23 @@ func run(args []string) error {
 		return nil
 	}
 
-	var types []*spec.FiniteType
+	eng, cancel := ef.Engine()
+	defer cancel()
+
+	var types []*repro.Type
 	if *jsonFile != "" {
 		data, err := os.ReadFile(*jsonFile)
 		if err != nil {
 			return err
 		}
-		var ft spec.FiniteType
+		var ft repro.Type
 		if err := json.Unmarshal(data, &ft); err != nil {
 			return fmt.Errorf("parse %s: %w", *jsonFile, err)
 		}
 		types = append(types, &ft)
 	}
 	for _, desc := range fs.Args() {
-		ft, err := registry.Parse(desc)
+		ft, err := eng.Resolve(desc)
 		if err != nil {
 			return err
 		}
@@ -76,6 +83,13 @@ func run(args []string) error {
 			fmt.Print(ft.Dot())
 		default:
 			fmt.Print(ft.TransitionTable())
+		}
+		if *analyze {
+			a, err := eng.Analyze(ft)
+			if err != nil {
+				return err
+			}
+			fmt.Println(a.Summary())
 		}
 	}
 	return nil

@@ -6,16 +6,26 @@
 // Usage:
 //
 //	xsearch -n 4 -attempts 5000 -sizes 5,6
+//	xsearch -n 4 -sizes 5,6,7 -parallel 3 -timeout 2m
+//
+// Value-set sizes are searched concurrently on a worker pool (-parallel);
+// hits are printed in size order once the sweep finishes, and per-size
+// attempt progress always streams to stderr. -timeout also interrupts
+// in-flight searches (polled once per attempt).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/cli"
+	"repro/internal/pool"
 	"repro/internal/xsearch"
 )
 
@@ -33,6 +43,7 @@ func run(args []string) error {
 	seedStart := fs.Int64("seed", 1, "first seed")
 	sizesArg := fs.String("sizes", "5,6,7", "comma-separated value-set sizes to sample")
 	all := fs.Bool("all", false, "keep searching after the first hit")
+	ef := cli.AddEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,13 +59,50 @@ func run(args []string) error {
 		sizes = append(sizes, v)
 	}
 
+	ctx, cancel := ef.Context()
+	defer cancel()
+
 	start := time.Now()
-	found := 0
-	for _, sz := range sizes {
-		hits := xsearch.Search(*n, *seedStart, *attempts, []int{sz}, *attempts/4, func(done int) {
+	var mu sync.Mutex
+	// Progress always streams to stderr, as it did before the engine
+	// flags existed — long sweeps must not look hung. The shared
+	// -progress flag is accepted for interface consistency.
+	progressFor := func(sz int) func(done int) {
+		return func(done int) {
+			mu.Lock()
 			fmt.Fprintf(os.Stderr, "size %d: %d/%d attempts (%s)\n",
 				sz, done, *attempts, time.Since(start).Round(time.Millisecond))
-		})
+			mu.Unlock()
+		}
+	}
+
+	// Sizes are independent sample spaces: sweep them on a worker pool
+	// and render hits in size order. SearchCtx polls the context per
+	// attempt, so a deadline also interrupts in-flight searches — and in
+	// the default first-hit mode (-all=false) a size that finds a
+	// candidate cancels the rest of the sweep, preserving the serial
+	// code's early exit.
+	sctx := ctx
+	stopEarly := func() {}
+	if !*all {
+		var cancelSweep context.CancelFunc
+		sctx, cancelSweep = context.WithCancel(ctx)
+		defer cancelSweep()
+		stopEarly = cancelSweep
+	}
+	hitsBySize := make([][]xsearch.Candidate, len(sizes))
+	searched, _ := pool.Run(sctx, len(sizes), ef.Parallel, func(i int) error {
+		sz := sizes[i]
+		hitsBySize[i] = xsearch.SearchCtx(sctx, *n, *seedStart, *attempts,
+			[]int{sz}, *attempts/4, progressFor(sz))
+		if len(hitsBySize[i]) > 0 {
+			stopEarly()
+		}
+		return nil
+	})
+
+	found := 0
+	for _, hits := range hitsBySize[:searched] {
 		for _, c := range hits {
 			found++
 			fmt.Printf("FOUND X%d candidate: seed=%d size=%d\n", *n, c.Seed, c.NumValues)
@@ -64,6 +112,18 @@ func run(args []string) error {
 				return nil
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		if searched < len(sizes) {
+			fmt.Fprintf(os.Stderr, "xsearch: stopped after %d/%d sizes (%v)\n", searched, len(sizes), err)
+		} else {
+			fmt.Fprintf(os.Stderr, "xsearch: %v — in-flight sizes returned partial results\n", err)
+		}
+		if found == 0 {
+			return fmt.Errorf("stopped by %v before any X%d candidate was found (the attempt budget was not exhausted)",
+				err, *n)
+		}
+		return nil
 	}
 	if found == 0 {
 		return fmt.Errorf("no X%d candidate in %d attempts per size (try more attempts or other sizes)",

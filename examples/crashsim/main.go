@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro"
 	"repro/internal/adversary"
 	"repro/internal/algo"
 	"repro/internal/sim"
@@ -79,4 +80,14 @@ func main() {
 		fmt.Println("TAS has consensus number 2 but recoverable consensus number 1,")
 		fmt.Println("matching the deciders (2-discerning, not 2-recording).")
 	}
+
+	// Cross-check the live behavior against the engine's static analysis:
+	// the deciders predict exactly the separation the simulation showed.
+	eng := repro.New(repro.WithMaxN(3))
+	a, err := eng.Analyze(repro.TestAndSet())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("engine cross-check: %s\n", a.Summary())
 }

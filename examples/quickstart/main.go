@@ -1,6 +1,6 @@
-// Quickstart: define a custom shared object type, decide its n-discerning
-// and n-recording properties, and read off its position in Herlihy's
-// consensus hierarchy and Golab's recoverable consensus hierarchy.
+// Quickstart: define a custom shared object type, analyze it on the
+// concurrent engine, and read off its position in Herlihy's consensus
+// hierarchy and Golab's recoverable consensus hierarchy.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro"
 )
@@ -32,16 +33,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Analyze it against the paper's machinery, alongside two classics.
-	for _, ft := range []*repro.Type{fad, repro.TestAndSet(), repro.XFour()} {
-		a, err := repro.Analyze(ft, 5)
-		if err != nil {
-			log.Fatal(err)
-		}
+	// One engine, many workloads: level checks for all three types run
+	// concurrently on a worker pool, and every sub-decision is memoized.
+	eng := repro.New(
+		repro.WithParallelism(runtime.NumCPU()),
+		repro.WithMaxN(5),
+	)
+	x4, err := eng.Resolve("x4") // registry descriptors work too
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyses, err := eng.AnalyzeAll([]*repro.Type{fad, repro.TestAndSet(), x4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range analyses {
 		fmt.Println(a.Summary())
 		fmt.Print(a.Spectrum())
 		fmt.Println()
 	}
+
+	// Re-analyzing a type is ~free: the engine's cache already holds
+	// every level decision.
+	if _, err := eng.Analyze(fad); err != nil {
+		log.Fatal(err)
+	}
+	hits, misses, _ := eng.Cache().Stats()
+	fmt.Printf("cache after re-analysis: %d hits, %d misses\n\n", hits, misses)
 
 	// The individual deciders expose the witnesses behind the numbers.
 	if ok, w := repro.IsNDiscerning(fad, 2); ok {

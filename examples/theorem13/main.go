@@ -6,9 +6,11 @@
 // suffix) and the colliding move (step and crash p_{n-1}) driving the
 // chain toward an n-recording configuration.
 //
-// This example runs that construction on two recoverable algorithms and
-// prints every stage: the starting schedule, the critical execution, the
-// team structure (Lemma 7), and the classification.
+// This example runs that construction through the engine facade on three
+// recoverable algorithms and prints every stage: the starting schedule,
+// the critical execution, the team structure (Lemma 7), and the
+// classification. The engine's progress hook streams each stage's class
+// as it is discovered.
 //
 //	go run ./examples/theorem13
 package main
@@ -16,14 +18,17 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/model"
+	"repro"
 	"repro/internal/proto"
+	"repro/internal/report"
 )
 
 func main() {
+	eng := repro.New(repro.WithProgress(report.ProgressWriter(os.Stderr)))
 	cases := []struct {
-		pr    model.Protocol
+		pr    repro.Protocol
 		procs int
 		note  string
 	}{
@@ -42,7 +47,7 @@ func main() {
 		for p := 1; p < c.procs; p++ {
 			quota[p] = 2
 		}
-		chain, err := model.Theorem13Chain(c.pr, inputs, quota)
+		chain, err := eng.Theorem13(c.pr, repro.CheckRequest{Inputs: inputs, CrashQuota: quota})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,18 +3,22 @@
 // recoverable algorithm for n' processes under a crash-injecting
 // adversary, and then shows both upper bounds failing: the wait-free
 // algorithm with n+1 processes and the recoverable algorithm with n'+1
-// processes (the crash-burn adversary of Lemma 16).
+// processes (the crash-burn adversary of Lemma 16). The model-checking
+// runs go through the engine facade, with a deadline guarding the
+// exponential explorations.
 //
 //	go run ./examples/tnn
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
+	"repro"
 	"repro/internal/adversary"
 	"repro/internal/algo"
-	"repro/internal/model"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -65,13 +69,19 @@ func main() {
 
 	fmt.Printf("\n=== Upper bounds: where the algorithms break ===\n\n")
 
+	// The explorations below are exponential in the process count; an
+	// engine with a deadline keeps them bounded.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	eng := repro.New(repro.WithContext(ctx))
+
 	// Wait-free with n+1 processes: the model checker finds a violation.
 	wf := proto.NewTnnWaitFree(n, nPrime, n+1)
 	in := make([]int, n+1)
 	for p := range in {
 		in[p] = 1
 	}
-	chk, err := model.Check(wf, model.CheckOpts{Inputs: in})
+	chk, err := eng.Check(wf, repro.CheckRequest{Inputs: in})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +93,7 @@ func main() {
 	// the counter past n' and a recovering process reads bot.
 	rp := proto.NewTnnRecoverable(n, nPrime, nPrime+1)
 	rin := []int{1, 0, 1}
-	chk, err = model.Check(rp, model.CheckOpts{Inputs: rin, CrashQuota: []int{2, 2, 2}})
+	chk, err = eng.Check(rp, repro.CheckRequest{Inputs: rin, CrashQuota: []int{2, 2, 2}})
 	if err != nil {
 		log.Fatal(err)
 	}

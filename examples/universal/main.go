@@ -20,13 +20,18 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro"
 	"repro/internal/spec"
-	"repro/internal/types"
 	"repro/internal/universal"
 )
 
 func main() {
-	q := types.Queue(4)
+	// The engine facade resolves registry descriptors; "queue:4" is the
+	// bounded FIFO queue the universal construction wraps below.
+	q, err := repro.Resolve("queue:4")
+	if err != nil {
+		log.Fatal(err)
+	}
 	u, err := universal.New(q, 0, 4)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,68 @@
+// Package cli carries the flag plumbing shared by the cmd tools and
+// examples: every tool that drives the analysis engine registers the same
+// -parallel, -timeout and -progress flags and builds its engine (and a
+// cancellable context) through EngineFlags.
+package cli
+
+import (
+	"context"
+	"flag"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/report"
+)
+
+// EngineFlags is the parsed engine-related flag set of one tool.
+type EngineFlags struct {
+	// Parallel is the worker-pool width (-parallel).
+	Parallel int
+	// Timeout bounds the whole run; zero means none (-timeout).
+	Timeout time.Duration
+	// Progress enables per-level progress lines on stderr (-progress).
+	Progress bool
+}
+
+// AddEngineFlags registers the shared engine flags on fs and returns the
+// struct the parsed values land in.
+func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
+	f := &EngineFlags{}
+	fs.IntVar(&f.Parallel, "parallel", runtime.NumCPU(),
+		"worker count for this tool's parallel work (level checks, seed/size/experiment sweeps)")
+	fs.DurationVar(&f.Timeout, "timeout", 0,
+		"abort the run after this duration (e.g. 30s; 0 = no limit)")
+	fs.BoolVar(&f.Progress, "progress", false,
+		"print progress to stderr while the run advances")
+	return f
+}
+
+// Context returns the run context implied by the flags: background, or a
+// deadline context when -timeout is set. The cancel func must be called
+// (deferred) by the tool.
+func (f *EngineFlags) Context() (context.Context, context.CancelFunc) {
+	if f.Timeout > 0 {
+		return context.WithTimeout(context.Background(), f.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// Options expands the flags into engine options bound to ctx.
+func (f *EngineFlags) Options(ctx context.Context) []repro.Option {
+	opts := []repro.Option{
+		repro.WithContext(ctx),
+		repro.WithParallelism(f.Parallel),
+	}
+	if f.Progress {
+		opts = append(opts, repro.WithProgress(report.ProgressWriter(os.Stderr)))
+	}
+	return opts
+}
+
+// Engine builds a repro.Engine from the flags plus any extra options.
+// The returned cancel must be deferred by the caller.
+func (f *EngineFlags) Engine(extra ...repro.Option) (*repro.Engine, context.CancelFunc) {
+	ctx, cancel := f.Context()
+	return repro.New(append(f.Options(ctx), extra...)...), cancel
+}

@@ -89,15 +89,16 @@ func Analyze(t *spec.FiniteType, maxN int) (*Analysis, error) {
 			a.RecordingWitness[n] = wR
 		}
 	}
-	a.ConsensusNumber = levelOf(a.Discerning, maxN)
-	a.RecoverableConsensusNumber = levelOf(a.Recording, maxN)
+	a.ConsensusNumber = LevelOf(a.Discerning, maxN)
+	a.RecoverableConsensusNumber = LevelOf(a.Recording, maxN)
 	return a, nil
 }
 
-// levelOf derives the hierarchy level from a property spectrum: the largest
+// LevelOf derives the hierarchy level from a property spectrum: the largest
 // n at which the property holds, 1 if it never holds, Unbounded if it holds
-// at the search limit.
-func levelOf(holds map[int]bool, maxN int) int {
+// at the search limit. It is exported so the concurrent engine can derive
+// levels from spectra it computed out of order, identically to Analyze.
+func LevelOf(holds map[int]bool, maxN int) int {
 	if holds[maxN] {
 		return Unbounded
 	}

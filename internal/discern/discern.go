@@ -24,6 +24,7 @@
 package discern
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/spec"
@@ -43,6 +44,21 @@ type Witness struct {
 // String renders the witness compactly.
 func (w *Witness) String() string {
 	return fmt.Sprintf("u=%d teams=%v ops=%v", int(w.U), w.Teams, w.Ops)
+}
+
+// Clone returns a deep copy of the witness, so callers may mutate the
+// copy's slices without affecting shared state (the engine's memo cache
+// serves clones).
+func (w *Witness) Clone() *Witness {
+	if w == nil {
+		return nil
+	}
+	return &Witness{
+		N:     w.N,
+		U:     w.U,
+		Teams: append([]int(nil), w.Teams...),
+		Ops:   append([]spec.Op(nil), w.Ops...),
+	}
 }
 
 // Options configures the decision procedure.
@@ -67,14 +83,31 @@ func IsNDiscerning(t *spec.FiniteType, n int) (bool, *Witness) {
 
 // IsNDiscerningOpt is IsNDiscerning with explicit Options.
 func IsNDiscerningOpt(t *spec.FiniteType, n int, opts Options) (bool, *Witness) {
+	ok, w, _ := IsNDiscerningCtx(context.Background(), t, n, opts)
+	return ok, w
+}
+
+// IsNDiscerningCtx is IsNDiscerningOpt with cancellation: the search is
+// abandoned (returning ctx.Err()) as soon as the context is done. The
+// context is polled once per operation assignment, the unit of work of the
+// enumeration, so cancellation latency is one assignment's schedule sweep.
+func IsNDiscerningCtx(ctx context.Context, t *spec.FiniteType, n int, opts Options) (bool, *Witness, error) {
 	if n < 2 {
 		panic(fmt.Sprintf("discern: n-discerning is undefined for n=%d (need n >= 2)", n))
 	}
 	numOps := t.NumOps()
 	ops := make([]spec.Op, n)
+	done := ctx.Done()
+	var canceled bool
 	var tryAll func(pos int) *Witness
 	tryAll = func(pos int) *Witness {
 		if pos == n {
+			select {
+			case <-done:
+				canceled = true
+				return nil
+			default:
+			}
 			if w := checkAssignment(t, n, ops, opts); w != nil {
 				return w
 			}
@@ -91,13 +124,19 @@ func IsNDiscerningOpt(t *spec.FiniteType, n int, opts Options) (bool, *Witness) 
 			if w := tryAll(pos + 1); w != nil {
 				return w
 			}
+			if canceled {
+				return nil
+			}
 		}
 		return nil
 	}
 	if w := tryAll(0); w != nil {
-		return true, w
+		return true, w, nil
 	}
-	return false, nil
+	if canceled {
+		return false, nil, ctx.Err()
+	}
+	return false, nil, nil
 }
 
 // pairKey identifies an observation by process j: its operation's response

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/discern"
+	"repro/internal/record"
+)
+
+// propKey identifies one memoized sub-decision: one property of one type
+// at one process count. Types are identified by structural fingerprint, so
+// two independently constructed but identical types share entries.
+type propKey struct {
+	fp   uint64
+	prop Property
+	n    int
+}
+
+// propResult is a memoized decision. At most one of the witness fields is
+// set, matching the property. Witnesses are immutable once computed, so
+// sharing the pointers across goroutines and engines is safe.
+type propResult struct {
+	ok bool
+	dw *discern.Witness
+	rw *record.Witness
+}
+
+// call tracks one in-flight computation for singleflight deduplication.
+type call struct {
+	done chan struct{}
+	res  propResult
+	err  error
+}
+
+// Cache memoizes decider results across Analyze calls and across engines,
+// with singleflight semantics: concurrent requests for the same key share
+// one computation instead of racing to redo the exponential search. It is
+// safe for concurrent use. A single Cache may back any number of engines
+// (see WithCache); the zero value is not usable — construct with NewCache.
+type Cache struct {
+	mu           sync.Mutex
+	m            map[propKey]propResult
+	inflight     map[propKey]*call
+	hits, misses uint64
+}
+
+// NewCache returns an empty decision cache.
+func NewCache() *Cache {
+	return &Cache{
+		m:        make(map[propKey]propResult),
+		inflight: make(map[propKey]*call),
+	}
+}
+
+// do returns the memoized result for k, waiting on an in-flight
+// computation of the same key if one exists, or running compute and
+// memoizing its result otherwise. cached reports whether the result was
+// served without running compute in this call. Waiting is bounded by the
+// caller's own ctx — a deadlined engine does not hang on another
+// engine's longer-lived computation. A failed compute (e.g. cancellation
+// of the computing engine's context) is not memoized; waiters whose own
+// context is still live retry, possibly becoming the computer themselves.
+func (c *Cache) do(ctx context.Context, k propKey, compute func() (propResult, error)) (res propResult, cached bool, err error) {
+	for {
+		c.mu.Lock()
+		if r, ok := c.m[k]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return r, true, nil
+		}
+		if cl, ok := c.inflight[k]; ok {
+			c.hits++
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return propResult{}, false, ctx.Err()
+			}
+			if cl.err != nil {
+				// The computer was canceled; try again under our own
+				// context (compute itself polls it).
+				continue
+			}
+			return cl.res, true, nil
+		}
+		c.misses++
+		cl := &call{done: make(chan struct{})}
+		c.inflight[k] = cl
+		c.mu.Unlock()
+
+		cl.res, cl.err = compute()
+		c.mu.Lock()
+		delete(c.inflight, k)
+		if cl.err == nil {
+			c.m[k] = cl.res
+		}
+		c.mu.Unlock()
+		close(cl.done)
+		return cl.res, false, cl.err
+	}
+}
+
+// Stats reports the cumulative hit/miss counts and the number of distinct
+// memoized decisions.
+func (c *Cache) Stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.m)
+}
+
+// Purge empties the cache, keeping the statistics.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[propKey]propResult)
+}

@@ -1,0 +1,388 @@
+// Package engine is the concurrent analysis engine behind the repro
+// facade: a long-lived, option-configured object that runs the paper's
+// discerning/recording level checks across a worker pool, memoizes
+// sub-decisions in a shared cache, threads context cancellation through
+// the hot search loops (internal/discern, internal/record,
+// internal/model), and reports structured progress events.
+//
+// The design follows the long-lived-engine idiom of production consensus
+// stacks: construct once with functional options, submit many workloads,
+// share caches between them. One Engine is safe for concurrent use by
+// multiple goroutines; independent level checks of one Analyze call — and
+// of concurrent Analyze calls — interleave freely on the pool.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/discern"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/record"
+	"repro/internal/registry"
+	"repro/internal/spec"
+)
+
+// Property names one of the paper's two level properties.
+type Property string
+
+// The two properties the engine decides per level.
+const (
+	Discerning Property = "discerning"
+	Recording  Property = "recording"
+)
+
+// Event is one structured progress report. Events are emitted from worker
+// goroutines; the consumer installed with WithProgress must be safe for
+// concurrent use (the engine serializes emissions with a mutex, so a
+// consumer that only writes to a terminal needs no extra locking).
+type Event struct {
+	// Kind is "analyze.start", "level.done", "analyze.done",
+	// "check.done", or "chain.stage".
+	Kind string
+	// Type is the analyzed type's name (analyze/level events) or the
+	// protocol's name (check/chain events).
+	Type string
+	// Property and N identify the level check for "level.done".
+	Property Property
+	N        int
+	// OK is the level check's outcome (or overall success for
+	// "analyze.done"/"check.done").
+	OK bool
+	// Cached reports that the result came from the memo cache.
+	Cached bool
+	// Elapsed is the wall-clock cost of the unit of work.
+	Elapsed time.Duration
+	// Detail carries kind-specific extras (critical class for
+	// "chain.stage", node counts for "check.done").
+	Detail string
+}
+
+// Engine is the analysis engine. Construct with New; the zero value is
+// not usable.
+type Engine struct {
+	ctx         context.Context
+	parallelism int
+	progress    func(Event)
+	progressMu  sync.Mutex
+	cache       *Cache
+	maxN        int
+	budget      int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithContext installs the context that cancels every search the engine
+// runs: level checks, model-checker explorations and Theorem 13 chains.
+// The default is context.Background().
+func WithContext(ctx context.Context) Option {
+	return func(e *Engine) { e.ctx = ctx }
+}
+
+// WithParallelism sets the worker-pool width for level checks. Values
+// below 1 are clamped to 1. The default is runtime.NumCPU().
+func WithParallelism(k int) Option {
+	return func(e *Engine) { e.parallelism = k }
+}
+
+// WithProgress installs a progress consumer. Emissions are serialized by
+// the engine. A nil fn disables progress (the default).
+func WithProgress(fn func(Event)) Option {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// WithCache installs a shared decision cache, letting several engines
+// (or sequential rebuilds of one engine) reuse sub-decisions. A nil cache
+// is replaced by a fresh one. The default is a fresh private cache.
+func WithCache(c *Cache) Option {
+	return func(e *Engine) { e.cache = c }
+}
+
+// WithMaxN sets the largest process count Analyze checks (the default
+// is 5). AnalyzeTo overrides it per call.
+func WithMaxN(n int) Option {
+	return func(e *Engine) { e.maxN = n }
+}
+
+// WithBudget bounds the model checker's explored state space, in nodes,
+// for Check and Theorem13 (0 means the checker's default). Explorations
+// that exceed the budget come back Truncated, exactly as with
+// model.CheckOpts.MaxNodes.
+func WithBudget(states int) Option {
+	return func(e *Engine) { e.budget = states }
+}
+
+// New constructs an Engine from the given options.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		ctx:         context.Background(),
+		parallelism: runtime.NumCPU(),
+		maxN:        5,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.parallelism < 1 {
+		e.parallelism = 1
+	}
+	if e.cache == nil {
+		e.cache = NewCache()
+	}
+	// An out-of-range maxN is reported by Analyze/AnalyzeAll, not here:
+	// option application has no error channel.
+	return e
+}
+
+// MaxN returns the engine's configured analysis limit.
+func (e *Engine) MaxN() int { return e.maxN }
+
+// Cache returns the engine's decision cache (for stats and sharing).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// emit serializes progress emissions.
+func (e *Engine) emit(ev Event) {
+	if e.progress == nil {
+		return
+	}
+	e.progressMu.Lock()
+	e.progress(ev)
+	e.progressMu.Unlock()
+}
+
+// levelJob is one unit of pool work: decide one property of one type at
+// one process count and write the outcome into the job's analysis.
+type levelJob struct {
+	t    *spec.FiniteType
+	fp   uint64
+	prop Property
+	n    int
+	a    *core.Analysis
+	mu   *sync.Mutex // guards a's maps
+}
+
+// run decides the job, consulting and feeding the cache.
+func (e *Engine) run(j levelJob) error {
+	start := time.Now()
+	key := propKey{fp: j.fp, prop: j.prop, n: j.n}
+	res, cached, err := e.cache.do(e.ctx, key, func() (propResult, error) {
+		var r propResult
+		var err error
+		switch j.prop {
+		case Discerning:
+			r.ok, r.dw, err = discern.IsNDiscerningCtx(e.ctx, j.t, j.n, discern.Options{})
+		case Recording:
+			r.ok, r.rw, err = record.IsNRecordingCtx(e.ctx, j.t, j.n, record.Options{})
+		}
+		return r, err
+	})
+	if err != nil {
+		return err
+	}
+	// Witnesses are served as deep copies: their Teams/Ops slices are
+	// exported, and the cached originals outlive any one call (the
+	// Default engine's cache is process-wide), so a caller mutating an
+	// Analysis must not corrupt later analyses.
+	j.mu.Lock()
+	switch j.prop {
+	case Discerning:
+		j.a.Discerning[j.n] = res.ok
+		if res.ok {
+			j.a.DiscerningWitness[j.n] = res.dw.Clone()
+		}
+	case Recording:
+		j.a.Recording[j.n] = res.ok
+		if res.ok {
+			j.a.RecordingWitness[j.n] = res.rw.Clone()
+		}
+	}
+	j.mu.Unlock()
+	e.emit(Event{Kind: "level.done", Type: j.t.Name(), Property: j.prop, N: j.n,
+		OK: res.ok, Cached: cached, Elapsed: time.Since(start)})
+	return nil
+}
+
+// runPool drains jobs through the shared worker pool, stopping early on
+// the first error or on engine-context cancellation (later jobs are
+// skipped, in-flight ones finish).
+func (e *Engine) runPool(jobs []levelJob) error {
+	// Heaviest levels first: the pool's makespan is bounded by its
+	// largest job, so schedule high n (exponentially dominant) early.
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].n > jobs[k].n })
+
+	fed, err := pool.Run(e.ctx, len(jobs), e.parallelism,
+		func(i int) error { return e.run(jobs[i]) })
+	if err != nil {
+		return err
+	}
+	if fed < len(jobs) {
+		// Feeding stopped early, which only the context can cause when
+		// no job errored; the analysis maps are incomplete.
+		if cerr := e.ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return fmt.Errorf("engine: job feed stopped early")
+	}
+	return nil
+}
+
+// newAnalysis prepares an empty Analysis shell for t.
+func newAnalysis(t *spec.FiniteType, maxN int) *core.Analysis {
+	return &core.Analysis{
+		Type:              t,
+		MaxN:              maxN,
+		Readable:          t.Readable(),
+		Discerning:        make(map[int]bool, maxN-1),
+		Recording:         make(map[int]bool, maxN-1),
+		DiscerningWitness: make(map[int]*discern.Witness),
+		RecordingWitness:  make(map[int]*record.Witness),
+	}
+}
+
+// jobsFor expands one type into its 2*(maxN-1) level jobs.
+func jobsFor(t *spec.FiniteType, maxN int, a *core.Analysis, mu *sync.Mutex) []levelJob {
+	fp := t.Fingerprint()
+	jobs := make([]levelJob, 0, 2*(maxN-1))
+	for n := 2; n <= maxN; n++ {
+		for _, prop := range []Property{Discerning, Recording} {
+			jobs = append(jobs, levelJob{t: t, fp: fp, prop: prop, n: n, a: a, mu: mu})
+		}
+	}
+	return jobs
+}
+
+// finish derives the hierarchy positions once every level is decided.
+func finish(a *core.Analysis) {
+	a.ConsensusNumber = core.LevelOf(a.Discerning, a.MaxN)
+	a.RecoverableConsensusNumber = core.LevelOf(a.Recording, a.MaxN)
+}
+
+// Analyze computes the discerning/recording spectrum of t for all
+// n in [2, MaxN] and derives hierarchy positions, running the level
+// checks concurrently on the engine's pool. The result is identical to
+// core.Analyze(t, e.MaxN()).
+func (e *Engine) Analyze(t *spec.FiniteType) (*core.Analysis, error) {
+	return e.AnalyzeTo(t, e.maxN)
+}
+
+// AnalyzeTo is Analyze with an explicit process-count limit overriding
+// the engine's MaxN.
+func (e *Engine) AnalyzeTo(t *spec.FiniteType, maxN int) (*core.Analysis, error) {
+	if maxN < 2 {
+		return nil, fmt.Errorf("engine: need maxN >= 2, got %d", maxN)
+	}
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e.emit(Event{Kind: "analyze.start", Type: t.Name(), N: maxN})
+	a := newAnalysis(t, maxN)
+	var mu sync.Mutex
+	if err := e.runPool(jobsFor(t, maxN, a, &mu)); err != nil {
+		return nil, err
+	}
+	finish(a)
+	e.emit(Event{Kind: "analyze.done", Type: t.Name(), N: maxN, OK: true,
+		Elapsed: time.Since(start)})
+	return a, nil
+}
+
+// AnalyzeAll analyzes every type in ts up to the engine's MaxN, flattening
+// all level checks of all types into one pool run so small types do not
+// serialize behind large ones. Results are returned in input order.
+func (e *Engine) AnalyzeAll(ts []*spec.FiniteType) ([]*core.Analysis, error) {
+	if e.maxN < 2 {
+		return nil, fmt.Errorf("engine: need maxN >= 2, got %d", e.maxN)
+	}
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]*core.Analysis, len(ts))
+	var jobs []levelJob
+	var mu sync.Mutex
+	for i, t := range ts {
+		out[i] = newAnalysis(t, e.maxN)
+		jobs = append(jobs, jobsFor(t, e.maxN, out[i], &mu)...)
+	}
+	if err := e.runPool(jobs); err != nil {
+		return nil, err
+	}
+	for _, a := range out {
+		finish(a)
+	}
+	return out, nil
+}
+
+// CheckRequest parameterizes one model-checking run.
+type CheckRequest struct {
+	// Inputs is the binary input of each process.
+	Inputs []int
+	// CrashQuota[p] bounds process p's crashes (nil: crash-free).
+	CrashQuota []int
+	// MaxNodes overrides the engine's budget for this run (0: use the
+	// engine budget, which itself defaults to the checker's default).
+	MaxNodes int
+	// SkipLiveness disables the recoverable wait-freedom (cycle) check.
+	SkipLiveness bool
+}
+
+// maxNodes resolves a request's node bound against the engine budget.
+func (e *Engine) maxNodes(req CheckRequest) int {
+	if req.MaxNodes > 0 {
+		return req.MaxNodes
+	}
+	return e.budget
+}
+
+// Check model-checks a consensus protocol under the engine's context and
+// state budget.
+func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error) {
+	start := time.Now()
+	res, err := model.Check(p, model.CheckOpts{
+		Ctx:          e.ctx,
+		Inputs:       req.Inputs,
+		CrashQuota:   req.CrashQuota,
+		MaxNodes:     e.maxNodes(req),
+		SkipLiveness: req.SkipLiveness,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.emit(Event{Kind: "check.done", Type: p.Name(), OK: res.OK(),
+		Elapsed: time.Since(start), Detail: fmt.Sprintf("%d nodes", res.Nodes)})
+	return res, nil
+}
+
+// Theorem13 runs the mechanized Theorem 13 chain construction under the
+// engine's context and state budget, reporting each stage as a progress
+// event.
+func (e *Engine) Theorem13(p model.Protocol, req CheckRequest) (*model.Chain, error) {
+	start := time.Now()
+	chain, err := model.Theorem13ChainOpts(p, req.Inputs, req.CrashQuota, model.ChainOpts{
+		Ctx:      e.ctx,
+		MaxNodes: e.maxNodes(req),
+		OnStage: func(stage int, info *model.CriticalInfo) {
+			e.emit(Event{Kind: "chain.stage", Type: p.Name(), N: stage,
+				Detail: info.Class})
+		},
+	})
+	if err != nil {
+		return chain, err
+	}
+	e.emit(Event{Kind: "check.done", Type: p.Name(), OK: chain.Recording,
+		Elapsed: time.Since(start), Detail: fmt.Sprintf("%d stages", len(chain.Stages))})
+	return chain, nil
+}
+
+// Resolve parses a registry descriptor such as "tnn:5,2" or
+// "product:tas,register:2" into a type. Unknown names error with the
+// list of valid descriptors.
+func (e *Engine) Resolve(desc string) (*spec.FiniteType, error) {
+	return registry.Parse(desc)
+}

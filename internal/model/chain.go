@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/schedule"
@@ -51,15 +52,35 @@ type Chain struct {
 // colliding (see Experiment E6), which is exactly why such algorithms are
 // not crash-tolerant.
 func Theorem13Chain(pr Protocol, inputs []int, quota []int) (*Chain, error) {
+	return Theorem13ChainOpts(pr, inputs, quota, ChainOpts{})
+}
+
+// ChainOpts configures the Theorem 13 chain construction.
+type ChainOpts struct {
+	// Ctx, when non-nil, cancels the per-stage explorations.
+	Ctx context.Context
+	// MaxNodes bounds each stage's exploration (0 means the model
+	// checker's default).
+	MaxNodes int
+	// OnStage, when non-nil, is invoked after each stage is classified —
+	// the engine's progress hook.
+	OnStage func(stage int, info *CriticalInfo)
+}
+
+// Theorem13ChainOpts is Theorem13Chain with cancellation, a per-stage
+// node budget and a stage progress hook.
+func Theorem13ChainOpts(pr Protocol, inputs []int, quota []int, o ChainOpts) (*Chain, error) {
 	n := pr.Procs()
 	chain := &Chain{}
 	prefix := schedule.Schedule{}
 
 	for stage := 0; stage <= n; stage++ {
 		res, err := Check(pr, CheckOpts{
+			Ctx:          o.Ctx,
 			Inputs:       inputs,
 			CrashQuota:   quota,
 			StartTrace:   prefix,
+			MaxNodes:     o.MaxNodes,
 			SkipLiveness: true,
 		})
 		if err != nil {
@@ -70,6 +91,9 @@ func Theorem13Chain(pr Protocol, inputs []int, quota []int) (*Chain, error) {
 			return chain, fmt.Errorf("stage %d: %w", stage, err)
 		}
 		chain.Stages = append(chain.Stages, ChainStage{Start: prefix, Info: info})
+		if o.OnStage != nil {
+			o.OnStage(stage, info)
+		}
 
 		switch info.Class {
 		case "n-recording":

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -10,6 +11,9 @@ import (
 
 // CheckOpts configures an exploration.
 type CheckOpts struct {
+	// Ctx, when non-nil, cancels the exploration: Check polls it
+	// periodically during the BFS and returns ctx.Err() once it is done.
+	Ctx context.Context
 	// Inputs is the binary input of each process.
 	Inputs []int
 	// CrashQuota[p] is the maximum number of crashes of process p. A nil
@@ -239,10 +243,26 @@ func Check(pr Protocol, opts CheckOpts) (*Result, error) {
 		}
 	}
 
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+		done = opts.Ctx.Done()
+	}
+
 	// BFS over (configuration, crash-usage, output-history) nodes.
 	queue := []*node{r.init}
 	checkSafety(r.init, freshOuts(n))
+	visited := 0
 	for len(queue) > 0 && len(r.nodes) <= maxNodes {
+		if visited++; done != nil && visited%1024 == 0 {
+			select {
+			case <-done:
+				return nil, opts.Ctx.Err()
+			default:
+			}
+		}
 		nd := queue[0]
 		queue = queue[1:]
 

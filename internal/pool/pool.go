@@ -1,0 +1,82 @@
+// Package pool is the one worker-pool implementation shared by the
+// engine, the report suite and the cmd tools: feed indices [0, n) to a
+// bounded set of workers in order, stop feeding on the first error or
+// when the context is done, and report how far the feed got. Callers
+// index into their own pre-sized result slices, so results come back in
+// input order no matter how the pool interleaves.
+package pool
+
+import (
+	"context"
+	"sync"
+)
+
+// Run calls fn(i) for i in [0, n) on up to `workers` goroutines.
+// Indices are fed in increasing order; feeding stops at the first fn
+// error or once ctx is done (a nil ctx never cancels). In-flight calls
+// always finish. Run returns the number of indices fed — they form the
+// contiguous prefix [0, fed) — and the first error. Workers below 1 are
+// clamped to 1.
+func Run(ctx context.Context, n, workers int, fn func(int) error) (fed int, err error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return i, nil
+			default:
+			}
+			if err := fn(i); err != nil {
+				return i + 1, err
+			}
+		}
+		return n, nil
+	}
+
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		first   error
+		stop    = make(chan struct{})
+		feed    = make(chan int)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { first = err; close(stop) })
+					return
+				}
+			}
+		}()
+	}
+feeding:
+	for i := 0; i < n; i++ {
+		select {
+		case feed <- i:
+			fed++
+		case <-stop:
+			break feeding
+		case <-done:
+			break feeding
+		}
+	}
+	close(feed)
+	wg.Wait()
+	return fed, first
+}

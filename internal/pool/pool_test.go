@@ -1,0 +1,102 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversAllIndices checks every index runs exactly once, for
+// serial and parallel widths, including clamping.
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 100} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		fed, err := Run(context.Background(), 10, workers, func(i int) error {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil || fed != 10 {
+			t.Fatalf("workers=%d: fed=%d err=%v, want 10/nil", workers, fed, err)
+		}
+		for i := 0; i < 10; i++ {
+			if seen[i] != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, seen[i])
+			}
+		}
+	}
+}
+
+// TestRunEmpty checks the degenerate sizes.
+func TestRunEmpty(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		fed, err := Run(context.Background(), n, 4, func(int) error {
+			t.Error("fn called for empty input")
+			return nil
+		})
+		if fed != 0 || err != nil {
+			t.Errorf("n=%d: fed=%d err=%v, want 0/nil", n, fed, err)
+		}
+	}
+}
+
+// TestRunErrorShortCircuits checks the first error stops the feed and is
+// returned.
+func TestRunErrorShortCircuits(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		fed, err := Run(context.Background(), 1000, workers, func(i int) error {
+			calls.Add(1)
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err=%v, want boom", workers, err)
+		}
+		if fed == 1000 || calls.Load() == 1000 {
+			t.Errorf("workers=%d: fed=%d calls=%d — no short-circuit", workers, fed, calls.Load())
+		}
+	}
+}
+
+// TestRunCancellation checks a canceled context stops feeding without
+// manufacturing an error, and a nil context never cancels.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	done := make(chan struct{})
+	var fed int
+	var err error
+	go func() {
+		defer close(done)
+		fed, err = Run(ctx, 1000, 2, func(i int) error {
+			once.Do(func() { close(started) })
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	cancel()
+	close(release)
+	<-done
+	if err != nil {
+		t.Errorf("cancellation manufactured error %v", err)
+	}
+	if fed == 1000 {
+		t.Error("cancellation did not stop the feed")
+	}
+
+	fedAll, err := Run(nil, 50, 4, func(int) error { return nil })
+	if fedAll != 50 || err != nil {
+		t.Errorf("nil ctx: fed=%d err=%v, want 50/nil", fedAll, err)
+	}
+}

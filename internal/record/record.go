@@ -28,6 +28,7 @@
 package record
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/spec"
@@ -45,6 +46,21 @@ type Witness struct {
 // String renders the witness compactly.
 func (w *Witness) String() string {
 	return fmt.Sprintf("u=%d teams=%v ops=%v", int(w.U), w.Teams, w.Ops)
+}
+
+// Clone returns a deep copy of the witness, so callers may mutate the
+// copy's slices without affecting shared state (the engine's memo cache
+// serves clones).
+func (w *Witness) Clone() *Witness {
+	if w == nil {
+		return nil
+	}
+	return &Witness{
+		N:     w.N,
+		U:     w.U,
+		Teams: append([]int(nil), w.Teams...),
+		Ops:   append([]spec.Op(nil), w.Ops...),
+	}
 }
 
 // Options configures the decision procedure.
@@ -65,14 +81,30 @@ func IsNRecording(t *spec.FiniteType, n int) (bool, *Witness) {
 
 // IsNRecordingOpt is IsNRecording with explicit Options.
 func IsNRecordingOpt(t *spec.FiniteType, n int, opts Options) (bool, *Witness) {
+	ok, w, _ := IsNRecordingCtx(context.Background(), t, n, opts)
+	return ok, w
+}
+
+// IsNRecordingCtx is IsNRecordingOpt with cancellation: the search is
+// abandoned (returning ctx.Err()) as soon as the context is done, polled
+// once per operation assignment.
+func IsNRecordingCtx(ctx context.Context, t *spec.FiniteType, n int, opts Options) (bool, *Witness, error) {
 	if n < 2 {
 		panic(fmt.Sprintf("record: n-recording is undefined for n=%d (need n >= 2)", n))
 	}
 	numOps := t.NumOps()
 	ops := make([]spec.Op, n)
+	done := ctx.Done()
+	var canceled bool
 	var tryAll func(pos int) *Witness
 	tryAll = func(pos int) *Witness {
 		if pos == n {
+			select {
+			case <-done:
+				canceled = true
+				return nil
+			default:
+			}
 			return checkAssignment(t, n, ops, opts)
 		}
 		start := spec.Op(0)
@@ -84,13 +116,19 @@ func IsNRecordingOpt(t *spec.FiniteType, n int, opts Options) (bool, *Witness) {
 			if w := tryAll(pos + 1); w != nil {
 				return w
 			}
+			if canceled {
+				return nil
+			}
 		}
 		return nil
 	}
 	if w := tryAll(0); w != nil {
-		return true, w
+		return true, w, nil
 	}
-	return false, nil
+	if canceled {
+		return false, nil, ctx.Err()
+	}
+	return false, nil, nil
 }
 
 func checkAssignment(t *spec.FiniteType, n int, ops []spec.Op, opts Options) *Witness {

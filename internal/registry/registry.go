@@ -203,6 +203,18 @@ var entries = []Entry{
 	},
 }
 
+// Names returns the registered descriptor names, sorted, including the
+// structural "product" combinator.
+func Names() []string {
+	out := make([]string, 0, len(entries)+1)
+	for _, e := range entries {
+		out = append(out, e.Name)
+	}
+	out = append(out, "product")
+	sort.Strings(out)
+	return out
+}
+
 // Entries returns the registry sorted by name.
 func Entries() []Entry {
 	out := make([]Entry, len(entries))
@@ -267,7 +279,7 @@ func Parse(desc string) (*spec.FiniteType, error) {
 		}
 		return e.Build(args)
 	}
-	return nil, fmt.Errorf("unknown type %q (see --list for the registry)", name)
+	return nil, fmt.Errorf("unknown type %q (valid names: %s)", name, strings.Join(Names(), ", "))
 }
 
 // splitProductArgs splits "A,B" at the top-level comma, where A and B may

@@ -6,9 +6,13 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+
+	"repro/internal/pool"
 )
 
 // Outcome of one experiment.
@@ -23,6 +27,10 @@ type Outcome struct {
 	Rows []string
 	// Pass reports whether every measured row matched the claim.
 	Pass bool
+	// Skipped reports that the experiment never ran (the run context
+	// was canceled before it started); Pass is false but the outcome is
+	// not a reproduction failure.
+	Skipped bool
 	// Detail carries failure diagnostics.
 	Detail string
 }
@@ -55,33 +63,66 @@ func (s *Suite) IDs() []string {
 // RunAll executes every experiment (or only those whose ID is in filter,
 // if filter is nonempty) and returns outcomes in registration order.
 func (s *Suite) RunAll(filter []string) []Outcome {
+	return s.RunAllOpts(context.Background(), filter, 1, nil)
+}
+
+// RunAllOpts is RunAll with cancellation, a worker pool, and an optional
+// per-outcome progress hook: up to workers experiments run concurrently,
+// outcomes still come back in registration order, and onDone (if
+// non-nil) is called as each experiment finishes, serialized, in
+// completion order. Cancellation is best-effort: an experiment already
+// running when ctx fires completes normally, while experiments not yet
+// started are reported as failed with the context error.
+func (s *Suite) RunAllOpts(ctx context.Context, filter []string, workers int, onDone func(Outcome)) []Outcome {
 	want := make(map[string]bool, len(filter))
 	for _, id := range filter {
 		want[strings.ToUpper(strings.TrimSpace(id))] = true
 	}
-	var out []Outcome
+	var selected []Experiment
 	for _, e := range s.experiments {
 		if len(want) > 0 && !want[strings.ToUpper(e.ID)] {
 			continue
 		}
-		rows, pass, detail := e.Run()
-		out = append(out, Outcome{
-			ID: e.ID, Title: e.Title, Claim: e.Claim,
-			Rows: rows, Pass: pass, Detail: detail,
-		})
+		selected = append(selected, e)
 	}
+	out := make([]Outcome, len(selected))
+	var doneMu sync.Mutex
+	// Every index is fed (nil pool context): runOne itself converts a
+	// canceled ctx into a "not run" outcome, so late experiments are
+	// reported rather than silently dropped.
+	pool.Run(nil, len(selected), workers, func(i int) error {
+		e := selected[i]
+		if err := ctx.Err(); err != nil {
+			out[i] = Outcome{ID: e.ID, Title: e.Title, Claim: e.Claim,
+				Pass: false, Skipped: true, Detail: fmt.Sprintf("not run: %v", err)}
+		} else {
+			rows, pass, detail := e.Run()
+			out[i] = Outcome{ID: e.ID, Title: e.Title, Claim: e.Claim,
+				Rows: rows, Pass: pass, Detail: detail}
+		}
+		if onDone != nil {
+			doneMu.Lock()
+			onDone(out[i])
+			doneMu.Unlock()
+		}
+		return nil
+	})
 	return out
 }
 
 // Render formats outcomes as a text report.
 func Render(outcomes []Outcome) string {
 	var b strings.Builder
-	passed := 0
+	passed, skipped := 0, 0
 	for _, o := range outcomes {
 		status := "PASS"
-		if !o.Pass {
+		switch {
+		case o.Skipped:
+			status = "SKIP"
+			skipped++
+		case !o.Pass:
 			status = "FAIL"
-		} else {
+		default:
 			passed++
 		}
 		fmt.Fprintf(&b, "== %s: %s [%s]\n", o.ID, o.Title, status)
@@ -94,7 +135,12 @@ func Render(outcomes []Outcome) string {
 		}
 		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "%d/%d experiments passed\n", passed, len(outcomes))
+	if skipped > 0 {
+		fmt.Fprintf(&b, "%d/%d experiments passed (%d skipped)\n",
+			passed, len(outcomes)-skipped, skipped)
+	} else {
+		fmt.Fprintf(&b, "%d/%d experiments passed\n", passed, len(outcomes))
+	}
 	return b.String()
 }
 
@@ -103,7 +149,10 @@ func Markdown(outcomes []Outcome) string {
 	var b strings.Builder
 	for _, o := range outcomes {
 		status := "PASS"
-		if !o.Pass {
+		switch {
+		case o.Skipped:
+			status = "SKIP"
+		case !o.Pass:
 			status = "FAIL"
 		}
 		fmt.Fprintf(&b, "### %s — %s (%s)\n\n", o.ID, o.Title, status)

@@ -1,0 +1,40 @@
+package spec
+
+import "hash/fnv"
+
+// Fingerprint returns a 64-bit structural hash of the type: its name,
+// value names, operation names and full transition table. Two types with
+// equal fingerprints are, for caching purposes, treated as the same type;
+// the engine's memoization cache uses the fingerprint (together with the
+// property name and process count) as its key. The hash is FNV-1a and is
+// stable within a process; it is not a cryptographic commitment.
+func (t *FiniteType) Fingerprint() uint64 {
+	h := fnv.New64a()
+	writeString := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	writeInt := func(v int) {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	writeString(t.name)
+	writeInt(t.NumValues())
+	for _, s := range t.valueNames {
+		writeString(s)
+	}
+	writeInt(t.NumOps())
+	for _, s := range t.opNames {
+		writeString(s)
+	}
+	for _, row := range t.table {
+		for _, e := range row {
+			writeInt(int(e.Resp))
+			writeInt(int(e.Next))
+		}
+	}
+	return h.Sum64()
+}

@@ -22,6 +22,7 @@
 package xsearch
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -95,9 +96,21 @@ func HasX4Signature(t *spec.FiniteType) bool { return HasXSignature(t, 4) }
 // signature (possibly none). progress, if non-nil, is called every
 // progressEvery attempts with the attempt count.
 func Search(n int, seedStart int64, attempts int, sizes []int, progressEvery int, progress func(done int)) []Candidate {
+	return SearchCtx(context.Background(), n, seedStart, attempts, sizes, progressEvery, progress)
+}
+
+// SearchCtx is Search with cancellation: the context is polled once per
+// attempt, and the candidates found so far are returned when it fires.
+func SearchCtx(ctx context.Context, n int, seedStart int64, attempts int, sizes []int, progressEvery int, progress func(done int)) []Candidate {
 	var found []Candidate
+	cdone := ctx.Done()
 	done := 0
 	for i := 0; i < attempts; i++ {
+		select {
+		case <-cdone:
+			return found
+		default:
+		}
 		for _, sz := range sizes {
 			t := Sample(seedStart+int64(i), sz)
 			if HasXSignature(t, n) {

@@ -14,13 +14,45 @@
 //     with critical-execution search and Observation 11 classification;
 //   - a concurrent simulation runtime with crash-injecting adversaries.
 //
-// This facade re-exports the main entry points; the sub-packages under
-// internal/ carry the full API surface and documentation.
+// # The Engine API
+//
+// The primary entry point is the Engine: a long-lived analysis object
+// built once with functional options and reused across workloads. It runs
+// the per-level property checks concurrently on a worker pool, memoizes
+// sub-decisions in a cache shared across calls (and, via WithCache,
+// across engines), honors context cancellation and deadlines in every
+// search hot path, and reports structured progress events:
+//
+//	eng := repro.New(
+//		repro.WithContext(ctx),
+//		repro.WithParallelism(runtime.NumCPU()),
+//		repro.WithMaxN(5),
+//	)
+//	t, err := eng.Resolve("tnn:5,2")
+//	a, err := eng.Analyze(t)       // cons / rcons spectrum of one type
+//	as, err := eng.AnalyzeAll(ts)  // many types, one flat pool run
+//	res, err := eng.Check(p, repro.CheckRequest{Inputs: in, CrashQuota: q})
+//	ch, err := eng.Theorem13(p, repro.CheckRequest{Inputs: in, CrashQuota: q})
+//
+// # Deprecated free functions
+//
+// The original flat facade (Analyze, CheckProtocol, Theorem13Chain, ...)
+// is retained as thin wrappers over a lazily constructed default engine,
+// so existing call sites keep compiling and now share that engine's
+// decision cache. New code should construct its own Engine; the wrappers
+// are documented as deprecated and will not grow new features.
+//
+// The sub-packages under internal/ carry the full API surface and
+// documentation.
 package repro
 
 import (
+	"context"
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/discern"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/record"
 	"repro/internal/spec"
@@ -52,8 +84,77 @@ type (
 	CheckResult = model.Result
 )
 
+// Engine API types, re-exported from internal/engine.
+type (
+	// Engine is the concurrent, option-configured analysis engine.
+	Engine = engine.Engine
+	// Option configures an Engine (see the With* constructors).
+	Option = engine.Option
+	// CheckRequest parameterizes Engine.Check and Engine.Theorem13.
+	CheckRequest = engine.CheckRequest
+	// Event is a structured progress report (see WithProgress).
+	Event = engine.Event
+	// Cache memoizes level decisions across calls and engines.
+	Cache = engine.Cache
+	// Property names a level property in progress events.
+	Property = engine.Property
+)
+
+// The two level properties appearing in progress events.
+const (
+	Discerning = engine.Discerning
+	Recording  = engine.Recording
+)
+
 // Unbounded marks a hierarchy level that still holds at the search limit.
 const Unbounded = core.Unbounded
+
+// New constructs an analysis Engine. With no options it uses
+// context.Background(), a worker per CPU, a fresh private cache, maxN=5
+// and the model checker's default state budget.
+func New(opts ...Option) *Engine { return engine.New(opts...) }
+
+// NewCache returns an empty decision cache for WithCache.
+func NewCache() *Cache { return engine.NewCache() }
+
+// WithContext installs the context that cancels every search the engine
+// runs: level checks, model-checker explorations and Theorem 13 chains.
+func WithContext(ctx context.Context) Option { return engine.WithContext(ctx) }
+
+// WithParallelism sets the worker-pool width for level checks (values
+// below 1 are clamped to 1; the default is runtime.NumCPU()).
+func WithParallelism(k int) Option { return engine.WithParallelism(k) }
+
+// WithProgress installs a progress-event consumer.
+func WithProgress(fn func(Event)) Option { return engine.WithProgress(fn) }
+
+// WithCache installs a shared decision cache.
+func WithCache(c *Cache) Option { return engine.WithCache(c) }
+
+// WithMaxN sets the largest process count Engine.Analyze checks.
+func WithMaxN(n int) Option { return engine.WithMaxN(n) }
+
+// WithBudget bounds the model checker's explored state space in nodes.
+func WithBudget(states int) Option { return engine.WithBudget(states) }
+
+// Resolve parses a registry descriptor ("tas", "tnn:5,2", "x4",
+// "product:tas,register:2", ...) into a type; unknown names error with
+// the list of valid descriptors. It is the default engine's Resolve.
+func Resolve(desc string) (*Type, error) { return Default().Resolve(desc) }
+
+// defaultEngine backs the deprecated free functions, so legacy call
+// sites transparently share one decision cache.
+var (
+	defaultEngine     *Engine
+	defaultEngineOnce sync.Once
+)
+
+// Default returns the process-wide engine behind the deprecated free
+// functions: background context, per-CPU parallelism, one shared cache.
+func Default() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = engine.New() })
+	return defaultEngine
+}
 
 // NewType returns a builder for a custom type.
 func NewType(name string) *TypeBuilder { return spec.NewBuilder(name) }
@@ -61,18 +162,30 @@ func NewType(name string) *TypeBuilder { return spec.NewBuilder(name) }
 // Analyze computes the discerning/recording spectrum of t for process
 // counts 2..maxN and derives its consensus and recoverable consensus
 // numbers (exact for readable types).
-func Analyze(t *Type, maxN int) (*Analysis, error) { return core.Analyze(t, maxN) }
+//
+// Deprecated: use New and Engine.Analyze (or Engine.AnalyzeTo for an
+// explicit limit); this wrapper runs on the shared Default engine.
+func Analyze(t *Type, maxN int) (*Analysis, error) { return Default().AnalyzeTo(t, maxN) }
 
 // IsNDiscerning decides Ruppert's n-discerning property (n >= 2).
+//
+// Deprecated: use Engine.Analyze, whose per-level results are memoized;
+// this wrapper calls the decider directly and caches nothing.
 func IsNDiscerning(t *Type, n int) (bool, *DiscernWitness) { return discern.IsNDiscerning(t, n) }
 
 // IsNRecording decides DFFR's n-recording property (n >= 2).
+//
+// Deprecated: use Engine.Analyze, whose per-level results are memoized;
+// this wrapper calls the decider directly and caches nothing.
 func IsNRecording(t *Type, n int) (bool, *RecordWitness) { return record.IsNRecording(t, n) }
 
 // CheckProtocol model-checks a consensus protocol under per-process crash
 // quotas (see model.CheckOpts for details).
+//
+// Deprecated: use New and Engine.Check, which add cancellation, state
+// budgets and progress reporting; this wrapper runs on the Default engine.
 func CheckProtocol(p Protocol, inputs []int, crashQuota []int) (*CheckResult, error) {
-	return model.Check(p, model.CheckOpts{Inputs: inputs, CrashQuota: crashQuota})
+	return Default().Check(p, CheckRequest{Inputs: inputs, CrashQuota: crashQuota})
 }
 
 // FindCritical searches a checked protocol's state space for a critical
@@ -83,8 +196,11 @@ func FindCritical(r *CheckResult) (*model.CriticalInfo, error) { return model.Fi
 // Theorem13Chain mechanizes the paper's main proof (Figures 1-2): it
 // iterates critical-execution search with the v-hiding and colliding
 // moves until an n-recording configuration is reached.
+//
+// Deprecated: use New and Engine.Theorem13; this wrapper runs on the
+// Default engine.
 func Theorem13Chain(p Protocol, inputs, crashQuota []int) (*model.Chain, error) {
-	return model.Theorem13Chain(p, inputs, crashQuota)
+	return Default().Theorem13(p, CheckRequest{Inputs: inputs, CrashQuota: crashQuota})
 }
 
 // The type zoo.
@@ -113,4 +229,6 @@ var (
 	Counter        = types.Counter
 	MaxRegister    = types.MaxRegister
 	Product        = types.Product
+	// Trivial is the one-value no-op type (cons 1).
+	Trivial = types.Trivial
 )

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/proto"
@@ -84,6 +85,72 @@ func TestFacadeModelChecking(t *testing.T) {
 	}
 }
 
+// TestFacadeEngine drives the option-driven Engine API end to end
+// through the public facade: options, Resolve, Analyze vs the deprecated
+// serial wrapper, Check and Theorem13.
+func TestFacadeEngine(t *testing.T) {
+	var events []Event
+	eng := New(
+		WithParallelism(2),
+		WithMaxN(4),
+		WithCache(NewCache()),
+		WithProgress(func(ev Event) { events = append(events, ev) }),
+	)
+	ft, err := eng.Resolve("tnn:4,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Analyze(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(Tnn(4, 2), 4) // deprecated serial path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ConsensusNumber != want.ConsensusNumber ||
+		got.RecoverableConsensusNumber != want.RecoverableConsensusNumber {
+		t.Errorf("engine cons/rcons = %d/%d, serial facade %d/%d",
+			got.ConsensusNumber, got.RecoverableConsensusNumber,
+			want.ConsensusNumber, want.RecoverableConsensusNumber)
+	}
+	if len(events) == 0 {
+		t.Error("no progress events emitted")
+	}
+
+	res, err := eng.Check(facadeProtocol(), CheckRequest{Inputs: []int{0, 1}, CrashQuota: []int{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("engine Check: %v", res.Violations)
+	}
+	chain, err := eng.Theorem13(facadeProtocol(), CheckRequest{Inputs: []int{0, 1}, CrashQuota: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chain.Recording {
+		t.Error("engine Theorem13 chain should reach n-recording")
+	}
+}
+
+// TestFacadeResolveErrorListsNames pins the registry error contract at
+// the facade level.
+func TestFacadeResolveErrorListsNames(t *testing.T) {
+	_, err := Resolve("zzz")
+	if err == nil {
+		t.Fatal("unknown descriptor should fail")
+	}
+	for _, name := range []string{"tas", "x5", "trivial"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error should list %q: %v", name, err)
+		}
+	}
+	if _, err := Resolve("trivial"); err != nil {
+		t.Errorf("trivial should resolve (facade exports Trivial too): %v", err)
+	}
+}
+
 // TestFacadeZoo spot-checks the re-exported constructors.
 func TestFacadeZoo(t *testing.T) {
 	for name, ft := range map[string]*Type{
@@ -100,6 +167,9 @@ func TestFacadeZoo(t *testing.T) {
 		"cnt":    Counter(3),
 		"maxreg": MaxRegister(3),
 		"prod":   Product(TestAndSet(), Register(2)),
+		"triv":   Trivial(),
+		"stack":  Stack(2),
+		"peekq":  PeekQueue(2),
 	} {
 		if err := ft.Validate(); err != nil {
 			t.Errorf("%s: %v", name, err)
