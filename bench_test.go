@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -282,6 +283,43 @@ func BenchmarkEngineAnalyzeParallel(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkShardedLevelCheck measures sharding a SINGLE large-n level
+// check — the workload PR 1's across-level pool cannot parallelize. The
+// level is a full negative sweep (Tnn(5,2) has consensus number 5, so no
+// 6-discerning witness exists and every operation assignment is
+// checked), which makes the sharded work perfectly determined: shards=1
+// is the serial baseline, shards=4 is the CI speedup gate (>1.5x on a
+// 4-core runner), wider shard counts quantify the scaling headroom.
+func BenchmarkShardedLevelCheck(b *testing.B) {
+	ft := types.Tnn(5, 2)
+	const n = 6
+	shardSet := []int{1, 2, 4}
+	if c := runtime.NumCPU(); c > 4 {
+		shardSet = append(shardSet, c)
+	}
+	ctx := context.Background()
+	for _, shards := range shardSet {
+		b.Run(fmt.Sprintf("discern/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := discern.ShardedIsNDiscerning(ctx, ft, n, shards, discern.ShardOptions{})
+				if err != nil || ok {
+					b.Fatalf("tnn(5,2) must not be 6-discerning: ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("record/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := record.ShardedIsNRecording(ctx, ft, n, shards, record.ShardOptions{})
+				if err != nil || ok {
+					b.Fatalf("tnn(5,2) must not be 6-recording: ok=%v err=%v", ok, err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,251 @@
+// Command bench2json converts `go test -bench` text output into a stable
+// JSON document, and compares two such documents as a perf-regression
+// gate. CI uses it to start and extend the repo's benchmark trajectory:
+// every run converts its bench output to BENCH_PR.json and uploads it as
+// an artifact; once a baseline is committed, the gate fails the build on
+// regressions beyond the tolerance.
+//
+// Usage:
+//
+//	go test -bench . -count 3 | bench2json -o BENCH_PR.json
+//	bench2json -baseline BENCH_MAIN.json -tolerance 1.5 BENCH_PR.json
+//
+// Convert mode reads bench text from the argument file (or stdin) and
+// writes JSON. Gate mode (-baseline) reads two JSON documents and exits
+// nonzero if any benchmark present in both regressed: with -count > 1
+// the comparison uses each benchmark's minimum ns/op, the standard
+// noise-resistant statistic.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Run is one benchmark measurement line: the iteration count and the
+// reported metrics (always "ns/op"; allocs and custom b.ReportMetric
+// units when present).
+type Run struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Benchmark aggregates the runs of one benchmark name (several with
+// -count > 1).
+type Benchmark struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the raw name (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Runs are the individual measurements in input order.
+	Runs []Run `json:"runs"`
+	// MinNsPerOp is the minimum ns/op across runs, the gate statistic.
+	MinNsPerOp float64 `json:"min_ns_per_op"`
+}
+
+// Document is the converted bench output.
+type Document struct {
+	// Context carries the goos/goarch/pkg/cpu header lines.
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []*Benchmark      `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench2json", flag.ContinueOnError)
+	out := fs.String("o", "", "write JSON here instead of stdout (convert mode)")
+	baseline := fs.String("baseline", "", "baseline JSON document; switches to gate mode")
+	tolerance := fs.Float64("tolerance", 1.5, "gate mode: fail when current min ns/op exceeds baseline times this factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("gate mode needs exactly one current JSON document, got %d args", fs.NArg())
+		}
+		return gate(*baseline, fs.Arg(0), *tolerance, stdout)
+	}
+
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if fs.NArg() > 1 {
+		return fmt.Errorf("convert mode takes at most one input file, got %d args", fs.NArg())
+	}
+	doc, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Parse converts `go test -bench` text output into a Document. Lines it
+// does not recognize (test chatter, PASS/ok trailers) are skipped, so
+// piping a whole `go test` run through it is fine.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{Context: map[string]string{}}
+	byName := map[string]*Benchmark{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Context[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A measurement line is "Name iterations value unit [value unit]...".
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		run := Run{Iterations: iters, Metrics: map[string]float64{}}
+		bad := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				bad = true
+				break
+			}
+			run.Metrics[fields[i+1]] = v
+		}
+		if bad {
+			continue
+		}
+		if _, ok := run.Metrics["ns/op"]; !ok {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name, Procs: procs}
+			byName[name] = b
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+		b.Runs = append(b.Runs, run)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, b := range doc.Benchmarks {
+		b.MinNsPerOp = b.Runs[0].Metrics["ns/op"]
+		for _, r := range b.Runs[1:] {
+			if v := r.Metrics["ns/op"]; v < b.MinNsPerOp {
+				b.MinNsPerOp = v
+			}
+		}
+	}
+	return doc, nil
+}
+
+// splitProcs strips the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkFoo/case-8" -> "BenchmarkFoo/case", 8).
+func splitProcs(raw string) (string, int) {
+	i := strings.LastIndex(raw, "-")
+	if i < 0 {
+		return raw, 0
+	}
+	procs, err := strconv.Atoi(raw[i+1:])
+	if err != nil || procs <= 0 {
+		return raw, 0
+	}
+	return raw[:i], procs
+}
+
+// gate compares current against baseline and errors on regressions. Only
+// benchmarks present in both documents are compared, so adding or
+// removing benchmarks never trips the gate.
+func gate(baselinePath, currentPath string, tolerance float64, w io.Writer) error {
+	base, err := load(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(currentPath)
+	if err != nil {
+		return err
+	}
+	baseBy := map[string]*Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var regressions []string
+	compared := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := baseBy[c.Name]
+		if !ok || b.MinNsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := c.MinNsPerOp / b.MinNsPerOp
+		if ratio > tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx tolerance)",
+					c.Name, c.MinNsPerOp, b.MinNsPerOp, ratio, tolerance))
+		}
+	}
+	sort.Strings(regressions)
+	for _, r := range regressions {
+		fmt.Fprintln(w, "REGRESSION", r)
+	}
+	fmt.Fprintf(w, "perf gate: %d benchmarks compared, %d regressions (tolerance %.2fx)\n",
+		compared, len(regressions), tolerance)
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed", len(regressions))
+	}
+	if compared == 0 && len(base.Benchmarks) > 0 {
+		// An armed baseline with an empty intersection means the gate is
+		// guarding nothing — a renamed benchmark set or a broken bench
+		// run must not pass vacuously.
+		return fmt.Errorf("no benchmarks in common with the baseline (%d baseline, %d current): gate is vacuous",
+			len(base.Benchmarks), len(cur.Benchmarks))
+	}
+	return nil
+}
+
+func load(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkShardedLevelCheck/discern/shards=1-8         	       3	  81569996 ns/op
+BenchmarkShardedLevelCheck/discern/shards=1-8         	       3	  80111111 ns/op
+BenchmarkShardedLevelCheck/discern/shards=4-8         	       3	  21002384 ns/op
+BenchmarkAblationCrashBudget/quota=1-8                	       2	   1500000 ns/op	      7052 nodes
+some unrelated test output
+PASS
+ok  	repro	0.272s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["cpu"] == "" {
+		t.Errorf("context not captured: %v", doc.Context)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkShardedLevelCheck/discern/shards=1" || b.Procs != 8 {
+		t.Errorf("bad first benchmark: %+v", b)
+	}
+	if len(b.Runs) != 2 || b.MinNsPerOp != 80111111 {
+		t.Errorf("-count runs not aggregated to min: %+v", b)
+	}
+	quota := doc.Benchmarks[2]
+	if quota.Runs[0].Metrics["nodes"] != 7052 {
+		t.Errorf("custom metric lost: %+v", quota.Runs[0])
+	}
+}
+
+func TestGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, text string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := run([]string{"-o", path}, strings.NewReader(text), io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", sample)
+
+	// Identical current: gate passes.
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-tolerance", "1.5", base}, nil, &out); err != nil {
+		t.Fatalf("identical docs must pass the gate: %v (%s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "3 benchmarks compared, 0 regressions") {
+		t.Errorf("unexpected gate summary: %s", out.String())
+	}
+
+	// A 2x regression on one benchmark: gate fails and names it.
+	regressed := strings.Replace(sample, "  21002384 ns/op", "  63002384 ns/op", 1)
+	cur := write("cur.json", regressed)
+	out.Reset()
+	err := run([]string{"-baseline", base, "-tolerance", "1.5", cur}, nil, &out)
+	if err == nil {
+		t.Fatal("2x regression must fail a 1.5x gate")
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkShardedLevelCheck/discern/shards=4") {
+		t.Errorf("regression not named: %s", out.String())
+	}
+
+	// A benchmark only in the current doc never trips the gate.
+	extra := sample + "BenchmarkBrandNew-8 	 1	 999999999 ns/op\n"
+	curExtra := write("extra.json", extra)
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-tolerance", "1.5", curExtra}, nil, &out); err != nil {
+		t.Fatalf("new benchmark must not trip the gate: %v", err)
+	}
+
+	// Zero overlap against a non-empty baseline is a vacuous gate and
+	// must fail, not pass silently.
+	disjoint := write("disjoint.json", "BenchmarkRenamed-8 	 1	 1000 ns/op\n")
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-tolerance", "1.5", disjoint}, nil, &out); err == nil {
+		t.Fatal("disjoint benchmark sets must fail the gate as vacuous")
+	}
+}

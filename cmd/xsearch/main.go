@@ -77,11 +77,12 @@ func run(args []string) error {
 	}
 
 	// Sizes are independent sample spaces: sweep them on a worker pool
-	// and render hits in size order. SearchCtx polls the context per
+	// and render hits in size order. The search polls the context per
 	// attempt, so a deadline also interrupts in-flight searches — and in
 	// the default first-hit mode (-all=false) a size that finds a
 	// candidate cancels the rest of the sweep, preserving the serial
-	// code's early exit.
+	// code's early exit. Workers left over after one per size ride along
+	// inside each candidate's signature checks as level-check shards.
 	sctx := ctx
 	stopEarly := func() {}
 	if !*all {
@@ -90,11 +91,15 @@ func run(args []string) error {
 		defer cancelSweep()
 		stopEarly = cancelSweep
 	}
+	// Workers beyond one per size are idle; offer them to each
+	// candidate's signature checks when the enumeration clears the
+	// -shard-threshold contract.
+	shards := ef.Shards(xsearch.SignatureAssignments(*n), ef.Parallel/len(sizes)-1)
 	hitsBySize := make([][]xsearch.Candidate, len(sizes))
 	searched, _ := pool.Run(sctx, len(sizes), ef.Parallel, func(i int) error {
 		sz := sizes[i]
-		hitsBySize[i] = xsearch.SearchCtx(sctx, *n, *seedStart, *attempts,
-			[]int{sz}, *attempts/4, progressFor(sz))
+		hitsBySize[i] = xsearch.SearchShardedCtx(sctx, *n, *seedStart, *attempts,
+			[]int{sz}, shards, *attempts/4, progressFor(sz))
 		if len(hitsBySize[i]) > 0 {
 			stopEarly()
 		}

@@ -23,6 +23,10 @@ type EngineFlags struct {
 	Timeout time.Duration
 	// Progress enables per-level progress lines on stderr (-progress).
 	Progress bool
+	// ShardThreshold is the assignment count above which one level check
+	// is split across idle workers (-shard-threshold; 0 = engine default,
+	// negative = never shard).
+	ShardThreshold int
 }
 
 // AddEngineFlags registers the shared engine flags on fs and returns the
@@ -35,6 +39,8 @@ func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 		"abort the run after this duration (e.g. 30s; 0 = no limit)")
 	fs.BoolVar(&f.Progress, "progress", false,
 		"print progress to stderr while the run advances")
+	fs.IntVar(&f.ShardThreshold, "shard-threshold", 0,
+		"assignment count above which one level check is sharded across idle workers (0 = engine default, negative = never shard)")
 	return f
 }
 
@@ -53,6 +59,7 @@ func (f *EngineFlags) Options(ctx context.Context) []repro.Option {
 	opts := []repro.Option{
 		repro.WithContext(ctx),
 		repro.WithParallelism(f.Parallel),
+		repro.WithShardThreshold(f.ShardThreshold),
 	}
 	if f.Progress {
 		opts = append(opts, repro.WithProgress(report.ProgressWriter(os.Stderr)))
@@ -65,4 +72,25 @@ func (f *EngineFlags) Options(ctx context.Context) []repro.Option {
 func (f *EngineFlags) Engine(extra ...repro.Option) (*repro.Engine, context.CancelFunc) {
 	ctx, cancel := f.Context()
 	return repro.New(append(f.Options(ctx), extra...)...), cancel
+}
+
+// Shards resolves the sharding width for one level check driven outside
+// the engine (a tool calling the sharded deciders directly): how many
+// shards to split an enumeration of `assignments` across, given `idle`
+// spare workers. It applies the -shard-threshold contract exactly as
+// the engine does — 1 (serial) when sharding is disabled, no worker is
+// idle, or the enumeration is at or below the threshold; the idle
+// workers plus the check's own otherwise.
+func (f *EngineFlags) Shards(assignments int64, idle int) int {
+	thr := f.ShardThreshold
+	if thr < 0 || idle < 1 {
+		return 1
+	}
+	if thr == 0 {
+		thr = repro.DefaultShardThreshold
+	}
+	if assignments <= int64(thr) {
+		return 1
+	}
+	return idle + 1
 }

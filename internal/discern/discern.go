@@ -87,10 +87,18 @@ func IsNDiscerningOpt(t *spec.FiniteType, n int, opts Options) (bool, *Witness) 
 	return ok, w
 }
 
+// pollEvery is the number of enumeration recursion steps between context
+// polls, in addition to the poll at every complete assignment: a power of
+// two so the check compiles to a mask. Without it a type with many
+// operations could sweep a deep prefix subtree — numOps^k partial tuples
+// — between two complete assignments with cancellation pending.
+const pollEvery = 256
+
 // IsNDiscerningCtx is IsNDiscerningOpt with cancellation: the search is
 // abandoned (returning ctx.Err()) as soon as the context is done. The
-// context is polled once per operation assignment, the unit of work of the
-// enumeration, so cancellation latency is one assignment's schedule sweep.
+// context is polled once per operation assignment, the unit of work of
+// the enumeration, and additionally every pollEvery recursion steps so a
+// deep prefix sweep cannot delay cancellation.
 func IsNDiscerningCtx(ctx context.Context, t *spec.FiniteType, n int, opts Options) (bool, *Witness, error) {
 	if n < 2 {
 		panic(fmt.Sprintf("discern: n-discerning is undefined for n=%d (need n >= 2)", n))
@@ -99,8 +107,17 @@ func IsNDiscerningCtx(ctx context.Context, t *spec.FiniteType, n int, opts Optio
 	ops := make([]spec.Op, n)
 	done := ctx.Done()
 	var canceled bool
+	var steps uint
 	var tryAll func(pos int) *Witness
 	tryAll = func(pos int) *Witness {
+		if steps++; steps&(pollEvery-1) == 0 {
+			select {
+			case <-done:
+				canceled = true
+				return nil
+			default:
+			}
+		}
 		if pos == n {
 			select {
 			case <-done:

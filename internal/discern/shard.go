@@ -1,0 +1,166 @@
+package discern
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/spec"
+)
+
+// ShardReport describes one finished shard of a sharded level search, for
+// progress consumers. Reports are delivered from worker goroutines as
+// each shard finishes; a consumer shared across shards must be safe for
+// concurrent use.
+type ShardReport struct {
+	// Shard is the shard's index in [0, Shards).
+	Shard int
+	// Shards is the total shard count of the search.
+	Shards int
+	// Lo and Hi delimit the shard's half-open assignment-rank range.
+	Lo, Hi int64
+	// Scanned counts the assignments the shard actually checked; early
+	// exit (a lower-ranked witness elsewhere, or cancellation) may leave
+	// it short of Hi-Lo.
+	Scanned int64
+	// Found reports that the shard found a witnessing assignment.
+	Found bool
+	// Elapsed is the shard's wall-clock cost.
+	Elapsed time.Duration
+}
+
+// ShardOptions configures a sharded level check.
+type ShardOptions struct {
+	// Options is the underlying decision procedure's configuration.
+	Options
+	// OnShard, if non-nil, is called once per shard as it finishes, from
+	// the shard's worker goroutine.
+	OnShard func(ShardReport)
+}
+
+// noWitness is the best-rank sentinel meaning "no witness found yet".
+const noWitness = math.MaxInt64
+
+// SearchSharded splits space into `shards` contiguous rank ranges and
+// scans them concurrently on an internal/pool worker set, one worker per
+// shard. check is called once per assignment with the decoded tuple (the
+// slice is reused within a shard; check must copy anything it keeps) and
+// returns non-nil to report a witnessing assignment; it must be
+// deterministic and safe for concurrent use.
+//
+// The lowest-ranked witnessing assignment wins, which makes the outcome
+// identical to a serial lexicographic scan of the same space: within a
+// shard the scan stops at its first (lowest-ranked) hit, and across
+// shards the lowest shard with a hit is selected once every shard below
+// it has finished. First-witness early exit cancels the losing shards —
+// a shard whose remaining ranks all exceed an already-found witness rank
+// stops scanning, since no assignment it could still find can win.
+//
+// On cancellation the search returns ctx.Err() unless the winner was
+// already determined (every shard below the winning one had finished).
+func SearchSharded[W any](ctx context.Context, space TupleSpace, shards int, check func(ops []spec.Op) *W, onShard func(ShardReport)) (*W, error) {
+	total := space.Count()
+	if total <= 0 {
+		return nil, ctx.Err()
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if int64(shards) > total {
+		shards = int(total)
+	}
+	base, rem := total/int64(shards), total%int64(shards)
+
+	var best atomic.Int64
+	best.Store(noWitness)
+	wits := make([]*W, shards)
+	canceled := make([]bool, shards)
+	done := ctx.Done()
+
+	fed, _ := pool.Run(ctx, shards, shards, func(s int) error {
+		start := time.Now()
+		lo := int64(s)*base + min(int64(s), rem)
+		hi := lo + base
+		if int64(s) < rem {
+			hi++
+		}
+		ops := make([]spec.Op, space.n)
+		space.Unrank(lo, ops)
+		scanned := int64(0)
+	scan:
+		for r := lo; r < hi; r++ {
+			if r > best.Load() {
+				break // a lower-ranked witness exists; this shard cannot win
+			}
+			select {
+			case <-done:
+				canceled[s] = true
+				break scan
+			default:
+			}
+			scanned++
+			if w := check(ops); w != nil {
+				wits[s] = w
+				for {
+					b := best.Load()
+					if r >= b || best.CompareAndSwap(b, r) {
+						break
+					}
+				}
+				break scan
+			}
+			space.Next(ops)
+		}
+		if onShard != nil {
+			onShard(ShardReport{Shard: s, Shards: shards, Lo: lo, Hi: hi,
+				Scanned: scanned, Found: wits[s] != nil, Elapsed: time.Since(start)})
+		}
+		return nil
+	})
+	for s := fed; s < shards; s++ {
+		canceled[s] = true // never started
+	}
+
+	// Contiguous ranges mean the lowest shard with a hit holds the
+	// lowest-ranked witness. The win stands only if every shard below it
+	// ran to completion: those shards scan strictly lower ranks, so they
+	// never prune against `best` and either finished or were canceled.
+	for s := 0; s < shards; s++ {
+		if wits[s] != nil {
+			for b := 0; b < s; b++ {
+				if canceled[b] {
+					return nil, ctx.Err()
+				}
+			}
+			return wits[s], nil
+		}
+		if canceled[s] {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, nil
+}
+
+// ShardedIsNDiscerning is IsNDiscerningCtx with the operation-assignment
+// enumeration split across `shards` concurrent workers. It returns
+// exactly what the serial scan returns — same verdict, same witness (the
+// lowest-ranked witnessing assignment, completed by checkAssignment's
+// deterministic choice of u and partition) — while a losing shard is
+// cancelled as soon as it provably cannot hold the winning assignment.
+// shards below 1 are clamped to 1.
+func ShardedIsNDiscerning(ctx context.Context, t *spec.FiniteType, n, shards int, opts ShardOptions) (bool, *Witness, error) {
+	if n < 2 {
+		panic(fmt.Sprintf("discern: n-discerning is undefined for n=%d (need n >= 2)", n))
+	}
+	space := NewTupleSpace(t.NumOps(), n, opts.Naive)
+	w, err := SearchSharded(ctx, space, shards, func(ops []spec.Op) *Witness {
+		return checkAssignment(t, n, ops, opts.Options)
+	}, opts.OnShard)
+	if err != nil {
+		return false, nil, err
+	}
+	return w != nil, w, nil
+}

@@ -1,0 +1,156 @@
+package discern
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestShardedMatchesSerial is the determinism gate of the sharded search:
+// across seeded random types, n=2..4 and shard counts {1,2,7}, the
+// sharded check must return the exact (verdict, witness) pair of the
+// serial scan. Run under -race in CI, this also exercises the shard
+// workers' sharing discipline.
+func TestShardedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(90125))
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		ft := randomType(rng, 3+rng.Intn(3), 2+rng.Intn(2))
+		for n := 2; n <= 4; n++ {
+			wantOK, wantW, err := IsNDiscerningCtx(ctx, ft, n, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 7} {
+				ok, w, err := ShardedIsNDiscerning(ctx, ft, n, shards, ShardOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != wantOK || !reflect.DeepEqual(w, wantW) {
+					t.Fatalf("type %d n=%d shards=%d: got (%v, %v), serial (%v, %v)",
+						i, n, shards, ok, w, wantOK, wantW)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedNaiveMatchesSerial covers the ablation (naive) enumeration,
+// whose tuple space and rank order differ from the reduced one.
+func TestShardedNaiveMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7001))
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		ft := randomType(rng, 3+rng.Intn(2), 2)
+		for _, shards := range []int{2, 7} {
+			wantOK, wantW, err := IsNDiscerningCtx(ctx, ft, 3, Options{Naive: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, w, err := ShardedIsNDiscerning(ctx, ft, 3, shards,
+				ShardOptions{Options: Options{Naive: true}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != wantOK || !reflect.DeepEqual(w, wantW) {
+				t.Fatalf("type %d shards=%d: got (%v, %v), serial (%v, %v)",
+					i, shards, ok, w, wantOK, wantW)
+			}
+		}
+	}
+}
+
+// TestShardedWitnessVerifies: sharded witnesses pass the brute-force
+// verifier, exactly like serial ones.
+func TestShardedWitnessVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	found := 0
+	for i := 0; i < 80 && found < 10; i++ {
+		ft := randomType(rng, 4, 2)
+		ok, w, err := ShardedIsNDiscerning(context.Background(), ft, 3, 4, ShardOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			found++
+			verifyWitness(t, ft, w)
+		}
+	}
+	if found == 0 {
+		t.Skip("no 3-discerning random types in the sample")
+	}
+}
+
+// TestShardedReports checks the per-shard progress reports: every shard
+// reports exactly once, ranges tile [0, Count), and on a full scan of a
+// non-discerning level the scanned counts add up to the whole space.
+func TestShardedReports(t *testing.T) {
+	ft := buildRegisterLike(t)
+	const n, shards = 3, 4
+	var mu sync.Mutex
+	var reports []ShardReport
+	ok, _, err := ShardedIsNDiscerning(context.Background(), ft, n, shards, ShardOptions{
+		OnShard: func(r ShardReport) {
+			mu.Lock()
+			reports = append(reports, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("a register-like type must not be 3-discerning")
+	}
+	space := NewTupleSpace(ft.NumOps(), n, false)
+	if len(reports) != shards {
+		t.Fatalf("got %d shard reports, want %d", len(reports), shards)
+	}
+	var covered, scanned int64
+	for _, r := range reports {
+		if r.Shards != shards || r.Hi < r.Lo {
+			t.Errorf("bad report %+v", r)
+		}
+		covered += r.Hi - r.Lo
+		scanned += r.Scanned
+	}
+	if covered != space.Count() || scanned != space.Count() {
+		t.Errorf("shards covered %d and scanned %d of %d assignments",
+			covered, scanned, space.Count())
+	}
+}
+
+// TestShardedCancellation: a canceled context surfaces as an error, and a
+// pre-canceled context does not scan at all.
+func TestShardedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(5))
+	ft := randomType(rng, 4, 3)
+	ok, w, err := ShardedIsNDiscerning(ctx, ft, 4, 4, ShardOptions{})
+	if err == nil {
+		t.Fatal("canceled sharded search must error")
+	}
+	if ok || w != nil {
+		t.Fatalf("canceled search leaked a result: (%v, %v)", ok, w)
+	}
+}
+
+// buildRegisterLike returns a small type with consensus number 1 (a
+// read/write register), so every discerning level >= 2 is a full sweep.
+func buildRegisterLike(t *testing.T) *spec.FiniteType {
+	t.Helper()
+	b := spec.NewBuilder("reg2")
+	b.Values("v0", "v1")
+	b.Ops("w0", "w1", "read")
+	b.Transition("v0", "w0", 0, "v0")
+	b.Transition("v1", "w0", 0, "v0")
+	b.Transition("v0", "w1", 1, "v1")
+	b.Transition("v1", "w1", 1, "v1")
+	b.ReadOp("read", 100)
+	return b.MustBuild()
+}

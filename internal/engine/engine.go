@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -43,8 +44,8 @@ const (
 // concurrent use (the engine serializes emissions with a mutex, so a
 // consumer that only writes to a terminal needs no extra locking).
 type Event struct {
-	// Kind is "analyze.start", "level.done", "analyze.done",
-	// "check.done", or "chain.stage".
+	// Kind is "analyze.start", "level.done", "shard.done",
+	// "analyze.done", "check.done", or "chain.stage".
 	Kind string
 	// Type is the analyzed type's name (analyze/level events) or the
 	// protocol's name (check/chain events).
@@ -60,21 +61,36 @@ type Event struct {
 	// Elapsed is the wall-clock cost of the unit of work.
 	Elapsed time.Duration
 	// Detail carries kind-specific extras (critical class for
-	// "chain.stage", node counts for "check.done").
+	// "chain.stage", node counts for "check.done", shard index and
+	// scanned-assignment counts for "shard.done").
 	Detail string
 }
 
 // Engine is the analysis engine. Construct with New; the zero value is
 // not usable.
 type Engine struct {
-	ctx         context.Context
-	parallelism int
-	progress    func(Event)
-	progressMu  sync.Mutex
-	cache       *Cache
-	maxN        int
-	budget      int
+	ctx            context.Context
+	parallelism    int
+	progress       func(Event)
+	progressMu     sync.Mutex
+	cache          *Cache
+	maxN           int
+	budget         int
+	shardThreshold int
+	// active counts the level checks currently executing, the basis of
+	// the idle-worker estimate that sizes auto-sharding.
+	active atomic.Int32
 }
+
+// DefaultShardThreshold is the assignment count above which a level
+// check is sharded across idle workers when WithShardThreshold is left
+// at 0 (see that option). Below it the per-shard setup cost is not
+// worth splitting: small levels finish in microseconds. The constant is
+// calibrated to the symmetry-reduced space C(numOps+n-1, n), which
+// stays small even when per-assignment cost explodes with n — the
+// realistic huge levels (3-op types at n=5..7) have 21–36 assignments
+// and multi-millisecond sweeps, so the cutoff sits just below them.
+const DefaultShardThreshold = 16
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -117,6 +133,18 @@ func WithMaxN(n int) Option {
 // model.CheckOpts.MaxNodes.
 func WithBudget(states int) Option {
 	return func(e *Engine) { e.budget = states }
+}
+
+// WithShardThreshold controls auto-sharding of single level checks: a
+// level whose symmetry-reduced operation-assignment count exceeds the
+// threshold is split across the engine's idle workers (one shard per
+// idle worker plus the level's own), so a single huge-n check uses the
+// whole pool instead of pinning one core. Sharded and serial checks
+// return identical results. 0 (the default) selects
+// DefaultShardThreshold; a negative threshold disables sharding
+// entirely.
+func WithShardThreshold(assignments int) Option {
+	return func(e *Engine) { e.shardThreshold = assignments }
 }
 
 // New constructs an Engine from the given options.
@@ -167,18 +195,70 @@ type levelJob struct {
 	mu   *sync.Mutex // guards a's maps
 }
 
-// run decides the job, consulting and feeding the cache.
+// shardsFor sizes the auto-sharding of one level check: 1 (serial) when
+// sharding is disabled, the level's assignment space is below the
+// threshold, or no workers are idle; otherwise one shard per idle worker
+// plus the level's own. The estimate is taken once at job start — two
+// concurrent jobs may both count the same worker as idle and briefly
+// oversubscribe the pool with goroutines, which Go's scheduler absorbs.
+func (e *Engine) shardsFor(t *spec.FiniteType, n int) int {
+	thr := e.shardThreshold
+	if thr < 0 || e.parallelism <= 1 {
+		return 1
+	}
+	if thr == 0 {
+		thr = DefaultShardThreshold
+	}
+	if discern.NewTupleSpace(t.NumOps(), n, false).Count() <= int64(thr) {
+		return 1
+	}
+	idle := e.parallelism - int(e.active.Load())
+	if idle < 1 {
+		return 1
+	}
+	return idle + 1
+}
+
+// shardProgress adapts one level job's shard reports onto the engine's
+// event stream.
+func (e *Engine) shardProgress(j levelJob) func(discern.ShardReport) {
+	if e.progress == nil {
+		return nil
+	}
+	return func(rep discern.ShardReport) {
+		e.emit(Event{Kind: "shard.done", Type: j.t.Name(), Property: j.prop, N: j.n,
+			OK: rep.Found, Elapsed: rep.Elapsed,
+			Detail: fmt.Sprintf("shard %d/%d, %d assignments", rep.Shard+1, rep.Shards, rep.Scanned)})
+	}
+}
+
+// run decides the job, consulting and feeding the cache. Level checks
+// whose assignment space is large enough — and for which workers are
+// idle — are sharded across the pool (see WithShardThreshold).
 func (e *Engine) run(j levelJob) error {
 	start := time.Now()
+	e.active.Add(1)
+	defer e.active.Add(-1)
 	key := propKey{fp: j.fp, prop: j.prop, n: j.n}
 	res, cached, err := e.cache.do(e.ctx, key, func() (propResult, error) {
 		var r propResult
 		var err error
+		shards := e.shardsFor(j.t, j.n)
 		switch j.prop {
 		case Discerning:
-			r.ok, r.dw, err = discern.IsNDiscerningCtx(e.ctx, j.t, j.n, discern.Options{})
+			if shards > 1 {
+				r.ok, r.dw, err = discern.ShardedIsNDiscerning(e.ctx, j.t, j.n, shards,
+					discern.ShardOptions{OnShard: e.shardProgress(j)})
+			} else {
+				r.ok, r.dw, err = discern.IsNDiscerningCtx(e.ctx, j.t, j.n, discern.Options{})
+			}
 		case Recording:
-			r.ok, r.rw, err = record.IsNRecordingCtx(e.ctx, j.t, j.n, record.Options{})
+			if shards > 1 {
+				r.ok, r.rw, err = record.ShardedIsNRecording(e.ctx, j.t, j.n, shards,
+					record.ShardOptions{OnShard: e.shardProgress(j)})
+			} else {
+				r.ok, r.rw, err = record.IsNRecordingCtx(e.ctx, j.t, j.n, record.Options{})
+			}
 		}
 		return r, err
 	})
@@ -317,6 +397,45 @@ func (e *Engine) AnalyzeAll(ts []*spec.FiniteType) ([]*core.Analysis, error) {
 		finish(a)
 	}
 	return out, nil
+}
+
+// Discerning decides one discerning level of t (n >= 2), serving and
+// feeding the engine's cache. When the level's assignment space is large
+// and workers are idle — in particular for a dedicated call like this
+// one, where the whole pool minus one worker is idle — the enumeration
+// is sharded across the pool, turning a single huge-n check from
+// one-core to all-core while returning exactly the serial result.
+func (e *Engine) Discerning(t *spec.FiniteType, n int) (bool, *discern.Witness, error) {
+	a, err := e.level(t, Discerning, n)
+	if err != nil {
+		return false, nil, err
+	}
+	return a.Discerning[n], a.DiscerningWitness[n], nil
+}
+
+// Recording is Discerning for the recording property.
+func (e *Engine) Recording(t *spec.FiniteType, n int) (bool, *record.Witness, error) {
+	a, err := e.level(t, Recording, n)
+	if err != nil {
+		return false, nil, err
+	}
+	return a.Recording[n], a.RecordingWitness[n], nil
+}
+
+// level runs one level job outside any Analyze sweep.
+func (e *Engine) level(t *spec.FiniteType, prop Property, n int) (*core.Analysis, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("engine: need n >= 2, got %d", n)
+	}
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
+	}
+	a := newAnalysis(t, n)
+	var mu sync.Mutex
+	if err := e.run(levelJob{t: t, fp: t.Fingerprint(), prop: prop, n: n, a: a, mu: &mu}); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // CheckRequest parameterizes one model-checking run.

@@ -85,9 +85,16 @@ func IsNRecordingOpt(t *spec.FiniteType, n int, opts Options) (bool, *Witness) {
 	return ok, w
 }
 
+// pollEvery is the number of enumeration recursion steps between context
+// polls, in addition to the poll at every complete assignment (a power of
+// two so the check compiles to a mask); see the matching constant in
+// package discern.
+const pollEvery = 256
+
 // IsNRecordingCtx is IsNRecordingOpt with cancellation: the search is
 // abandoned (returning ctx.Err()) as soon as the context is done, polled
-// once per operation assignment.
+// once per operation assignment and additionally every pollEvery
+// recursion steps so a deep prefix sweep cannot delay cancellation.
 func IsNRecordingCtx(ctx context.Context, t *spec.FiniteType, n int, opts Options) (bool, *Witness, error) {
 	if n < 2 {
 		panic(fmt.Sprintf("record: n-recording is undefined for n=%d (need n >= 2)", n))
@@ -96,8 +103,17 @@ func IsNRecordingCtx(ctx context.Context, t *spec.FiniteType, n int, opts Option
 	ops := make([]spec.Op, n)
 	done := ctx.Done()
 	var canceled bool
+	var steps uint
 	var tryAll func(pos int) *Witness
 	tryAll = func(pos int) *Witness {
+		if steps++; steps&(pollEvery-1) == 0 {
+			select {
+			case <-done:
+				canceled = true
+				return nil
+			default:
+			}
+		}
 		if pos == n {
 			select {
 			case <-done:

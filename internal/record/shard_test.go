@@ -1,0 +1,73 @@
+package record
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestShardedMatchesSerial mirrors the discerning-side determinism gate
+// for the recording decider: seeded random types, n=2..4, shard counts
+// {1,2,7}, byte-identical (verdict, witness) against the serial scan.
+// Run under -race in CI.
+func TestShardedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(60607))
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		ft := randomType(rng, 3+rng.Intn(3), 2+rng.Intn(2))
+		for n := 2; n <= 4; n++ {
+			wantOK, wantW, err := IsNRecordingCtx(ctx, ft, n, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 7} {
+				ok, w, err := ShardedIsNRecording(ctx, ft, n, shards, ShardOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != wantOK || !reflect.DeepEqual(w, wantW) {
+					t.Fatalf("type %d n=%d shards=%d: got (%v, %v), serial (%v, %v)",
+						i, n, shards, ok, w, wantOK, wantW)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedWitnessVerifies: sharded recording witnesses pass the
+// brute-force verifier.
+func TestShardedWitnessVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	found := 0
+	for i := 0; i < 100 && found < 10; i++ {
+		ft := randomType(rng, 4, 2)
+		ok, w, err := ShardedIsNRecording(context.Background(), ft, 3, 4, ShardOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			found++
+			verifyWitness(t, ft, w)
+		}
+	}
+	if found == 0 {
+		t.Skip("no 3-recording random types in the sample")
+	}
+}
+
+// TestShardedCancellation: a pre-canceled context errors without leaking
+// a result.
+func TestShardedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(5))
+	ft := randomType(rng, 4, 3)
+	ok, w, err := ShardedIsNRecording(ctx, ft, 4, 4, ShardOptions{})
+	if err == nil {
+		t.Fatal("canceled sharded search must error")
+	}
+	if ok || w != nil {
+		t.Fatalf("canceled search leaked a result: (%v, %v)", ok, w)
+	}
+}

@@ -21,6 +21,9 @@ func ProgressLine(ev engine.Event) string {
 		}
 		return fmt.Sprintf("[engine] %s: %d-%s=%s (%s%s)",
 			ev.Type, ev.N, ev.Property, yesNo(ev.OK), ev.Elapsed.Round(10*time.Microsecond), suffix)
+	case "shard.done":
+		return fmt.Sprintf("[engine] %s: %d-%s %s (%s)",
+			ev.Type, ev.N, ev.Property, ev.Detail, ev.Elapsed.Round(10*time.Microsecond))
 	case "analyze.done":
 		return fmt.Sprintf("[engine] %s: analysis done in %s", ev.Type, ev.Elapsed.Round(10*time.Microsecond))
 	case "check.done":

@@ -72,24 +72,47 @@ func Sample(seed int64, numValues int) *spec.FiniteType {
 // Theorem 5) and rcons = n-2 (the paper's Theorem 14). The checks are
 // ordered cheapest-first. n must be at least 4.
 func HasXSignature(t *spec.FiniteType, n int) bool {
+	ok, _ := HasXSignatureShardedCtx(context.Background(), t, n, 1)
+	return ok
+}
+
+// HasXSignatureShardedCtx is HasXSignature with cancellation and with the
+// two dominant level checks — (n-1)-recording and n-discerning — sharded
+// across `shards` workers (see discern.ShardedIsNDiscerning). The cheap
+// (n-2)-recording pre-filter stays serial. Sharding never changes the
+// verdict, only the core count one candidate occupies.
+func HasXSignatureShardedCtx(ctx context.Context, t *spec.FiniteType, n, shards int) (bool, error) {
 	if n < 4 {
 		panic(fmt.Sprintf("xsearch: X_n signature needs n >= 4, got %d", n))
 	}
 	if !t.Readable() {
-		return false
+		return false, nil
 	}
-	if ok, _ := record.IsNRecording(t, n-1); ok {
-		return false
+	if ok, _, err := record.ShardedIsNRecording(ctx, t, n-1, shards, record.ShardOptions{}); err != nil || ok {
+		return false, err
 	}
-	if ok, _ := record.IsNRecording(t, n-2); !ok {
-		return false
+	if ok, _, err := record.IsNRecordingCtx(ctx, t, n-2, record.Options{}); err != nil || !ok {
+		return false, err
 	}
-	ok, _ := discern.IsNDiscerning(t, n)
-	return ok
+	ok, _, err := discern.ShardedIsNDiscerning(ctx, t, n, shards, discern.ShardOptions{})
+	return ok, err
 }
 
 // HasX4Signature checks the X_4 signature (see HasXSignature).
 func HasX4Signature(t *spec.FiniteType) bool { return HasXSignature(t, 4) }
+
+// SignatureAssignments returns the size of the dominant enumeration of
+// one sampled candidate's signature check — the n-discerning
+// operation-assignment space over the sampler's fixed three operations.
+// Tools use it to decide whether sharding the checks is worth it (see
+// cli.EngineFlags.Shards).
+func SignatureAssignments(n int) int64 {
+	return discern.NewTupleSpace(sampleOps, n, false).Count()
+}
+
+// sampleOps is the operation count of every Sample candidate: the two
+// mutating operations plus the Read.
+const sampleOps = 3
 
 // Search samples candidates with seeds [seedStart, seedStart+attempts) and
 // value-set sizes in sizes, returning every candidate with the X_n
@@ -102,6 +125,15 @@ func Search(n int, seedStart int64, attempts int, sizes []int, progressEvery int
 // SearchCtx is Search with cancellation: the context is polled once per
 // attempt, and the candidates found so far are returned when it fires.
 func SearchCtx(ctx context.Context, n int, seedStart int64, attempts int, sizes []int, progressEvery int, progress func(done int)) []Candidate {
+	return SearchShardedCtx(ctx, n, seedStart, attempts, sizes, 1, progressEvery, progress)
+}
+
+// SearchShardedCtx is SearchCtx with each candidate's dominant signature
+// checks sharded across `shards` workers (1 = serial, the SearchCtx
+// behavior). Use it when the sweep has fewer independent sample spaces
+// than workers, so the spare cores ride along inside each check instead
+// of idling.
+func SearchShardedCtx(ctx context.Context, n int, seedStart int64, attempts int, sizes []int, shards, progressEvery int, progress func(done int)) []Candidate {
 	var found []Candidate
 	cdone := ctx.Done()
 	done := 0
@@ -113,7 +145,11 @@ func SearchCtx(ctx context.Context, n int, seedStart int64, attempts int, sizes 
 		}
 		for _, sz := range sizes {
 			t := Sample(seedStart+int64(i), sz)
-			if HasXSignature(t, n) {
+			ok, err := HasXSignatureShardedCtx(ctx, t, n, shards)
+			if err != nil {
+				return found // canceled mid-check; report what we have
+			}
+			if ok {
 				found = append(found, Candidate{Type: t, Seed: seedStart + int64(i), NumValues: sz})
 			}
 		}
