@@ -86,10 +86,38 @@ func TestGate(t *testing.T) {
 	}
 
 	// Zero overlap against a non-empty baseline is a vacuous gate and
-	// must fail, not pass silently.
-	disjoint := write("disjoint.json", "BenchmarkRenamed-8 	 1	 1000 ns/op\n")
+	// must fail, not pass silently (same CPU, so the gate is strict).
+	disjoint := write("disjoint.json",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.70GHz\nBenchmarkRenamed-8 	 1	 1000 ns/op\n")
 	out.Reset()
 	if err := run([]string{"-baseline", base, "-tolerance", "1.5", disjoint}, nil, &out); err == nil {
 		t.Fatal("disjoint benchmark sets must fail the gate as vacuous")
+	}
+
+	// The same regression from a runner that could not record its CPU:
+	// cross-hardware ns/op comparison is meaningless, so advisory.
+	noCPU := write("nocpu.json", strings.Replace(regressed,
+		"cpu: Intel(R) Xeon(R) Processor @ 2.70GHz\n", "", 1))
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-tolerance", "1.5", noCPU}, nil, &out); err != nil {
+		t.Fatalf("missing-CPU comparison must be advisory, got %v", err)
+	}
+	if !strings.Contains(out.String(), "advisory") {
+		t.Errorf("missing-CPU mode not reported: %s", out.String())
+	}
+
+	// The same 2x regression measured on a different CPU model: ns/op
+	// across machines measures the hardware, so the gate demotes itself
+	// to advisory — report, but pass.
+	otherCPU := strings.Replace(regressed, "cpu: Intel(R) Xeon(R) Processor @ 2.70GHz",
+		"cpu: AMD EPYC 7B13", 1)
+	curOther := write("othercpu.json", otherCPU)
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-tolerance", "1.5", curOther}, nil, &out); err != nil {
+		t.Fatalf("cross-CPU comparison must be advisory, got %v", err)
+	}
+	if !strings.Contains(out.String(), "advisory") ||
+		!strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("advisory mode must still report the regression: %s", out.String())
 	}
 }

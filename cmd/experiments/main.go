@@ -45,6 +45,19 @@ func run(args []string) error {
 	}
 	ctx, cancel := ef.Context()
 	defer cancel()
+
+	// The analysis-heavy experiments run on an engine so their level
+	// decisions are memoized across experiments — and, with -cache-file,
+	// across runs: a repeated (or deadline-cut and retried) sweep reuses
+	// every decision already persisted. EngineOn keeps the engine quiet:
+	// the suite's own per-experiment progress is the tool's voice.
+	eng, closeCache, err := ef.EngineOn(ctx)
+	if err != nil {
+		return err
+	}
+	defer closeCache()
+	defer ef.Summary(eng.Cache())
+
 	var onDone func(report.Outcome)
 	if ef.Progress {
 		onDone = func(o report.Outcome) {
@@ -58,7 +71,7 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "experiments: %s done [%s]\n", o.ID, status)
 		}
 	}
-	outcomes := report.PaperSuite().RunAllOpts(ctx, filter, ef.Parallel, onDone)
+	outcomes := report.PaperSuiteWith(eng).RunAllOpts(ctx, filter, ef.Parallel, onDone)
 	if len(outcomes) == 0 {
 		return fmt.Errorf("no experiments matched %q (have %v)",
 			*only, report.PaperSuite().IDs())

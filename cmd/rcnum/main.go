@@ -47,8 +47,11 @@ func run(args []string) error {
 		return nil
 	}
 
-	eng, cancel := ef.Engine(repro.WithMaxN(*maxN))
-	defer cancel()
+	eng, cleanup, err := ef.Engine(repro.WithMaxN(*maxN))
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 
 	var typs []*repro.Type
 	if *jsonFile != "" {
@@ -99,5 +102,6 @@ func run(args []string) error {
 		}
 		fmt.Println()
 	}
+	ef.Summary(eng.Cache())
 	return nil
 }

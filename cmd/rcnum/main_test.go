@@ -95,6 +95,54 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+// captureStderr runs fn with os.Stderr redirected.
+func captureStderr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := fn()
+	w.Close()
+	os.Stderr = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+// TestRunCacheFile analyzes twice against one -cache-file: the second
+// run must serve every decision from the warm cache, and -progress must
+// close with the cache/store statistics summary.
+func TestRunCacheFile(t *testing.T) {
+	cache := t.TempDir() + "/decisions"
+	args := []string{"-n", "3", "-cache-file", cache, "-progress", "tas"}
+	for run1st := range 2 {
+		errs, err := captureStderr(t, func() error {
+			out, err := capture(t, func() error { return run(args) })
+			if err == nil && !strings.Contains(out, "cons=2") {
+				t.Errorf("run %d output wrong:\n%s", run1st, out)
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(errs, "[engine] cache:") || !strings.Contains(errs, "cache file "+cache) {
+			t.Errorf("run %d missing stats summary on stderr:\n%s", run1st, errs)
+		}
+		if run1st == 1 && !strings.Contains(errs, "0 misses") {
+			t.Errorf("second run recomputed decisions:\n%s", errs)
+		}
+	}
+	if _, err := os.Stat(cache + ".journal"); err != nil {
+		t.Fatalf("no journal written: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{},                 // no types

@@ -1,0 +1,146 @@
+// Command reprod serves the analysis engine over HTTP: a long-lived
+// process answering type-analysis requests from one shared decision
+// cache, optionally persisted to disk so decisions survive restarts.
+//
+// Usage:
+//
+//	reprod -addr :8080 -cache-file decisions.repro
+//	reprod -addr 127.0.0.1:0 -max-n 5 -request-timeout 30s -max-concurrent 16
+//
+// Endpoints (see internal/serve):
+//
+//	POST /v1/analyze  {"type":"tnn:5,2","maxN":5}
+//	POST /v1/batch    {"types":["tas","x4"],"maxN":4}
+//	GET  /healthz
+//	GET  /v1/stats
+//
+// The shared engine flags apply: -parallel sizes each request's worker
+// pool, -shard-threshold tunes single-level sharding, -cache-file
+// persists the decision cache (journal + snapshot), -timeout bounds the
+// whole serving run (useful for smoke tests), and -progress logs cache
+// and store statistics on shutdown. SIGINT/SIGTERM shut down
+// gracefully: in-flight requests finish, then the journal is flushed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+// testHookServing, when non-nil, observes the bound address once the
+// listener is up (tests grab the ephemeral port through it).
+var testHookServing func(addr string)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reprod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks one)")
+	maxN := fs.Int("max-n", serve.DefaultMaxN, "default and ceiling for a request's analysis bound")
+	reqTimeout := fs.Duration("request-timeout", serve.DefaultRequestTimeout,
+		"per-request analysis deadline (negative = none)")
+	maxConc := fs.Int("max-concurrent", 0, "concurrent analysis requests (0 = 2x -parallel)")
+	batchLimit := fs.Int("batch-limit", serve.DefaultBatchLimit, "max type descriptors per batch request")
+	ef := cli.AddEngineFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *maxN < 2 {
+		return fmt.Errorf("need -max-n >= 2, got %d", *maxN)
+	}
+
+	runCtx, cancelRun := ef.Context()
+	defer cancelRun()
+	ctx, stop := signal.NotifyContext(runCtx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	pc, err := ef.OpenCache()
+	if err != nil {
+		return err
+	}
+	cache := repro.NewCache()
+	if pc != nil {
+		cache = pc.Cache()
+		fmt.Fprintf(os.Stderr, "reprod: cache file %s (%d decisions warm-loaded)\n",
+			pc.Path(), pc.Stats().Loaded)
+	}
+
+	srv := serve.New(serve.Config{
+		Cache:          cache,
+		Store:          pc,
+		MaxN:           *maxN,
+		Parallelism:    ef.Parallel,
+		ShardThreshold: ef.ShardThreshold,
+		RequestTimeout: *reqTimeout,
+		MaxConcurrent:  *maxConc,
+		BatchLimit:     *batchLimit,
+	})
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		if pc != nil {
+			pc.Close()
+		}
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "reprod: listening on %s\n", ln.Addr())
+	if testHookServing != nil {
+		testHookServing(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if pc != nil {
+			pc.Close()
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: finish in-flight requests, then make the
+	// decision journal durable. Unregister the signal handler first so
+	// a second SIGINT/SIGTERM falls back to the default action and can
+	// force-quit a drain that is taking too long.
+	stop()
+	fmt.Fprintln(os.Stderr, "reprod: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutErr := hs.Shutdown(shutCtx)
+	if errors.Is(shutErr, context.DeadlineExceeded) {
+		hs.Close()
+	}
+	ef.Summary(cache)
+	if pc != nil {
+		if err := pc.Close(); err != nil {
+			return fmt.Errorf("flushing cache file: %w", err)
+		}
+	}
+	return shutErr
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// serveFor runs the server with args plus a run deadline, invoking fn
+// once the listener is up, and returns run's error.
+func serveFor(t *testing.T, args []string, d time.Duration, fn func(base string)) error {
+	t.Helper()
+	addrc := make(chan string, 1)
+	testHookServing = func(addr string) { addrc <- addr }
+	defer func() { testHookServing = nil }()
+
+	done := make(chan error, 1)
+	go func() { done <- run(append(args, "-addr", "127.0.0.1:0", "-timeout", d.String())) }()
+	select {
+	case addr := <-addrc:
+		fn("http://" + addr)
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d + 10*time.Second):
+		t.Fatal("server did not exit at its -timeout")
+		return nil
+	}
+}
+
+func TestServeAndShutdown(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "decisions")
+	err := serveFor(t, []string{"-cache-file", cache, "-max-n", "3"}, 2*time.Second, func(base string) {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("healthz = %d", resp.StatusCode)
+		}
+
+		resp, err = http.Post(base+"/v1/analyze", "application/json", strings.NewReader(`{"type":"tas"}`))
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("analyze = %d", resp.StatusCode)
+		}
+		var body struct {
+			Analysis struct {
+				ConsensusNumber string `json:"consensusNumber"`
+			} `json:"analysis"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Analysis.ConsensusNumber != "2" {
+			t.Errorf("tas consensus number = %q, want 2", body.Analysis.ConsensusNumber)
+		}
+	})
+	// The -timeout deadline ends the run through the graceful path.
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-max-n", "1"},
+		{"-addr", "not an address"},
+		{"unexpected-positional"},
+		{"-cache-file", "/nonexistent-dir/sub/decisions"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -45,8 +45,11 @@ func run(args []string) error {
 		return nil
 	}
 
-	eng, cancel := ef.Engine()
-	defer cancel()
+	eng, cleanup, err := ef.Engine()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 
 	var types []*repro.Type
 	if *jsonFile != "" {
@@ -92,5 +95,6 @@ func run(args []string) error {
 			fmt.Println(a.Summary())
 		}
 	}
+	ef.Summary(eng.Cache())
 	return nil
 }

@@ -7,11 +7,15 @@
 //
 //	xsearch -n 4 -attempts 5000 -sizes 5,6
 //	xsearch -n 4 -sizes 5,6,7 -parallel 3 -timeout 2m
+//	xsearch -n 4 -sizes 6 -cache-file xsweep.repro   # resumable sweep
 //
 // Value-set sizes are searched concurrently on a worker pool (-parallel);
 // hits are printed in size order once the sweep finishes, and per-size
 // attempt progress always streams to stderr. -timeout also interrupts
-// in-flight searches (polled once per attempt).
+// in-flight searches (polled once per attempt). Signature checks run on
+// a shared analysis engine, so -cache-file persists every level decision:
+// re-running after an interruption (or with a larger -attempts) skips
+// straight through the seeds already decided.
 package main
 
 import (
@@ -64,25 +68,13 @@ func run(args []string) error {
 
 	start := time.Now()
 	var mu sync.Mutex
-	// Progress always streams to stderr, as it did before the engine
-	// flags existed — long sweeps must not look hung. The shared
-	// -progress flag is accepted for interface consistency.
-	progressFor := func(sz int) func(done int) {
-		return func(done int) {
-			mu.Lock()
-			fmt.Fprintf(os.Stderr, "size %d: %d/%d attempts (%s)\n",
-				sz, done, *attempts, time.Since(start).Round(time.Millisecond))
-			mu.Unlock()
-		}
-	}
 
 	// Sizes are independent sample spaces: sweep them on a worker pool
 	// and render hits in size order. The search polls the context per
 	// attempt, so a deadline also interrupts in-flight searches — and in
 	// the default first-hit mode (-all=false) a size that finds a
 	// candidate cancels the rest of the sweep, preserving the serial
-	// code's early exit. Workers left over after one per size ride along
-	// inside each candidate's signature checks as level-check shards.
+	// code's early exit.
 	sctx := ctx
 	stopEarly := func() {}
 	if !*all {
@@ -91,15 +83,46 @@ func run(args []string) error {
 		defer cancelSweep()
 		stopEarly = cancelSweep
 	}
-	// Workers beyond one per size are idle; offer them to each
-	// candidate's signature checks when the enumeration clears the
-	// -shard-threshold contract.
-	shards := ef.Shards(xsearch.SignatureAssignments(*n), ef.Parallel/len(sizes)-1)
+	// Signature checks run through one shared engine: its cache
+	// deduplicates repeated candidates, its auto-sharding hands workers
+	// left over after one per size to each candidate's big level checks
+	// (the -shard-threshold contract), and -cache-file persists every
+	// decision so an interrupted or repeated sweep resumes across runs
+	// instead of re-searching decided seeds. EngineOn keeps the engine
+	// quiet — the sweep's own attempt progress is the tool's voice.
+	eng, closeCache, err := ef.EngineOn(sctx)
+	if err != nil {
+		return err
+	}
+	defer closeCache()
+	defer ef.Summary(eng.Cache())
+
+	// Progress always streams to stderr, as it did before the engine
+	// flags existed — long sweeps must not look hung. The shared
+	// -progress flag is accepted for interface consistency. On
+	// non-persistent sweeps the same beat caps the memo's memory:
+	// random candidates have unique fingerprints with a near-zero
+	// intra-run hit rate, so holding their decisions is pure cost and
+	// the map is purged every interval. With -cache-file the map stays:
+	// the warm-loaded entries ARE the resume (purging them would force
+	// recomputation), and RAM then tracks the journal the user asked
+	// for on disk.
+	progressFor := func(sz int) func(done int) {
+		return func(done int) {
+			mu.Lock()
+			fmt.Fprintf(os.Stderr, "size %d: %d/%d attempts (%s)\n",
+				sz, done, *attempts, time.Since(start).Round(time.Millisecond))
+			mu.Unlock()
+			if ef.CacheFile == "" {
+				eng.Cache().Purge()
+			}
+		}
+	}
 	hitsBySize := make([][]xsearch.Candidate, len(sizes))
 	searched, _ := pool.Run(sctx, len(sizes), ef.Parallel, func(i int) error {
 		sz := sizes[i]
-		hitsBySize[i] = xsearch.SearchShardedCtx(sctx, *n, *seedStart, *attempts,
-			[]int{sz}, shards, *attempts/4, progressFor(sz))
+		hitsBySize[i] = xsearch.SearchDecider(sctx, eng, *n, *seedStart, *attempts,
+			[]int{sz}, *attempts/4, progressFor(sz))
 		if len(hitsBySize[i]) > 0 {
 			stopEarly()
 		}

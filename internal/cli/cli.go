@@ -1,12 +1,13 @@
 // Package cli carries the flag plumbing shared by the cmd tools and
 // examples: every tool that drives the analysis engine registers the same
-// -parallel, -timeout and -progress flags and builds its engine (and a
-// cancellable context) through EngineFlags.
+// -parallel, -timeout, -progress, -shard-threshold and -cache-file flags
+// and builds its engine (and a cancellable context) through EngineFlags.
 package cli
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"os"
 	"runtime"
 	"time"
@@ -27,6 +28,15 @@ type EngineFlags struct {
 	// is split across idle workers (-shard-threshold; 0 = engine default,
 	// negative = never shard).
 	ShardThreshold int
+	// CacheFile persists the decision cache at this path (-cache-file;
+	// empty = in-memory only), so sweeps resume across runs.
+	CacheFile string
+
+	// Cache is the persistent cache opened for -cache-file; it is set by
+	// OpenCache (and therefore by Engine) and nil when the flag is
+	// unset. Tools that build their engines by hand read it for
+	// WithCache and statistics.
+	Cache *repro.PersistentCache
 }
 
 // AddEngineFlags registers the shared engine flags on fs and returns the
@@ -41,6 +51,8 @@ func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 		"print progress to stderr while the run advances")
 	fs.IntVar(&f.ShardThreshold, "shard-threshold", 0,
 		"assignment count above which one level check is sharded across idle workers (0 = engine default, negative = never shard)")
+	fs.StringVar(&f.CacheFile, "cache-file", "",
+		"persist the decision cache at this path (journal + snapshot), resuming prior runs' decisions")
 	return f
 }
 
@@ -54,43 +66,98 @@ func (f *EngineFlags) Context() (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
-// Options expands the flags into engine options bound to ctx.
-func (f *EngineFlags) Options(ctx context.Context) []repro.Option {
+// OpenCache opens the -cache-file persistent cache, memoizing the store
+// in f.Cache. With the flag unset it returns (nil, nil). The caller (or
+// Engine's cleanup) must Close the store to flush the journal; a caller
+// closing the store itself should also clear f.Cache so a later open on
+// the same flags does not reuse the closed store.
+func (f *EngineFlags) OpenCache() (*repro.PersistentCache, error) {
+	if f.CacheFile == "" {
+		return nil, nil
+	}
+	if f.Cache != nil {
+		return f.Cache, nil
+	}
+	pc, err := repro.OpenCache(f.CacheFile)
+	if err != nil {
+		return nil, fmt.Errorf("-cache-file: %w", err)
+	}
+	f.Cache = pc
+	return pc, nil
+}
+
+// EngineOn builds a repro.Engine bound to a caller-supplied context —
+// for tools that drive sweeps on a sub-context of their own (early-exit
+// cancellation) or whose own progress rendering is the tool's voice, so
+// the engine stays quiet (the -progress writer is NOT installed; pass
+// repro.WithProgress in extra to opt in). The -cache-file persistent
+// cache is wired when set. The returned cleanup must be deferred: it
+// closes the persistent cache (flushing its journal), reporting a
+// failed flush on stderr; canceling ctx remains the caller's job.
+func (f *EngineFlags) EngineOn(ctx context.Context, extra ...repro.Option) (*repro.Engine, func(), error) {
 	opts := []repro.Option{
 		repro.WithContext(ctx),
 		repro.WithParallelism(f.Parallel),
 		repro.WithShardThreshold(f.ShardThreshold),
 	}
+	pc, err := f.OpenCache()
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() {}
+	if pc != nil {
+		opts = append(opts, repro.WithCache(pc.Cache()))
+		cleanup = func() {
+			if err := pc.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cache-file:", err)
+			}
+			// Drop the memo: a later Engine/OpenCache on these flags
+			// must reopen the store, not reuse a closed one that would
+			// silently persist nothing.
+			if f.Cache == pc {
+				f.Cache = nil
+			}
+		}
+	}
+	return repro.New(append(opts, extra...)...), cleanup, nil
+}
+
+// Engine builds a repro.Engine from the flags plus any extra options:
+// EngineOn on the flags' own run context, with the -progress writer
+// installed. The returned cleanup must be deferred by the caller; it
+// cancels the run context and closes the -cache-file store.
+func (f *EngineFlags) Engine(extra ...repro.Option) (*repro.Engine, func(), error) {
+	ctx, cancel := f.Context()
+	var opts []repro.Option
 	if f.Progress {
 		opts = append(opts, repro.WithProgress(report.ProgressWriter(os.Stderr)))
 	}
-	return opts
+	eng, closeStore, err := f.EngineOn(ctx, append(opts, extra...)...)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return eng, func() { cancel(); closeStore() }, nil
 }
 
-// Engine builds a repro.Engine from the flags plus any extra options.
-// The returned cancel must be deferred by the caller.
-func (f *EngineFlags) Engine(extra ...repro.Option) (*repro.Engine, context.CancelFunc) {
-	ctx, cancel := f.Context()
-	return repro.New(append(f.Options(ctx), extra...)...), cancel
-}
-
-// Shards resolves the sharding width for one level check driven outside
-// the engine (a tool calling the sharded deciders directly): how many
-// shards to split an enumeration of `assignments` across, given `idle`
-// spare workers. It applies the -shard-threshold contract exactly as
-// the engine does — 1 (serial) when sharding is disabled, no worker is
-// idle, or the enumeration is at or below the threshold; the idle
-// workers plus the check's own otherwise.
-func (f *EngineFlags) Shards(assignments int64, idle int) int {
-	thr := f.ShardThreshold
-	if thr < 0 || idle < 1 {
-		return 1
+// Summary prints a decision cache's final statistics (and the
+// persistent store's, when -cache-file is set) to stderr under
+// -progress, as the run's closing line. Call it after the tool's main
+// work, before cleanup, passing eng.Cache() — or any cache the tool
+// runs on. The store is flushed first so the reported journal size
+// covers this run's appends.
+func (f *EngineFlags) Summary(c *repro.Cache) {
+	if !f.Progress || c == nil {
+		return
 	}
-	if thr == 0 {
-		thr = repro.DefaultShardThreshold
+	hits, misses, entries := c.Stats()
+	fmt.Fprintf(os.Stderr, "[engine] cache: %d hits, %d misses, %d entries\n", hits, misses, entries)
+	if f.Cache != nil {
+		if err := f.Cache.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "cache-file:", err)
+		}
+		st := f.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "[engine] cache file %s: %d loaded, %d appended (journal %dB, snapshot %dB)\n",
+			st.Path, st.Loaded, st.Appended, st.JournalBytes, st.SnapshotBytes)
 	}
-	if assignments <= int64(thr) {
-		return 1
-	}
-	return idle + 1
 }

@@ -1,0 +1,86 @@
+package discern
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// witnessJSON is the serialized form of a Witness. The field set and
+// order are fixed, so marshaling is deterministic: the persistent
+// decision store relies on decisions round-tripping byte-identically
+// (same idiom as spec's typeJSON).
+type witnessJSON struct {
+	N     int   `json:"n"`
+	U     int   `json:"u"`
+	Teams []int `json:"teams"`
+	Ops   []int `json:"ops"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (w *Witness) MarshalJSON() ([]byte, error) {
+	out := witnessJSON{
+		N:     w.N,
+		U:     int(w.U),
+		Teams: w.Teams,
+		Ops:   make([]int, len(w.Ops)),
+	}
+	for i, op := range w.Ops {
+		out.Ops[i] = int(op)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded witness is
+// validated structurally: one team bit and one operation per process.
+// (Whether it actually certifies n-discerning for a given type can only
+// be judged against that type, which the witness does not carry.)
+func (w *Witness) UnmarshalJSON(data []byte) error {
+	var in witnessJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if err := validateWitnessShape("discern", in.N, in.U, in.Teams, in.Ops); err != nil {
+		return err
+	}
+	w.N = in.N
+	w.U = spec.Value(in.U)
+	w.Teams = append([]int(nil), in.Teams...)
+	w.Ops = make([]spec.Op, len(in.Ops))
+	for i, op := range in.Ops {
+		w.Ops[i] = spec.Op(op)
+	}
+	return nil
+}
+
+// validateWitnessShape checks the common shape of discerning/recording
+// witnesses: n >= 2 processes, a nonnegative starting value, a 0/1 team
+// bit and a nonnegative operation index per process. record's codec
+// shares it via an identical copy (the packages are intentionally
+// independent).
+func validateWitnessShape(kind string, n, u int, teams, ops []int) error {
+	if n < 2 {
+		return fmt.Errorf("%s witness: need n >= 2, got %d", kind, n)
+	}
+	if u < 0 {
+		return fmt.Errorf("%s witness: negative starting value %d", kind, u)
+	}
+	if len(teams) != n {
+		return fmt.Errorf("%s witness: want %d team bits, got %d", kind, n, len(teams))
+	}
+	if len(ops) != n {
+		return fmt.Errorf("%s witness: want %d ops, got %d", kind, n, len(ops))
+	}
+	for i, team := range teams {
+		if team != 0 && team != 1 {
+			return fmt.Errorf("%s witness: team of process %d is %d, want 0 or 1", kind, i, team)
+		}
+	}
+	for i, op := range ops {
+		if op < 0 {
+			return fmt.Errorf("%s witness: negative op %d for process %d", kind, op, i)
+		}
+	}
+	return nil
+}

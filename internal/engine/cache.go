@@ -42,6 +42,7 @@ type Cache struct {
 	mu           sync.Mutex
 	m            map[propKey]propResult
 	inflight     map[propKey]*call
+	sink         func(Entry)
 	hits, misses uint64
 }
 
@@ -92,11 +93,16 @@ func (c *Cache) do(ctx context.Context, k propKey, compute func() (propResult, e
 		cl.res, cl.err = compute()
 		c.mu.Lock()
 		delete(c.inflight, k)
+		var sink func(Entry)
 		if cl.err == nil {
 			c.m[k] = cl.res
+			sink = c.sink
 		}
 		c.mu.Unlock()
 		close(cl.done)
+		if sink != nil {
+			sink(entryOf(k, cl.res))
+		}
 		return cl.res, false, cl.err
 	}
 }
@@ -114,4 +120,70 @@ func (c *Cache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m = make(map[propKey]propResult)
+}
+
+// Entry is the exported form of one memoized decision, the unit of the
+// cache's snapshot/restore API (Range, Insert, SetSink): the key and
+// value types themselves stay unexported. At most one witness pointer is
+// set, matching Prop, and only when OK. Witnesses are shared, not
+// cloned — they are immutable by the cache's contract.
+type Entry struct {
+	// FP is the type's structural fingerprint
+	// (spec.FiniteType.Fingerprint), stable across processes.
+	FP uint64
+	// Prop and N identify the level check.
+	Prop Property
+	N    int
+	// OK is the decision.
+	OK bool
+	// DiscernWitness certifies a positive discerning decision.
+	DiscernWitness *discern.Witness
+	// RecordWitness certifies a positive recording decision.
+	RecordWitness *record.Witness
+}
+
+// entryOf converts an internal key/result pair to its exported form.
+func entryOf(k propKey, r propResult) Entry {
+	return Entry{FP: k.fp, Prop: k.prop, N: k.n, OK: r.ok,
+		DiscernWitness: r.dw, RecordWitness: r.rw}
+}
+
+// Range calls fn for every memoized decision, stopping early when fn
+// returns false. The iteration order is unspecified. The entries are a
+// snapshot taken under the lock, so fn may call back into the cache.
+func (c *Cache) Range(fn func(Entry) bool) {
+	c.mu.Lock()
+	entries := make([]Entry, 0, len(c.m))
+	for k, r := range c.m {
+		entries = append(entries, entryOf(k, r))
+	}
+	c.mu.Unlock()
+	for _, e := range entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Insert memoizes a completed decision without running a computation —
+// the warm-load path of a persistent store. An entry for a key that is
+// already memoized overwrites it. Insert does not fire the sink and does
+// not count as a hit or a miss.
+func (c *Cache) Insert(e Entry) {
+	k := propKey{fp: e.FP, prop: e.Prop, n: e.N}
+	c.mu.Lock()
+	c.m[k] = propResult{ok: e.OK, dw: e.DiscernWitness, rw: e.RecordWitness}
+	c.mu.Unlock()
+}
+
+// SetSink installs fn as the cache's persistence hook: every newly
+// computed decision (not a hit, not an Insert) is passed to fn right
+// after it is memoized, outside the cache lock, from the goroutine that
+// computed it. fn must be safe for concurrent use. One sink at a time;
+// nil uninstalls. Install the sink before handing the cache to engines —
+// decisions computed earlier are not replayed (Range covers those).
+func (c *Cache) SetSink(fn func(Entry)) {
+	c.mu.Lock()
+	c.sink = fn
+	c.mu.Unlock()
 }

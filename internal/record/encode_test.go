@@ -1,0 +1,57 @@
+package record
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestWitnessCodecRoundTrip round-trips real witnesses for n=2..4 and
+// checks the bytes are stable (the persistent store's requirement).
+func TestWitnessCodecRoundTrip(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		ok, w := IsNRecording(types.CompareAndSwap(2), n)
+		if !ok {
+			t.Fatalf("cas should be %d-recording", n)
+		}
+		b1, err := json.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Witness
+		if err := json.Unmarshal(b1, &back); err != nil {
+			t.Fatalf("decode %s: %v", b1, err)
+		}
+		b2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("n=%d witness not byte-stable:\n %s\n %s", n, b1, b2)
+		}
+		if back.String() != w.String() {
+			t.Errorf("n=%d witness changed: %s vs %s", n, &back, w)
+		}
+	}
+}
+
+// TestWitnessDecodeRejectsMalformed pins the structural validation.
+func TestWitnessDecodeRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`{"n":1,"u":0,"teams":[0],"ops":[0]}`,      // n < 2
+		`{"n":2,"u":0,"teams":[0],"ops":[0,1]}`,    // teams too short
+		`{"n":2,"u":0,"teams":[0,2],"ops":[0,1]}`,  // team not 0/1
+		`{"n":2,"u":0,"teams":[0,1],"ops":[0]}`,    // ops too short
+		`{"n":2,"u":0,"teams":[0,1],"ops":[-1,0]}`, // negative op
+		`{"n":2,"u":-1,"teams":[0,1],"ops":[0,0]}`, // negative value
+		`{"n":2,"u":0,"teams":null,"ops":[0,0]}`,   // missing teams
+		`not json`,
+	} {
+		var w Witness
+		if err := json.Unmarshal([]byte(bad), &w); err == nil {
+			t.Errorf("decode accepted %s", bad)
+		}
+	}
+}

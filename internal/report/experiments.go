@@ -1,6 +1,7 @@
 package report
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -14,8 +15,23 @@ import (
 	"repro/internal/universal"
 )
 
-// PaperSuite builds the full experiment suite E1..E11 of DESIGN.md.
+// PaperSuite builds the full experiment suite E1..E11 of DESIGN.md,
+// running every spectrum analysis on the serial reference analyzer.
 func PaperSuite() *Suite {
+	return PaperSuiteWith(nil)
+}
+
+// PaperSuiteWith is PaperSuite with the analysis-heavy experiments (E7,
+// E9, E10) routed through az — typically a repro engine, so their level
+// decisions are memoized, parallel, and (with a persistent cache) reused
+// across runs. A nil az selects the serial reference analyzer,
+// core.Analyze. Experiments that measure decider cost (E11) or pin the
+// deciders themselves (E8) always call them directly: routing those
+// through a cache would fake their point.
+func PaperSuiteWith(az Analyzer) *Suite {
+	if az == nil {
+		az = coreAnalyzer{}
+	}
 	s := &Suite{}
 	s.Add(e1Figure3())
 	s.Add(e2TnnWaitFree())
@@ -23,10 +39,10 @@ func PaperSuite() *Suite {
 	s.Add(e4TnnRecoverable())
 	s.Add(e5TnnRecoverableUpperBound())
 	s.Add(e6CriticalSearch())
-	s.Add(e7Robustness())
+	s.Add(e7Robustness(az))
 	s.Add(e8TASGap())
-	s.Add(e9XFamilies())
-	s.Add(e10ZooTable())
+	s.Add(e9XFamilies(az))
+	s.Add(e10ZooTable(az))
 	s.Add(e11DeciderScaling())
 	s.Add(e12Universality())
 	s.Add(e13Theorem13Chain())
@@ -296,7 +312,7 @@ func levelMax(a, b int) int {
 
 // e7Robustness checks Theorem 14's empirical content on product objects,
 // and probes the paper's open problem on non-readable components.
-func e7Robustness() Experiment {
+func e7Robustness(az Analyzer) Experiment {
 	return Experiment{
 		ID:    "E7",
 		Title: "Theorems 13/14 — robustness on composite (product) objects",
@@ -315,9 +331,17 @@ func e7Robustness() Experiment {
 			}
 			const maxN = 3
 			for _, pc := range pairs {
-				la, _ := core.Analyze(pc.a, maxN)
-				lb, _ := core.Analyze(pc.b, maxN)
-				lp, _ := core.Analyze(types.Product(pc.a, pc.b), maxN)
+				// An injected engine's AnalyzeTo can fail (context
+				// cancellation); the serial reference cannot. Report,
+				// don't dereference nil.
+				la, errA := az.AnalyzeTo(pc.a, maxN)
+				lb, errB := az.AnalyzeTo(pc.b, maxN)
+				lp, errP := az.AnalyzeTo(types.Product(pc.a, pc.b), maxN)
+				for _, err := range []error{errA, errB, errP} {
+					if err != nil {
+						return rows, false, err.Error()
+					}
+				}
 				max := levelMax(la.RecoverableConsensusNumber, lb.RecoverableConsensusNumber)
 				got := lp.RecoverableConsensusNumber
 				ok := levelLeq(got, max)
@@ -331,8 +355,11 @@ func e7Robustness() Experiment {
 			// unbounded by the letter of the definition even though its
 			// recoverable consensus number is not established; Theorem 14
 			// says nothing about such components.
-			lq, _ := core.Analyze(types.Queue(1), maxN)
-			lpq, _ := core.Analyze(types.Product(types.TestAndSet(), types.Queue(1)), maxN)
+			lq, errQ := az.AnalyzeTo(types.Queue(1), maxN)
+			lpq, errPQ := az.AnalyzeTo(types.Product(types.TestAndSet(), types.Queue(1)), maxN)
+			if errQ != nil || errPQ != nil {
+				return rows, false, errors.Join(errQ, errPQ).Error()
+			}
 			rows = append(rows, fmt.Sprintf(
 				"open-problem probe: recording(queue[1])=%s, recording(tas x queue[1])=%s (non-readable; no Theorem 14 constraint)",
 				core.LevelString(lq.RecoverableConsensusNumber, maxN),
@@ -375,7 +402,7 @@ func e8TASGap() Experiment {
 }
 
 // e9XFamilies certifies the separation families.
-func e9XFamilies() Experiment {
+func e9XFamilies(az Analyzer) Experiment {
 	return Experiment{
 		ID:    "E9",
 		Title: "Corollary (Section 5) — readable types with rcons = cons - 2",
@@ -384,7 +411,7 @@ func e9XFamilies() Experiment {
 			var rows []string
 			pass := true
 			check := func(ft *spec.FiniteType, maxN, wantCons, wantRcons int) {
-				a, err := core.Analyze(ft, maxN)
+				a, err := az.AnalyzeTo(ft, maxN)
 				if err != nil {
 					pass = false
 					return
@@ -406,7 +433,7 @@ func e9XFamilies() Experiment {
 }
 
 // e10ZooTable derives the hierarchy table for the zoo.
-func e10ZooTable() Experiment {
+func e10ZooTable(az Analyzer) Experiment {
 	return Experiment{
 		ID:    "E10",
 		Title: "Derived table — consensus vs recoverable consensus numbers of the zoo",
@@ -434,7 +461,7 @@ func e10ZooTable() Experiment {
 			var rows []string
 			pass := true
 			for _, e := range zoo {
-				a, err := core.Analyze(e.ft, e.maxN)
+				a, err := az.AnalyzeTo(e.ft, e.maxN)
 				if err != nil {
 					return rows, false, err.Error()
 				}

@@ -12,8 +12,26 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/pool"
+	"repro/internal/spec"
 )
+
+// Analyzer computes a type's discerning/recording spectrum up to maxN.
+// Both the serial reference (core.Analyze, the default) and the
+// concurrent memoizing engine (engine.Engine) satisfy it; cmd tools
+// inject an engine via PaperSuiteWith so experiments share its decision
+// cache — including a -cache-file persistent one across runs.
+type Analyzer interface {
+	AnalyzeTo(t *spec.FiniteType, maxN int) (*core.Analysis, error)
+}
+
+// coreAnalyzer is the default Analyzer: the serial reference decider.
+type coreAnalyzer struct{}
+
+func (coreAnalyzer) AnalyzeTo(t *spec.FiniteType, maxN int) (*core.Analysis, error) {
+	return core.Analyze(t, maxN)
+}
 
 // Outcome of one experiment.
 type Outcome struct {

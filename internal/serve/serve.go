@@ -1,0 +1,444 @@
+// Package serve implements the reprod analysis service: an HTTP JSON
+// facade over the analysis engine, built for one long-lived process
+// serving many clients against one shared decision cache (optionally
+// disk-backed via internal/store).
+//
+// Endpoints:
+//
+//	POST /v1/analyze  {"type":"tnn:5,2","maxN":5}       one type
+//	POST /v1/batch    {"types":["tas","x4"],"maxN":4}   many types
+//	GET  /healthz                                       liveness
+//	GET  /v1/stats                                      cache/store/traffic counters
+//
+// Each request runs on its own short-lived engine bound to the request
+// context (so per-request timeouts and client disconnects cancel the
+// search), while every engine shares the server's one decision cache —
+// concurrent identical requests therefore collapse into one computation
+// via the cache's singleflight, and previously decided levels are served
+// without recomputation. A semaphore bounds the number of requests
+// analyzing at once; the engines' worker pools interleave on the
+// scheduler below that bound.
+//
+// The Server is an http.Handler, so tests drive it without sockets.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/discern"
+	"repro/internal/engine"
+	"repro/internal/record"
+	"repro/internal/registry"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// Defaults for zero Config fields.
+const (
+	// DefaultMaxN bounds analyses when Config.MaxN is 0.
+	DefaultMaxN = 5
+	// DefaultRequestTimeout bounds one request's analysis when
+	// Config.RequestTimeout is 0.
+	DefaultRequestTimeout = 30 * time.Second
+	// DefaultBatchLimit bounds the descriptors of one batch request when
+	// Config.BatchLimit is 0.
+	DefaultBatchLimit = 256
+	// maxBodyBytes bounds a request body.
+	maxBodyBytes = 1 << 20
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Cache is the decision cache shared by every request's engine; the
+	// singleflight collapsing of concurrent identical requests lives
+	// here. nil gets a fresh private cache. For persistence across
+	// restarts, pass a store-backed cache (store.Open(...).Cache()).
+	Cache *engine.Cache
+	// Store, when non-nil, is reported by /v1/stats. The server never
+	// closes it — the owning process flushes it at shutdown.
+	Store *store.Store
+	// MaxN is both the default and the ceiling of a request's maxN:
+	// the service bounds the exponential work one request can demand.
+	// Values below 2 (including the zero value) select DefaultMaxN —
+	// levels start at n=2, so no smaller ceiling is servable.
+	MaxN int
+	// Parallelism is each request engine's worker-pool width
+	// (0 = runtime.NumCPU()).
+	Parallelism int
+	// ShardThreshold is passed through to each request engine
+	// (see engine.WithShardThreshold).
+	ShardThreshold int
+	// RequestTimeout bounds one request's analysis
+	// (0 = DefaultRequestTimeout; negative = no timeout).
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds the requests analyzing at once; further
+	// requests queue until a slot frees or their context fires
+	// (0 = 2 × Parallelism).
+	MaxConcurrent int
+	// BatchLimit bounds the descriptors of one batch request
+	// (0 = DefaultBatchLimit).
+	BatchLimit int
+}
+
+// Server is the reprod HTTP service. Construct with New.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{}
+	start time.Time
+
+	analyzed  atomic.Uint64 // analyze requests served OK
+	batched   atomic.Uint64 // batch requests served OK
+	failed    atomic.Uint64 // requests answered with an error status
+	inflight  atomic.Int64  // requests holding an analysis slot
+	typesDone atomic.Uint64 // type analyses completed across both endpoints
+}
+
+// New builds a Server, normalizing zero Config fields to the defaults.
+func New(cfg Config) *Server {
+	if cfg.Cache == nil {
+		cfg.Cache = engine.NewCache()
+	}
+	if cfg.MaxN < 2 {
+		cfg.MaxN = DefaultMaxN
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.NumCPU()
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2 * cfg.Parallelism
+	}
+	if cfg.BatchLimit <= 0 {
+		cfg.BatchLimit = DefaultBatchLimit
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), sem: make(chan struct{}, cfg.MaxConcurrent), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	// Type is a registry descriptor ("tas", "tnn:5,2",
+	// "product:tas,register:2", ...).
+	Type string `json:"type"`
+	// MaxN overrides the analysis bound (0 = server default; capped at
+	// the server's MaxN).
+	MaxN int `json:"maxN,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Types []string `json:"types"`
+	MaxN  int      `json:"maxN,omitempty"`
+}
+
+// Level is one row of a type's decision spectrum.
+type Level struct {
+	N          int  `json:"n"`
+	Discerning bool `json:"discerning"`
+	Recording  bool `json:"recording"`
+	// The witnesses certify positive decisions (omitted otherwise).
+	DiscerningWitness *discern.Witness `json:"discerningWitness,omitempty"`
+	RecordingWitness  *record.Witness  `json:"recordingWitness,omitempty"`
+}
+
+// Analysis is the JSON rendering of one type's hierarchy analysis.
+type Analysis struct {
+	Name     string `json:"name"`
+	Readable bool   `json:"readable"`
+	MaxN     int    `json:"maxN"`
+	// Exact reports whether the two numbers are exact hierarchy
+	// positions (readable types) or decider indicators.
+	Exact bool `json:"exact"`
+	// ConsensusNumber and RecoverableConsensusNumber render as "k" or
+	// ">=maxN" (cf. core.LevelString).
+	ConsensusNumber            string  `json:"consensusNumber"`
+	RecoverableConsensusNumber string  `json:"recoverableConsensusNumber"`
+	Levels                     []Level `json:"levels"`
+}
+
+// TypeResult is one element of a batch response: the analysis, or the
+// per-type error that prevented it.
+type TypeResult struct {
+	Type     string    `json:"type"`
+	Error    string    `json:"error,omitempty"`
+	Analysis *Analysis `json:"analysis,omitempty"`
+}
+
+// BatchResponse is the body of a POST /v1/batch reply.
+type BatchResponse struct {
+	Results []TypeResult `json:"results"`
+}
+
+// AnalyzeResponse is the body of a POST /v1/analyze reply.
+type AnalyzeResponse struct {
+	Type     string    `json:"type"`
+	Analysis *Analysis `json:"analysis"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Requests      struct {
+		Analyze uint64 `json:"analyze"`
+		Batch   uint64 `json:"batch"`
+		Failed  uint64 `json:"failed"`
+	} `json:"requests"`
+	Inflight      int64  `json:"inflight"`
+	TypesAnalyzed uint64 `json:"typesAnalyzed"`
+	Cache         struct {
+		Hits    uint64  `json:"hits"`
+		Misses  uint64  `json:"misses"`
+		Entries int     `json:"entries"`
+		HitRate float64 `json:"hitRate"`
+	} `json:"cache"`
+	Store *store.Stats `json:"store,omitempty"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+// fail answers with a JSON error and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.failed.Add(1)
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses a bounded JSON request body, rejecting unknown
+// fields so client typos surface instead of silently defaulting.
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(into)
+}
+
+// resolveMaxN applies the server's default and ceiling to a request maxN.
+func (s *Server) resolveMaxN(reqMaxN int) (int, error) {
+	if reqMaxN == 0 {
+		return s.cfg.MaxN, nil
+	}
+	if reqMaxN < 2 || reqMaxN > s.cfg.MaxN {
+		return 0, fmt.Errorf("maxN %d out of range [2, %d]", reqMaxN, s.cfg.MaxN)
+	}
+	return reqMaxN, nil
+}
+
+// acquire takes one analysis slot, waiting until the request context
+// fires. It returns a release func, or an error when the wait is cut.
+func (s *Server) acquire(r *http.Request) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return func() { s.inflight.Add(-1); <-s.sem }, nil
+	case <-r.Context().Done():
+		return nil, r.Context().Err()
+	}
+}
+
+// requestEngine builds the short-lived engine for one request: bound to
+// the request context plus the per-request timeout, analyzing up to
+// maxN, sharing the server's cache. The returned cancel must be
+// deferred.
+func (s *Server) requestEngine(r *http.Request, maxN int) (*engine.Engine, context.CancelFunc) {
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	eng := engine.New(
+		engine.WithContext(ctx),
+		engine.WithCache(s.cfg.Cache),
+		engine.WithParallelism(s.cfg.Parallelism),
+		engine.WithShardThreshold(s.cfg.ShardThreshold),
+		engine.WithMaxN(maxN),
+	)
+	return eng, cancel
+}
+
+// analysisJSON renders a core.Analysis.
+func analysisJSON(a *core.Analysis) *Analysis {
+	out := &Analysis{
+		Name:                       a.Type.Name(),
+		Readable:                   a.Readable,
+		MaxN:                       a.MaxN,
+		Exact:                      a.Readable,
+		ConsensusNumber:            core.LevelString(a.ConsensusNumber, a.MaxN),
+		RecoverableConsensusNumber: core.LevelString(a.RecoverableConsensusNumber, a.MaxN),
+	}
+	for n := 2; n <= a.MaxN; n++ {
+		out.Levels = append(out.Levels, Level{
+			N:                 n,
+			Discerning:        a.Discerning[n],
+			Recording:         a.Recording[n],
+			DiscerningWitness: a.DiscerningWitness[n],
+			RecordingWitness:  a.RecordingWitness[n],
+		})
+	}
+	return out
+}
+
+// analysisStatus maps an engine error to an HTTP status: a deadline is
+// the request timeout (504); a canceled context is a client that went
+// away (499, nginx's convention — no reply reaches it, but logs and
+// stats should not blame the server); anything else is internal.
+func analysisStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// statusClientClosedRequest is nginx's 499.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	t, err := registry.Parse(req.Type)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	maxN, err := s.resolveMaxN(req.MaxN)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	release, err := s.acquire(r)
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, "no analysis slot: %v", err)
+		return
+	}
+	defer release()
+	eng, cancel := s.requestEngine(r, maxN)
+	defer cancel()
+	a, err := eng.Analyze(t)
+	if err != nil {
+		s.fail(w, analysisStatus(err), "analyze %s: %v", req.Type, err)
+		return
+	}
+	s.analyzed.Add(1)
+	s.typesDone.Add(1)
+	writeJSON(w, http.StatusOK, AnalyzeResponse{Type: req.Type, Analysis: analysisJSON(a)})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Types) == 0 {
+		s.fail(w, http.StatusBadRequest, "batch needs at least one type descriptor")
+		return
+	}
+	if len(req.Types) > s.cfg.BatchLimit {
+		s.fail(w, http.StatusBadRequest, "batch of %d types exceeds the limit of %d", len(req.Types), s.cfg.BatchLimit)
+		return
+	}
+	maxN, err := s.resolveMaxN(req.MaxN)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Resolve every descriptor first: a typo in one must not cost the
+	// others their analysis (or the client a 400 after seconds of work).
+	results := make([]TypeResult, len(req.Types))
+	var idx []int
+	var resolved []*spec.FiniteType
+	for i, desc := range req.Types {
+		results[i].Type = desc
+		t, err := registry.Parse(desc)
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		idx = append(idx, i)
+		resolved = append(resolved, t)
+	}
+
+	if len(resolved) > 0 {
+		release, err := s.acquire(r)
+		if err != nil {
+			s.fail(w, http.StatusServiceUnavailable, "no analysis slot: %v", err)
+			return
+		}
+		defer release()
+		eng, cancel := s.requestEngine(r, maxN)
+		defer cancel()
+		// One flat pool run for the whole batch: levels of all types
+		// interleave, and duplicate descriptors collapse in the cache.
+		analyses, err := eng.AnalyzeAll(resolved)
+		if err != nil {
+			s.fail(w, analysisStatus(err), "batch analysis: %v", err)
+			return
+		}
+		for i, a := range analyses {
+			results[idx[i]].Analysis = analysisJSON(a)
+			s.typesDone.Add(1)
+		}
+	}
+	s.batched.Add(1)
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	resp.UptimeSeconds = time.Since(s.start).Seconds()
+	resp.Requests.Analyze = s.analyzed.Load()
+	resp.Requests.Batch = s.batched.Load()
+	resp.Requests.Failed = s.failed.Load()
+	resp.Inflight = s.inflight.Load()
+	resp.TypesAnalyzed = s.typesDone.Load()
+	hits, misses, entries := s.cfg.Cache.Stats()
+	resp.Cache.Hits = hits
+	resp.Cache.Misses = misses
+	resp.Cache.Entries = entries
+	if total := hits + misses; total > 0 {
+		resp.Cache.HitRate = float64(hits) / float64(total)
+	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		resp.Store = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

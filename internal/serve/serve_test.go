@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// post drives the handler without sockets.
+func post(t *testing.T, s *Server, path, body string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+func get(t *testing.T, s *Server, path string) (int, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec.Code, rec.Body.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	s := New(Config{})
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz = %d %s", code, body)
+	}
+}
+
+func TestAnalyzeTAS(t *testing.T) {
+	s := New(Config{MaxN: 3})
+	code, body := post(t, s, "/v1/analyze", `{"type":"tas"}`)
+	if code != http.StatusOK {
+		t.Fatalf("analyze = %d %s", code, body)
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	a := resp.Analysis
+	if a == nil || a.ConsensusNumber != "2" || a.RecoverableConsensusNumber != "1" || !a.Exact {
+		t.Fatalf("tas analysis wrong: %+v", a)
+	}
+	if len(a.Levels) != 2 || !a.Levels[0].Discerning || a.Levels[0].DiscerningWitness == nil {
+		t.Fatalf("tas levels wrong: %+v", a.Levels)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	s := New(Config{MaxN: 4})
+	for _, tc := range []struct {
+		path, body string
+		want       int
+	}{
+		{"/v1/analyze", `{"type":"nosuchtype"}`, http.StatusBadRequest},
+		{"/v1/analyze", `{"type":"tas","maxN":9}`, http.StatusBadRequest}, // above server ceiling
+		{"/v1/analyze", `{"type":"tas","maxN":1}`, http.StatusBadRequest},
+		{"/v1/analyze", `not json`, http.StatusBadRequest},
+		{"/v1/analyze", `{"type":"tas","typo":1}`, http.StatusBadRequest}, // unknown field
+		{"/v1/batch", `{"types":[]}`, http.StatusBadRequest},
+	} {
+		code, body := post(t, s, tc.path, tc.body)
+		if code != tc.want {
+			t.Errorf("POST %s %s = %d %s, want %d", tc.path, tc.body, code, body, tc.want)
+		}
+		if !bytes.Contains(body, []byte(`"error"`)) {
+			t.Errorf("POST %s %s: no error body: %s", tc.path, tc.body, body)
+		}
+	}
+	// Wrong method routes to 405 via the pattern mux.
+	if code, _ := get(t, s, "/v1/analyze"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/analyze = %d, want 405", code)
+	}
+	// Every failure above must be counted.
+	_, body := get(t, s, "/v1/stats")
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests.Failed < 6 {
+		t.Errorf("failed counter = %d, want >= 6", stats.Requests.Failed)
+	}
+}
+
+func TestBatchMixedDescriptors(t *testing.T) {
+	s := New(Config{MaxN: 3})
+	code, body := post(t, s, "/v1/batch", `{"types":["tas","nosuchtype","register:2"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d %s", code, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(resp.Results))
+	}
+	if resp.Results[0].Analysis == nil || resp.Results[0].Error != "" {
+		t.Errorf("tas result wrong: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Analysis != nil || resp.Results[1].Error == "" {
+		t.Errorf("bad descriptor result wrong: %+v", resp.Results[1])
+	}
+	if resp.Results[2].Analysis == nil || resp.Results[2].Analysis.ConsensusNumber != "1" {
+		t.Errorf("register result wrong: %+v", resp.Results[2])
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	s := New(Config{MaxN: 3, RequestTimeout: time.Nanosecond})
+	code, body := post(t, s, "/v1/analyze", `{"type":"tas"}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("analyze under 1ns timeout = %d %s, want 504", code, body)
+	}
+}
+
+func TestBatchLimit(t *testing.T) {
+	s := New(Config{BatchLimit: 2})
+	code, _ := post(t, s, "/v1/batch", `{"types":["tas","tas","tas"]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("over-limit batch = %d, want 400", code)
+	}
+}
+
+// httpPost posts against a real socket (the integration path).
+func httpPost(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func httpGetStats(t *testing.T, url string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestIntegrationConcurrentBatchAndWarmRestart is the service's
+// end-to-end contract, and what CI runs race-enabled:
+//
+//  1. Run 1 starts on an ephemeral port with a fresh persistent cache,
+//     serves a concurrent storm of identical analyzes plus a batch, and
+//     must collapse the duplicates in the cache (singleflight): the
+//     distinct decisions computed stay at the number of distinct levels,
+//     everything else is hits.
+//  2. Run 2 restarts the service on the same cache file: the same batch
+//     must be served entirely from warm-loaded decisions (>= 90% hit
+//     rate in /v1/stats, zero misses in fact) with responses
+//     byte-identical to run 1's.
+func TestIntegrationConcurrentBatchAndWarmRestart(t *testing.T) {
+	cachePath := filepath.Join(t.TempDir(), "decisions")
+	const batchBody = `{"types":["tas","tnn:3,1","y:3","register:2","tas"],"maxN":4}`
+	const analyzeBody = `{"type":"tnn:3,1","maxN":4}`
+
+	// ---- Run 1: cold cache, concurrent storm.
+	st1, err := store.Open(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(Config{Cache: st1.Cache(), Store: st1, MaxN: 4, Parallelism: 4})
+	ts1 := httptest.NewServer(srv1)
+
+	const stormers = 8
+	var wg sync.WaitGroup
+	analyzeBodies := make([][]byte, stormers)
+	for i := 0; i < stormers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := httpPost(t, ts1.URL+"/v1/analyze", analyzeBody)
+			if code != http.StatusOK {
+				t.Errorf("storm analyze %d = %d %s", i, code, body)
+			}
+			analyzeBodies[i] = body
+		}(i)
+	}
+	wg.Add(1)
+	var batch1 []byte
+	go func() {
+		defer wg.Done()
+		code, body := httpPost(t, ts1.URL+"/v1/batch", batchBody)
+		if code != http.StatusOK {
+			t.Errorf("batch = %d %s", code, body)
+		}
+		batch1 = body
+	}()
+	wg.Wait()
+	for i := 1; i < stormers; i++ {
+		if !bytes.Equal(analyzeBodies[0], analyzeBodies[i]) {
+			t.Errorf("storm responses differ:\n%s\n%s", analyzeBodies[0], analyzeBodies[i])
+		}
+	}
+
+	stats1 := httpGetStats(t, ts1.URL)
+	// Distinct decisions across the storm + batch: 4 distinct types
+	// ("tas" repeats in the batch, tnn:3,1 repeats across endpoints),
+	// 2 properties, levels n=2..4.
+	const distinct = 4 * 2 * 3
+	if stats1.Cache.Misses != distinct {
+		t.Errorf("run 1 computed %d decisions, want %d (singleflight leak?)", stats1.Cache.Misses, distinct)
+	}
+	if stats1.Cache.Hits == 0 {
+		t.Error("run 1 saw no cache hits despite duplicate traffic")
+	}
+	if stats1.Store == nil || stats1.Store.Path != cachePath {
+		t.Errorf("run 1 store stats missing: %+v", stats1.Store)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- Run 2: warm restart against the same cache file.
+	st2, err := store.Open(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Stats().Loaded != distinct {
+		t.Fatalf("run 2 warm-loaded %d decisions, want %d", st2.Stats().Loaded, distinct)
+	}
+	srv2 := New(Config{Cache: st2.Cache(), Store: st2, MaxN: 4, Parallelism: 4})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	code, batch2 := httpPost(t, ts2.URL+"/v1/batch", batchBody)
+	if code != http.StatusOK {
+		t.Fatalf("run 2 batch = %d %s", code, batch2)
+	}
+	if !bytes.Equal(batch1, batch2) {
+		t.Errorf("batch responses not byte-identical across restart:\n run1 %s\n run2 %s", batch1, batch2)
+	}
+	code, analyze2 := httpPost(t, ts2.URL+"/v1/analyze", analyzeBody)
+	if code != http.StatusOK {
+		t.Fatalf("run 2 analyze = %d %s", code, analyze2)
+	}
+	if !bytes.Equal(analyzeBodies[0], analyze2) {
+		t.Errorf("analyze responses not byte-identical across restart:\n run1 %s\n run2 %s", analyzeBodies[0], analyze2)
+	}
+
+	stats2 := httpGetStats(t, ts2.URL)
+	if stats2.Cache.Misses != 0 {
+		t.Errorf("run 2 recomputed %d decisions, want 0", stats2.Cache.Misses)
+	}
+	if stats2.Cache.HitRate < 0.9 {
+		t.Errorf("run 2 hit rate %.2f, want >= 0.90", stats2.Cache.HitRate)
+	}
+	if stats2.TypesAnalyzed == 0 || stats2.Requests.Batch != 1 {
+		t.Errorf("run 2 request counters wrong: %+v", stats2.Requests)
+	}
+}
+
+// TestStatsShape pins the stats fields external monitors rely on.
+func TestStatsShape(t *testing.T) {
+	s := New(Config{MaxN: 2})
+	if code, body := post(t, s, "/v1/analyze", `{"type":"register:2"}`); code != http.StatusOK {
+		t.Fatalf("analyze = %d %s", code, body)
+	}
+	_, body := get(t, s, "/v1/stats")
+	for _, field := range []string{"uptimeSeconds", "hits", "misses", "entries", "hitRate", "typesAnalyzed", "inflight"} {
+		if !bytes.Contains(body, []byte(fmt.Sprintf("%q", field))) {
+			t.Errorf("stats body missing %q:\n%s", field, body)
+		}
+	}
+}

@@ -1,0 +1,662 @@
+// Package store persists engine decision caches across processes: every
+// memoized level decision (one propKey → propResult entry of
+// internal/engine.Cache, in its exported engine.Entry form) is written to
+// a disk-backed store and warm-loaded on the next Open, so the
+// exponential discerning/recording searches are paid once per type and
+// level, ever, rather than once per process.
+//
+// # On-disk layout
+//
+// A store at path P owns two files:
+//
+//   - P — the compacted snapshot, rewritten atomically (write to a
+//     temporary file in the same directory, fsync, rename) by Compact;
+//   - P.journal — the append-only journal receiving every decision
+//     computed since the last compaction.
+//
+// Both files share one line-oriented format: a header line
+// {"format":"repro-decision-store","version":1} followed by one record
+// per line, {"e":<entry>,"c":<crc32c of the entry bytes>}. The CRC makes
+// corruption detection independent of JSON syntax: a torn tail from a
+// crash, a bit flip, or a truncated copy is caught at load time, and the
+// load keeps every record up to the first bad one (for the journal, the
+// file is also physically truncated back to that point so appends resume
+// on a clean boundary). A record only counts as good if its trailing
+// newline made it to disk.
+//
+// Writes are asynchronous: the cache's sink hands newly computed
+// decisions to a flusher goroutine owning the journal file, so deciders
+// never block on disk. Close drains and syncs the journal; Flush and
+// Compact are available mid-run. One process at a time may own a store
+// path — concurrent writers would interleave journal lines.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/discern"
+	"repro/internal/engine"
+	"repro/internal/record"
+)
+
+// Format is the header tag identifying decision-store files.
+const Format = "repro-decision-store"
+
+// Version is the newest file-format version this package writes. Files
+// with a newer version are refused (not silently truncated): they hold
+// valid data from a newer build, which must not be destroyed.
+const Version = 1
+
+// journalSuffix names the journal file beside the snapshot path.
+const journalSuffix = ".journal"
+
+// castagnoli is the CRC-32C table used for record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// header is the first line of snapshot and journal files.
+type header struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+}
+
+// entryJSON is the serialized decision. The fingerprint is hex-encoded:
+// JSON numbers cannot carry 64 bits exactly.
+type entryJSON struct {
+	FP   string          `json:"fp"`
+	Prop string          `json:"prop"`
+	N    int             `json:"n"`
+	OK   bool            `json:"ok"`
+	W    json.RawMessage `json:"w,omitempty"`
+}
+
+// recordJSON is one non-header line: the entry bytes plus their CRC-32C.
+type recordJSON struct {
+	E json.RawMessage `json:"e"`
+	C uint32          `json:"c"`
+}
+
+// encodeEntry renders e as one newline-terminated journal line.
+func encodeEntry(e engine.Entry) ([]byte, error) {
+	ej := entryJSON{FP: fmt.Sprintf("%016x", e.FP), Prop: string(e.Prop), N: e.N, OK: e.OK}
+	var w any
+	switch {
+	case e.DiscernWitness != nil:
+		w = e.DiscernWitness
+	case e.RecordWitness != nil:
+		w = e.RecordWitness
+	}
+	if w != nil {
+		wb, err := json.Marshal(w)
+		if err != nil {
+			return nil, err
+		}
+		ej.W = wb
+	}
+	eb, err := json.Marshal(ej)
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(recordJSON{E: eb, C: crc32.Checksum(eb, castagnoli)})
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// decodeEntry parses one record line, verifying the CRC and the
+// decision's internal consistency (a positive decision must carry a
+// witness of the right kind and level).
+func decodeEntry(line []byte) (engine.Entry, error) {
+	var rec recordJSON
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return engine.Entry{}, err
+	}
+	if got := crc32.Checksum(rec.E, castagnoli); got != rec.C {
+		return engine.Entry{}, fmt.Errorf("store: record CRC mismatch (%08x != %08x)", got, rec.C)
+	}
+	var ej entryJSON
+	if err := json.Unmarshal(rec.E, &ej); err != nil {
+		return engine.Entry{}, err
+	}
+	fp, err := strconv.ParseUint(ej.FP, 16, 64)
+	if err != nil {
+		return engine.Entry{}, fmt.Errorf("store: bad fingerprint %q: %w", ej.FP, err)
+	}
+	e := engine.Entry{FP: fp, Prop: engine.Property(ej.Prop), N: ej.N, OK: ej.OK}
+	if e.N < 2 {
+		return engine.Entry{}, fmt.Errorf("store: bad level n=%d", e.N)
+	}
+	switch e.Prop {
+	case engine.Discerning:
+		if e.OK {
+			e.DiscernWitness = &discern.Witness{}
+			err = json.Unmarshal(ej.W, e.DiscernWitness)
+		}
+	case engine.Recording:
+		if e.OK {
+			e.RecordWitness = &record.Witness{}
+			err = json.Unmarshal(ej.W, e.RecordWitness)
+		}
+	default:
+		return engine.Entry{}, fmt.Errorf("store: unknown property %q", ej.Prop)
+	}
+	if err != nil {
+		return engine.Entry{}, err
+	}
+	if e.OK {
+		wn := 0
+		if e.DiscernWitness != nil {
+			wn = e.DiscernWitness.N
+		} else if e.RecordWitness != nil {
+			wn = e.RecordWitness.N
+		}
+		if wn != e.N {
+			return engine.Entry{}, fmt.Errorf("store: witness level %d does not match entry level %d", wn, e.N)
+		}
+	}
+	return e, nil
+}
+
+// readDecisions loads the decisions of one store file, tolerating
+// corruption: it returns every record up to (excluding) the first bad
+// one, plus the byte length of that good prefix. A missing file, an
+// empty file, or a torn (newline-less) header is zero decisions. A
+// complete-but-alien header and a header from a newer Version are
+// errors — such files must not be truncated or overwritten.
+func readDecisions(path string) (entries []engine.Entry, goodLen int64, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	// readLine returns the next newline-terminated line. A final line
+	// without its newline is a torn write — not a good record even if
+	// it happens to parse — and reads as a clean end. Any other read
+	// error is a real I/O failure and must abort the load: truncating
+	// at that point would destroy records that are still fine on disk.
+	readLine := func() ([]byte, bool, error) {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			return nil, false, nil
+		}
+		if err != nil {
+			return nil, false, fmt.Errorf("store: reading %s: %w", path, err)
+		}
+		off += int64(len(line))
+		return bytes.TrimSuffix(line, []byte("\n")), true, nil
+	}
+
+	hline, ok, err := readLine()
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		// Empty file, or a header torn mid-write (no newline made it to
+		// disk): nothing was ever durably stored, so zero decisions and
+		// a goodLen of 0 are the truth.
+		return nil, 0, nil
+	}
+	var h header
+	if json.Unmarshal(hline, &h) != nil || h.Format != Format {
+		// A complete first line that is not our header means this is
+		// not (or no longer) a decision-store file — a stray file at
+		// the path, or header corruption in place. Refuse rather than
+		// truncate: the tail may still hold thousands of good records
+		// (or someone else's data), and destroying them is worse than
+		// asking the operator to move the file aside.
+		return nil, 0, fmt.Errorf("store: %s has no decision-store header (refusing to overwrite; move the file aside to start fresh)", path)
+	}
+	if h.Version > Version {
+		return nil, 0, fmt.Errorf("store: %s is format version %d, newer than this build's %d", path, h.Version, Version)
+	}
+	goodLen = off
+	for {
+		line, ok, err := readLine()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return entries, goodLen, nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			// Blank line: tolerate and keep it in the good prefix.
+			goodLen = off
+			continue
+		}
+		e, err := decodeEntry(line)
+		if err != nil {
+			return entries, goodLen, nil
+		}
+		entries = append(entries, e)
+		goodLen = off
+	}
+}
+
+// request kinds served by the flusher goroutine.
+const (
+	reqFlush = iota
+	reqCompact
+)
+
+type request struct {
+	kind int
+	err  chan error
+}
+
+// Store is an open persistent decision store. It is safe for concurrent
+// use. Construct with Open; the zero value is not usable.
+type Store struct {
+	path  string // snapshot file
+	jpath string // journal file
+	cache *engine.Cache
+
+	queue chan engine.Entry
+	reqs  chan request
+	done  chan struct{} // closed when the flusher has exited
+
+	// lifeMu guards closed. Sink sends and flusher requests hold it for
+	// reading across their whole channel interaction, so Close (which
+	// takes it for writing) cannot tear the channels down under them.
+	lifeMu sync.RWMutex
+	closed bool
+
+	mu       sync.Mutex // guards the mutable fields below
+	loaded   int
+	appended int
+	err      error // first journal I/O error, sticky
+
+	// Owned by the flusher goroutine after Open returns.
+	journal *os.File
+	bw      *bufio.Writer
+}
+
+// Open opens (creating if absent) the decision store at path and
+// warm-loads every previously persisted decision into a fresh cache,
+// reachable via Cache. Corrupted tails of the snapshot or journal are
+// skipped, and the journal is physically truncated to its last good
+// record so appends resume cleanly. The returned store appends every
+// decision the cache computes from now on, asynchronously, until Close.
+func Open(path string) (*Store, error) {
+	if path == "" {
+		return nil, errors.New("store: empty path")
+	}
+	s := &Store{
+		path:  path,
+		jpath: path + journalSuffix,
+		cache: engine.NewCache(),
+		queue: make(chan engine.Entry, 256),
+		reqs:  make(chan request),
+		done:  make(chan struct{}),
+	}
+
+	snap, _, err := readDecisions(s.path)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range snap {
+		s.cache.Insert(e)
+	}
+	jrnl, goodLen, err := readDecisions(s.jpath)
+	if err != nil {
+		return nil, err
+	}
+	// Journal entries overwrite snapshot entries: they are newer (and,
+	// the deciders being deterministic, identical for identical keys).
+	for _, e := range jrnl {
+		s.cache.Insert(e)
+	}
+	// Count distinct decisions, not records: after a crash between
+	// compact's snapshot rename and its journal reset, journal records
+	// duplicate snapshot ones and collapse on Insert.
+	_, _, s.loaded = s.cache.Stats()
+
+	f, err := os.OpenFile(s.jpath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size() != goodLen {
+		if err := f.Truncate(goodLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.journal = f
+	s.bw = bufio.NewWriterSize(f, 1<<16)
+	if goodLen == 0 {
+		if err := s.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+
+	s.cache.SetSink(s.enqueue)
+	go s.flusher()
+	return s, nil
+}
+
+// Cache returns the warm-loaded decision cache backed by this store.
+// Install it on engines with engine.WithCache (repro.WithCache); every
+// decision they compute is persisted automatically.
+func (s *Store) Cache() *engine.Cache { return s.cache }
+
+// Path returns the snapshot path the store was opened with.
+func (s *Store) Path() string { return s.path }
+
+// enqueue is the cache sink: it hands one newly computed decision to the
+// flusher. It blocks only while the flusher is behind by a full queue.
+func (s *Store) enqueue(e engine.Entry) {
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	if s.closed {
+		return
+	}
+	s.queue <- e
+}
+
+// writeHeader writes (buffered) the format header at the journal's
+// current position.
+func (s *Store) writeHeader() error {
+	hb, err := json.Marshal(header{Format: Format, Version: Version})
+	if err != nil {
+		return err
+	}
+	if _, err := s.bw.Write(append(hb, '\n')); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// setErr records the first journal I/O error.
+func (s *Store) setErr(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the store's sticky journal I/O error, if any. Appends are
+// best-effort after the first error; Close and Flush also report it.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// flusher owns the journal file: it drains the append queue and serves
+// Flush/Compact requests until Close shuts the queue, then syncs and
+// closes the file. Whenever the queue goes idle it pushes the write
+// buffer to the OS, so a killed process (OOM, SIGKILL) loses at most
+// the appends of one busy burst — only an OS crash can lose an idle
+// tail, and Flush/Close close even that window with an fsync.
+func (s *Store) flusher() {
+	defer close(s.done)
+	for {
+		var (
+			e      engine.Entry
+			ok     bool
+			req    request
+			gotReq bool
+		)
+		select {
+		case e, ok = <-s.queue:
+		case req = <-s.reqs:
+			gotReq = true
+		default:
+			// Queue idle: make the buffered appends visible to the OS
+			// before blocking.
+			if s.bw.Buffered() > 0 {
+				s.setErr(s.bw.Flush())
+			}
+			select {
+			case e, ok = <-s.queue:
+			case req = <-s.reqs:
+				gotReq = true
+			}
+		}
+		if gotReq {
+		drain:
+			// Cover everything enqueued before the request.
+			for {
+				select {
+				case e, ok := <-s.queue:
+					if !ok {
+						break drain
+					}
+					s.append(e)
+				default:
+					break drain
+				}
+			}
+			switch req.kind {
+			case reqFlush:
+				req.err <- s.sync()
+			case reqCompact:
+				req.err <- s.compact()
+			}
+			continue
+		}
+		if !ok {
+			s.setErr(s.bw.Flush())
+			s.setErr(s.journal.Sync())
+			s.setErr(s.journal.Close())
+			return
+		}
+		s.append(e)
+	}
+}
+
+// append journals one decision (buffered; errors are sticky).
+func (s *Store) append(e engine.Entry) {
+	line, err := encodeEntry(e)
+	if err != nil {
+		s.setErr(err)
+		return
+	}
+	if _, err := s.bw.Write(line); err != nil {
+		s.setErr(err)
+		return
+	}
+	s.mu.Lock()
+	s.appended++
+	s.mu.Unlock()
+}
+
+// sync pushes the write buffer to the OS and the OS cache to disk.
+func (s *Store) sync() error {
+	if err := s.bw.Flush(); err != nil {
+		s.setErr(err)
+		return err
+	}
+	if err := s.journal.Sync(); err != nil {
+		s.setErr(err)
+		return err
+	}
+	return s.Err()
+}
+
+// compact rewrites the snapshot with the cache's current contents and
+// resets the journal. Runs on the flusher goroutine. Crash-safety: the
+// snapshot replacement is atomic (temp file + rename), and the journal
+// is only reset afterwards — a crash between the two leaves journal
+// entries that duplicate snapshot entries, which the next Open absorbs
+// (Insert overwrites).
+func (s *Store) compact() error {
+	if err := s.sync(); err != nil {
+		return err
+	}
+	var entries []engine.Entry
+	s.cache.Range(func(e engine.Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	// Deterministic snapshots: identical caches produce identical bytes.
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.FP != b.FP {
+			return a.FP < b.FP
+		}
+		if a.Prop != b.Prop {
+			return a.Prop < b.Prop
+		}
+		return a.N < b.N
+	})
+
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	hb, err := json.Marshal(header{Format: Format, Version: Version})
+	if err == nil {
+		_, err = w.Write(append(hb, '\n'))
+	}
+	for i := 0; err == nil && i < len(entries); i++ {
+		var line []byte
+		if line, err = encodeEntry(entries[i]); err == nil {
+			_, err = w.Write(line)
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), s.path)
+	}
+	if err != nil {
+		return err
+	}
+	syncDir(dir)
+
+	// Reset the journal to a bare header; appends continue after it.
+	if err := s.journal.Truncate(0); err != nil {
+		s.setErr(err)
+		return err
+	}
+	if _, err := s.journal.Seek(0, io.SeekStart); err != nil {
+		s.setErr(err)
+		return err
+	}
+	s.bw.Reset(s.journal)
+	if err := s.writeHeader(); err != nil {
+		s.setErr(err)
+		return err
+	}
+	if err := s.journal.Sync(); err != nil {
+		s.setErr(err)
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Best effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// request round-trips one control request to the flusher.
+func (s *Store) do(kind int) error {
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	req := request{kind: kind, err: make(chan error, 1)}
+	s.reqs <- req
+	return <-req.err
+}
+
+// Flush drains pending appends and syncs the journal to disk.
+func (s *Store) Flush() error { return s.do(reqFlush) }
+
+// Compact folds the journal (and any prior snapshot) into a freshly
+// written snapshot — atomically, via temp file + rename — and resets the
+// journal to empty. Load time and disk use shrink to one record per
+// distinct decision.
+func (s *Store) Compact() error { return s.do(reqCompact) }
+
+// Close stops persisting, drains and syncs the journal, and closes it.
+// Decisions the cache computes after Close are not persisted. Close is
+// idempotent; it returns the store's sticky I/O error, if any.
+func (s *Store) Close() error {
+	s.lifeMu.Lock()
+	if s.closed {
+		s.lifeMu.Unlock()
+		return s.Err()
+	}
+	s.closed = true
+	s.lifeMu.Unlock()
+	s.cache.SetSink(nil)
+	close(s.queue)
+	<-s.done
+	return s.Err()
+}
+
+// Stats describes the store's persistence state.
+type Stats struct {
+	// Path is the snapshot path (the journal is Path + ".journal").
+	Path string `json:"path"`
+	// Loaded counts the decisions warm-loaded at Open.
+	Loaded int `json:"loaded"`
+	// Appended counts the decisions journaled since Open.
+	Appended int `json:"appended"`
+	// SnapshotBytes and JournalBytes are the current file sizes (0 when
+	// the file does not exist yet).
+	SnapshotBytes int64 `json:"snapshotBytes"`
+	JournalBytes  int64 `json:"journalBytes"`
+}
+
+// Stats reports the store's current persistence counters and file sizes.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{Path: s.path, Loaded: s.loaded, Appended: s.appended}
+	s.mu.Unlock()
+	if fi, err := os.Stat(s.path); err == nil {
+		st.SnapshotBytes = fi.Size()
+	}
+	if fi, err := os.Stat(s.jpath); err == nil {
+		st.JournalBytes = fi.Size()
+	}
+	return st
+}

@@ -101,18 +101,48 @@ func HasXSignatureShardedCtx(ctx context.Context, t *spec.FiniteType, n, shards 
 // HasX4Signature checks the X_4 signature (see HasXSignature).
 func HasX4Signature(t *spec.FiniteType) bool { return HasXSignature(t, 4) }
 
-// SignatureAssignments returns the size of the dominant enumeration of
-// one sampled candidate's signature check — the n-discerning
-// operation-assignment space over the sampler's fixed three operations.
-// Tools use it to decide whether sharding the checks is worth it (see
-// cli.EngineFlags.Shards).
-func SignatureAssignments(n int) int64 {
-	return discern.NewTupleSpace(sampleOps, n, false).Count()
+// LevelDecider is the slice of the analysis engine's API the signature
+// check needs: decide one level of one property, however the
+// implementation wants to (memoized, sharded, persistent).
+// *engine.Engine satisfies it.
+type LevelDecider interface {
+	Discerning(t *spec.FiniteType, n int) (bool, *discern.Witness, error)
+	Recording(t *spec.FiniteType, n int) (bool, *record.Witness, error)
 }
 
-// sampleOps is the operation count of every Sample candidate: the two
-// mutating operations plus the Read.
-const sampleOps = 3
+// HasXSignatureDecider is HasXSignature with every level check routed
+// through d. Driven by an engine, the checks are cached by type
+// fingerprint — a re-run over the same seeds (for instance resuming an
+// interrupted sweep against a persistent -cache-file) skips straight
+// through already-decided candidates — and large enumerations shard
+// across the engine's idle workers automatically. The check order stays
+// cheapest-first; cancellation arrives via d's own context as an error.
+func HasXSignatureDecider(d LevelDecider, t *spec.FiniteType, n int) (bool, error) {
+	if n < 4 {
+		panic(fmt.Sprintf("xsearch: X_n signature needs n >= 4, got %d", n))
+	}
+	if !t.Readable() {
+		return false, nil
+	}
+	if ok, _, err := d.Recording(t, n-1); err != nil || ok {
+		return false, err
+	}
+	if ok, _, err := d.Recording(t, n-2); err != nil || !ok {
+		return false, err
+	}
+	ok, _, err := d.Discerning(t, n)
+	return ok, err
+}
+
+// SearchDecider is SearchCtx with each candidate's signature checks
+// routed through d (see HasXSignatureDecider). The context is polled
+// once per attempt; d is additionally expected to honor its own context
+// mid-check, as an engine does.
+func SearchDecider(ctx context.Context, d LevelDecider, n int, seedStart int64, attempts int, sizes []int, progressEvery int, progress func(done int)) []Candidate {
+	return searchWith(ctx, func(t *spec.FiniteType) (bool, error) {
+		return HasXSignatureDecider(d, t, n)
+	}, seedStart, attempts, sizes, progressEvery, progress)
+}
 
 // Search samples candidates with seeds [seedStart, seedStart+attempts) and
 // value-set sizes in sizes, returning every candidate with the X_n
@@ -134,6 +164,16 @@ func SearchCtx(ctx context.Context, n int, seedStart int64, attempts int, sizes 
 // than workers, so the spare cores ride along inside each check instead
 // of idling.
 func SearchShardedCtx(ctx context.Context, n int, seedStart int64, attempts int, sizes []int, shards, progressEvery int, progress func(done int)) []Candidate {
+	return searchWith(ctx, func(t *spec.FiniteType) (bool, error) {
+		return HasXSignatureShardedCtx(ctx, t, n, shards)
+	}, seedStart, attempts, sizes, progressEvery, progress)
+}
+
+// searchWith is the one sweep loop behind every Search variant: sample
+// seeds [seedStart, seedStart+attempts) at each size, keep candidates
+// the check accepts, poll ctx once per attempt, and return the partial
+// result when ctx fires or the check errors (a canceled mid-check).
+func searchWith(ctx context.Context, check func(*spec.FiniteType) (bool, error), seedStart int64, attempts int, sizes []int, progressEvery int, progress func(done int)) []Candidate {
 	var found []Candidate
 	cdone := ctx.Done()
 	done := 0
@@ -145,7 +185,7 @@ func SearchShardedCtx(ctx context.Context, n int, seedStart int64, attempts int,
 		}
 		for _, sz := range sizes {
 			t := Sample(seedStart+int64(i), sz)
-			ok, err := HasXSignatureShardedCtx(ctx, t, n, shards)
+			ok, err := check(t)
 			if err != nil {
 				return found // canceled mid-check; report what we have
 			}

@@ -56,6 +56,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/record"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/types"
 )
 
@@ -94,7 +95,10 @@ type (
 	CheckRequest = engine.CheckRequest
 	// Event is a structured progress report (see WithProgress).
 	Event = engine.Event
-	// Cache memoizes level decisions across calls and engines.
+	// Cache memoizes level decisions across calls and engines. Its
+	// Stats method reports cumulative hits, misses and entry count —
+	// the cmd tools print it under -progress, and cmd/reprod serves it
+	// on /v1/stats.
 	Cache = engine.Cache
 	// Property names a level property in progress events.
 	Property = engine.Property
@@ -116,6 +120,26 @@ func New(opts ...Option) *Engine { return engine.New(opts...) }
 
 // NewCache returns an empty decision cache for WithCache.
 func NewCache() *Cache { return engine.NewCache() }
+
+// PersistentCache is a disk-backed decision cache: a crash-safe
+// append-only journal plus a compacted snapshot (see internal/store for
+// the format). Its Cache method yields the warm-loaded *Cache to install
+// with WithCache; Close flushes the journal.
+type PersistentCache = store.Store
+
+// OpenCache opens (creating if absent) the persistent decision cache at
+// path and warm-loads every previously persisted decision:
+//
+//	pc, err := repro.OpenCache("decisions.repro")
+//	defer pc.Close()
+//	eng := repro.New(repro.WithCache(pc.Cache()))
+//
+// Every decision the engine computes from then on is journaled
+// asynchronously; the next OpenCache on the same path serves it without
+// recomputation. Corrupted file tails (torn writes) are detected by
+// per-record checksums and truncated away. One process at a time may
+// hold a given path open.
+func OpenCache(path string) (*PersistentCache, error) { return store.Open(path) }
 
 // WithContext installs the context that cancels every search the engine
 // runs: level checks, model-checker explorations and Theorem 13 chains.
