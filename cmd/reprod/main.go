@@ -11,8 +11,16 @@
 //
 //	POST /v1/analyze  {"type":"tnn:5,2","maxN":5}
 //	POST /v1/batch    {"types":["tas","x4"],"maxN":4}
+//	POST /v1/check    {"protocol":"cas-rec:2","requests":[{"inputs":[0,1],"crashQuota":[1,1]}]}
 //	GET  /healthz
 //	GET  /v1/stats
+//	GET  /metrics     (Prometheus text format)
+//
+// /v1/check model-checks a batch of requests against one registry-named
+// protocol over a shared exploration graph: requests with the same
+// inputs expand common state-space prefixes once (reuse shows up in
+// /v1/stats under "graph"). Item errors and timeouts (timeoutMs) are
+// per-item; -check-max-nodes caps one item's explored state space.
 //
 // The shared engine flags apply: -parallel sizes each request's worker
 // pool, -shard-threshold tunes single-level sharding, -cache-file
@@ -57,7 +65,9 @@ func run(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", serve.DefaultRequestTimeout,
 		"per-request analysis deadline (negative = none)")
 	maxConc := fs.Int("max-concurrent", 0, "concurrent analysis requests (0 = 2x -parallel)")
-	batchLimit := fs.Int("batch-limit", serve.DefaultBatchLimit, "max type descriptors per batch request")
+	batchLimit := fs.Int("batch-limit", serve.DefaultBatchLimit, "max type descriptors per batch request (also max items per check request)")
+	checkMaxNodes := fs.Int("check-max-nodes", serve.DefaultCheckMaxNodes,
+		"default and ceiling for one model-check item's explored state space, in nodes")
 	ef := cli.AddEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +104,7 @@ func run(args []string) error {
 		RequestTimeout: *reqTimeout,
 		MaxConcurrent:  *maxConc,
 		BatchLimit:     *batchLimit,
+		CheckMaxNodes:  *checkMaxNodes,
 	})
 	hs := &http.Server{
 		Handler:           srv,

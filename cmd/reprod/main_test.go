@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"path/filepath"
 	"strings"
@@ -64,6 +65,49 @@ func TestServeAndShutdown(t *testing.T) {
 		}
 		if body.Analysis.ConsensusNumber != "2" {
 			t.Errorf("tas consensus number = %q, want 2", body.Analysis.ConsensusNumber)
+		}
+
+		// Batched model checking over a shared exploration graph.
+		resp, err = http.Post(base+"/v1/check", "application/json", strings.NewReader(
+			`{"protocol":"cas-wf:2","requests":[{"inputs":[0,1]},{"inputs":[0,1]}]}`))
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("check = %d", resp.StatusCode)
+		}
+		var check struct {
+			Results []struct {
+				OK    bool   `json:"ok"`
+				Error string `json:"error"`
+			} `json:"results"`
+			Graph struct {
+				Reused uint64 `json:"reused"`
+			} `json:"graph"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&check); err != nil {
+			t.Fatal(err)
+		}
+		if len(check.Results) != 2 || !check.Results[0].OK || !check.Results[1].OK {
+			t.Errorf("check results wrong: %+v", check.Results)
+		}
+		if check.Graph.Reused == 0 {
+			t.Errorf("identical check requests reported no graph reuse")
+		}
+
+		// Prometheus export.
+		resp, err = http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		var metrics strings.Builder
+		if _, err := io.Copy(&metrics, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(metrics.String(), `reprod_requests_total{endpoint="check"} 1`) {
+			t.Errorf("metrics missing check counter:\n%s", metrics.String())
 		}
 	})
 	// The -timeout deadline ends the run through the graceful path.

@@ -5,17 +5,28 @@
 //	statemachine tnn:5,2          # the state machine in Figure 3, as text
 //	statemachine -dot tnn:5,2     # the same as DOT (render with graphviz)
 //	statemachine -json t.json     # a hand-written JSON type
+//	statemachine -batch types.txt -analyze   # many types, one engine run
 //
 // With -export, the type itself is written as JSON (round-trippable with
 // rcnum -json). With -analyze, each type's hierarchy summary (computed on
 // the engine, honoring -parallel/-timeout/-progress) is appended.
+//
+// -batch reads additional type descriptors from a file ("-" for stdin),
+// one per line (blank lines and #-comments skipped), and — combined with
+// -analyze — analyzes every type in one flat engine pool run, so the
+// level checks of all types interleave across workers and shared
+// sub-decisions collapse in the cache, instead of each type serializing
+// behind the previous one.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/cli"
@@ -36,6 +47,7 @@ func run(args []string) error {
 	jsonFile := fs.String("json", "", "load the type from a JSON specification file")
 	list := fs.Bool("list", false, "list registered type descriptors")
 	analyze := fs.Bool("analyze", false, "append the type's hierarchy summary")
+	batch := fs.String("batch", "", "read type descriptors from this file, one per line (\"-\" = stdin); with -analyze, all types run in one engine pass")
 	ef := cli.AddEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,7 +75,15 @@ func run(args []string) error {
 		}
 		types = append(types, &ft)
 	}
-	for _, desc := range fs.Args() {
+	descs := fs.Args()
+	if *batch != "" {
+		batchDescs, err := readBatchDescriptors(*batch)
+		if err != nil {
+			return err
+		}
+		descs = append(descs, batchDescs...)
+	}
+	for _, desc := range descs {
 		ft, err := eng.Resolve(desc)
 		if err != nil {
 			return err
@@ -74,7 +94,19 @@ func run(args []string) error {
 		return fmt.Errorf("no types given (try: statemachine -list)")
 	}
 
-	for _, ft := range types {
+	// One flat pool run for every type's level checks: small types do not
+	// serialize behind large ones, and duplicate descriptors collapse in
+	// the cache.
+	var analyses []*repro.Analysis
+	if *analyze {
+		var err error
+		analyses, err = eng.AnalyzeAll(types)
+		if err != nil {
+			return err
+		}
+	}
+
+	for i, ft := range types {
 		switch {
 		case *export:
 			data, err := json.MarshalIndent(ft, "", "  ")
@@ -88,13 +120,36 @@ func run(args []string) error {
 			fmt.Print(ft.TransitionTable())
 		}
 		if *analyze {
-			a, err := eng.Analyze(ft)
-			if err != nil {
-				return err
-			}
-			fmt.Println(a.Summary())
+			fmt.Println(analyses[i].Summary())
 		}
 	}
 	ef.Summary(eng.Cache())
 	return nil
+}
+
+// readBatchDescriptors loads a -batch file: one type descriptor per
+// line, with blank lines and #-comments skipped.
+func readBatchDescriptors(path string) ([]string, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("-batch: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var out []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("-batch: %w", err)
+	}
+	return out, nil
 }

@@ -75,6 +75,36 @@ func TestList(t *testing.T) {
 	}
 }
 
+func TestBatchAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	file := dir + "/types.txt"
+	if err := os.WriteFile(file, []byte("# the classical gap pair\ntas\n\nregister:2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-batch", file, "-analyze", "sticky"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positional descriptors come first, then the batch file's, each with
+	// its transition table and hierarchy summary.
+	for _, want := range []string{"sticky-bit", "test-and-set", "register[2]", "cons", "rcons"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch output missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "gap pair") {
+		t.Errorf("comment line leaked into descriptors:\n%s", out)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-batch", "/nonexistent/file"}) }); err == nil {
+		t.Error("missing -batch file should fail")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	for _, args := range [][]string{{}, {"zzz"}} {
 		if _, err := capture(t, func() error { return run(args) }); err == nil {

@@ -1,0 +1,125 @@
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+// ExampleNew builds an engine, resolves a type by registry descriptor
+// and computes its consensus / recoverable consensus numbers.
+func ExampleNew() {
+	eng := repro.New(
+		repro.WithParallelism(2),
+		repro.WithMaxN(3),
+	)
+	t, err := eng.Resolve("tas")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	a, err := eng.Analyze(t)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(a.Summary())
+	// Output:
+	// test-and-set: cons=2 rcons=1 [exact (readable)]
+}
+
+// ExampleOpenCache persists level decisions across engines: the second
+// open warm-loads what the first computed, so nothing is re-decided.
+func ExampleOpenCache() {
+	dir, err := os.MkdirTemp("", "repro-cache")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "decisions.repro")
+
+	// First process: compute and persist.
+	pc, err := repro.OpenCache(path)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	eng := repro.New(repro.WithCache(pc.Cache()), repro.WithMaxN(3))
+	t, _ := eng.Resolve("tas")
+	if _, err := eng.Analyze(t); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := pc.Close(); err != nil { // flush the journal
+		fmt.Println(err)
+		return
+	}
+
+	// Second process: every prior decision is served warm.
+	pc2, err := repro.OpenCache(path)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer pc2.Close()
+	fmt.Println("warm-loaded decisions:", pc2.Stats().Loaded)
+	// Output:
+	// warm-loaded decisions: 4
+}
+
+// ExampleEngine_Check model-checks a single protocol configuration:
+// wait-free consensus from compare-and-swap, crash-free.
+func ExampleEngine_Check() {
+	eng := repro.New()
+	p, err := repro.ResolveProtocol("cas-wf:2")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := eng.Check(p, repro.CheckRequest{Inputs: []int{0, 1}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("ok:", res.OK(), "nodes:", res.Nodes)
+	// Output:
+	// ok: true nodes: 5
+}
+
+// ExampleEngine_CheckBatch model-checks many requests over one shared
+// exploration graph: the two identical crash-budgeted requests — and the
+// crash-free prefix of the first — are expanded once and reused, which
+// the graph statistics prove.
+func ExampleEngine_CheckBatch() {
+	eng := repro.New()
+	p, err := repro.ResolveProtocol("cas-rec:2")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	items, gs, err := eng.CheckBatch(p, []repro.CheckRequest{
+		{Inputs: []int{0, 1}},                          // crash-free
+		{Inputs: []int{0, 1}, CrashQuota: []int{1, 1}}, // one crash each
+		{Inputs: []int{0, 1}, CrashQuota: []int{1, 1}}, // identical twin
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, it := range items {
+		if it.Err != nil {
+			fmt.Println("item", i, "error:", it.Err)
+			continue
+		}
+		fmt.Println("item", i, "ok:", it.OK(), "nodes:", it.Result.Nodes)
+	}
+	fmt.Println("graph expanded:", gs.Expanded, "reused:", gs.Reused)
+	// Output:
+	// item 0 ok: true nodes: 10
+	// item 1 ok: true nodes: 58
+	// item 2 ok: true nodes: 58
+	// graph expanded: 58 reused: 68
+}

@@ -1,9 +1,3 @@
-// Package adversary provides scheduling adversaries for the sim runtime:
-// fair round-robin, seeded random with crash probability, crash storms
-// targeting specific processes, and a budgeted adversary that respects the
-// paper's E*_z crash-budget discipline (process p_i crashes at most
-// z*n times the number of steps taken by p_0..p_{i-1}, and p_0 never
-// crashes).
 package adversary
 
 import (

@@ -1,8 +1,3 @@
-// Package algo implements the paper's consensus algorithms as runnable
-// programs for the sim runtime (goroutines over non-volatile memory under
-// a crash-injecting adversary). The same algorithms exist as step machines
-// in internal/proto for exhaustive model checking; this package is the
-// "systems" counterpart used by the examples and throughput benchmarks.
 package algo
 
 import (

@@ -1,0 +1,12 @@
+// Package algo implements the paper's consensus algorithms as runnable
+// programs for the sim runtime (goroutines over non-volatile memory under
+// a crash-injecting adversary). The same algorithms exist as step machines
+// in internal/proto for exhaustive model checking; this package is the
+// "systems" counterpart used by the examples and throughput benchmarks.
+//
+// Programs hold all volatile state in ordinary local variables, so the
+// runtime's crash semantics (abort and restart the program function)
+// erase exactly what the paper's model erases. An Algorithm value is
+// immutable after construction and safe to share across concurrent runs;
+// each run gets fresh Program closures.
+package algo

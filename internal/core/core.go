@@ -1,21 +1,3 @@
-// Package core computes positions in Herlihy's consensus hierarchy and in
-// Golab's recoverable consensus hierarchy for finite deterministic types —
-// the paper's primary contribution made executable.
-//
-// For a deterministic, readable type T:
-//
-//   - Ruppert (2000): cons(T) >= n iff T is n-discerning, so the consensus
-//     number of T is the largest n for which T is n-discerning (or 1 if T
-//     is not even 2-discerning).
-//   - Theorem 14 of the paper (Theorem 13 + DFFR Theorem 8): rcons(T) >= n
-//     iff T is n-recording, so the recoverable consensus number of T is the
-//     largest n for which T is n-recording (or 1).
-//
-// For non-readable deterministic types the paper's Theorem 13 still gives
-// the *upper* bound direction for recording (solvable for n processes
-// implies n-recording), but neither property is sufficient without
-// readability, so only bounds are reported; the package is explicit about
-// which numbers are exact and which are bounds.
 package core
 
 import (

@@ -1,0 +1,34 @@
+// Package engine is the concurrent analysis engine behind the repro
+// facade: a long-lived, option-configured object that runs the paper's
+// discerning/recording level checks across a worker pool, memoizes
+// sub-decisions in a shared cache, threads context cancellation through
+// the hot search loops (internal/discern, internal/record,
+// internal/model), and reports structured progress events.
+//
+// The design follows the long-lived-engine idiom of production consensus
+// stacks: construct once with functional options, submit many workloads,
+// share caches between them.
+//
+// # Concurrency and ownership
+//
+// One Engine is safe for concurrent use by multiple goroutines;
+// independent level checks of one Analyze call — and of concurrent
+// Analyze calls — interleave freely on the pool. A Cache may back any
+// number of engines at once (WithCache); its singleflight layer
+// guarantees concurrent identical level checks run the underlying
+// decider exactly once. CheckBatch shares one exploration graph
+// (model.Graph) per distinct input vector across the batch's concurrent
+// walks. Progress consumers are invoked under an engine-held mutex, so
+// one emission at a time; the consumer must not call back into the
+// engine.
+//
+// # Byte-stability guarantees
+//
+// Sharded and serial level checks return identical results, including
+// the witness chosen (the lowest-ranked one in the deterministic tuple
+// enumeration). CheckBatch results are byte-identical to serial Check
+// calls of the same requests — both run the one exploration code path,
+// model.(*Graph).Check. Witnesses served from the cache are deep copies,
+// so callers may mutate what they receive without corrupting later
+// analyses.
+package engine

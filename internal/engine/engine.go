@@ -1,15 +1,3 @@
-// Package engine is the concurrent analysis engine behind the repro
-// facade: a long-lived, option-configured object that runs the paper's
-// discerning/recording level checks across a worker pool, memoizes
-// sub-decisions in a shared cache, threads context cancellation through
-// the hot search loops (internal/discern, internal/record,
-// internal/model), and reports structured progress events.
-//
-// The design follows the long-lived-engine idiom of production consensus
-// stacks: construct once with functional options, submit many workloads,
-// share caches between them. One Engine is safe for concurrent use by
-// multiple goroutines; independent level checks of one Analyze call — and
-// of concurrent Analyze calls — interleave freely on the pool.
 package engine
 
 import (
@@ -45,12 +33,14 @@ const (
 // consumer that only writes to a terminal needs no extra locking).
 type Event struct {
 	// Kind is "analyze.start", "level.done", "shard.done",
-	// "analyze.done", "check.done", or "chain.stage".
+	// "analyze.done", "check.done", "checkbatch.done", or "chain.stage".
 	Kind string
 	// Type is the analyzed type's name (analyze/level events) or the
-	// protocol's name (check/chain events).
+	// protocol's name (check/chain/checkbatch events).
 	Type string
-	// Property and N identify the level check for "level.done".
+	// Property and N identify the level check for "level.done". For
+	// "check.done" emitted inside a batch, N is the request's index; for
+	// "checkbatch.done" it is the batch size.
 	Property Property
 	N        int
 	// OK is the level check's outcome (or overall success for
@@ -62,7 +52,8 @@ type Event struct {
 	Elapsed time.Duration
 	// Detail carries kind-specific extras (critical class for
 	// "chain.stage", node counts for "check.done", shard index and
-	// scanned-assignment counts for "shard.done").
+	// scanned-assignment counts for "shard.done", shared-graph
+	// expanded/reused counters for "checkbatch.done").
 	Detail string
 }
 
@@ -449,6 +440,11 @@ type CheckRequest struct {
 	MaxNodes int
 	// SkipLiveness disables the recoverable wait-freedom (cycle) check.
 	SkipLiveness bool
+	// Ctx, when non-nil, cancels this request independently of the
+	// engine context; the run stops as soon as either is done. Inside
+	// CheckBatch this is the per-request cancellation handle — one
+	// canceled request fails only its own item.
+	Ctx context.Context
 }
 
 // maxNodes resolves a request's node bound against the engine budget.
@@ -460,11 +456,15 @@ func (e *Engine) maxNodes(req CheckRequest) int {
 }
 
 // Check model-checks a consensus protocol under the engine's context and
-// state budget.
+// state budget (plus the request's own context, when set). For many
+// requests against one protocol, CheckBatch amortizes the state-space
+// expansion across them.
 func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error) {
 	start := time.Now()
+	ctx, stop := e.requestCtx(req.Ctx)
+	defer stop()
 	res, err := model.Check(p, model.CheckOpts{
-		Ctx:          e.ctx,
+		Ctx:          ctx,
 		Inputs:       req.Inputs,
 		CrashQuota:   req.CrashQuota,
 		MaxNodes:     e.maxNodes(req),
@@ -483,8 +483,10 @@ func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error
 // event.
 func (e *Engine) Theorem13(p model.Protocol, req CheckRequest) (*model.Chain, error) {
 	start := time.Now()
+	ctx, stop := e.requestCtx(req.Ctx)
+	defer stop()
 	chain, err := model.Theorem13ChainOpts(p, req.Inputs, req.CrashQuota, model.ChainOpts{
-		Ctx:      e.ctx,
+		Ctx:      ctx,
 		MaxNodes: e.maxNodes(req),
 		OnStage: func(stage int, info *model.CriticalInfo) {
 			e.emit(Event{Kind: "chain.stage", Type: p.Name(), N: stage,

@@ -1,0 +1,7 @@
+// Package integration cross-validates the two execution engines: the
+// exhaustive model checker (internal/model + internal/proto) and the
+// concurrent simulator (internal/sim + internal/algo) implement the same
+// algorithms independently; replaying a simulator run's schedule inside
+// the checker must produce the same decisions. The package contains only
+// tests — there is no importable API.
+package integration

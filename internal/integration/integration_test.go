@@ -1,8 +1,3 @@
-// Package integration cross-validates the two execution engines: the
-// exhaustive model checker (internal/model + internal/proto) and the
-// concurrent simulator (internal/sim + internal/algo) implement the same
-// algorithms independently; replaying a simulator run's schedule inside
-// the checker must produce the same decisions.
 package integration
 
 import (

@@ -1,0 +1,15 @@
+// Package lineariz is a linearizability checker for concurrent histories
+// over finite-type objects (Wing & Gong's algorithm): given a history of
+// invocation/response intervals on a single object, it searches for a
+// total order that (a) respects real-time precedence (an operation that
+// responded before another was invoked must linearize first) and (b)
+// replays through the sequential specification producing exactly the
+// observed responses.
+//
+// It verifies the repository's concurrent substrates (nvm.Store, the
+// universal construction) against their sequential specifications, and is
+// general enough for any recorded history. The checker is a pure
+// function of the history and safe for concurrent use; its worst case is
+// exponential in the number of overlapping operations, as inherent to
+// the problem.
+package lineariz

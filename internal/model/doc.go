@@ -1,0 +1,36 @@
+// Package model is the valency engine: an explicit-state model checker for
+// consensus protocols in the crash-recovery shared memory model of
+// Section 2 of the paper.
+//
+// Protocols are deterministic per-process state machines over shared
+// objects with finite-type sequential specifications. The checker
+// exhaustively explores reachable configurations under per-process crash
+// budgets, verifies agreement / validity / (recoverable) wait-freedom,
+// computes bivalence and univalence of configurations, searches for
+// critical executions (Lemma 6), and classifies critical configurations as
+// n-recording, v-hiding, or colliding (Observation 11).
+//
+// # The shared exploration graph
+//
+// All exploration runs on a Graph: a canonicalized store of
+// (configuration, crash-usage, output-history) nodes whose successors
+// are computed exactly once, with singleflight expansion. Check builds a
+// one-shot Graph; batch callers (engine.CheckBatch) build one Graph per
+// input vector and walk it once per request, so common schedule prefixes
+// and valency subtrees are expanded once and shared while per-request
+// crash quotas and node budgets act as overlays on the walk.
+//
+// # Concurrency and ownership
+//
+// A Graph is safe for concurrent use by any number of Check walks. A
+// Result is owned by the caller that obtained it and is not safe for
+// concurrent mutation; its lazily computed valency map means even
+// read-style methods (Valence, FindCritical) must not race.
+//
+// # Byte-stability guarantees
+//
+// Exploration is deterministic: BFS discovery order, violation traces
+// and node counts depend only on the protocol and options, never on
+// scheduling (the liveness sweep walks nodes in discovery order, not map
+// order), and shared-graph walks are byte-identical to serial ones.
+package model

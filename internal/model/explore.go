@@ -69,7 +69,11 @@ type Result struct {
 	// Truncated reports whether exploration hit MaxNodes.
 	Truncated bool
 
-	nodes    map[string]*node
+	nodes map[string]*node
+	// order lists the nodes in BFS discovery order (init first), making
+	// post-exploration passes — in particular the liveness DFS sweep —
+	// deterministic instead of map-ordered.
+	order    []*node
 	init     *node
 	valences map[*node]int
 }
@@ -90,6 +94,10 @@ type node struct {
 	via    schedule.Event
 	// succ caches step successors (crash successors are recomputed).
 	succ []*node
+	// gn is the node's canonical twin in the shared exploration graph
+	// the walk ran on (see Graph); it carries the precomputed decision
+	// vector and successor set.
+	gn *gnode
 }
 
 func nodeKey(c Config, used []int, outs []int8) string {
@@ -151,181 +159,24 @@ func (n *node) trace() schedule.Schedule {
 
 // Check explores the protocol's reachable state space under the given
 // options and verifies agreement, validity and recoverable wait-freedom.
+// It runs on a one-shot shared exploration graph; batch callers that
+// construct a Graph once and Check it many times amortize the state-space
+// expansion across requests while getting results identical to this
+// function (there is exactly one exploration code path — Graph.Check).
 func Check(pr Protocol, opts CheckOpts) (*Result, error) {
-	if err := Validate(pr); err != nil {
+	g, err := NewGraph(pr, opts.Inputs)
+	if err != nil {
 		return nil, err
 	}
-	n := pr.Procs()
-	if len(opts.Inputs) != n {
-		return nil, fmt.Errorf("model: %d inputs for %d processes", len(opts.Inputs), n)
-	}
-	quota := opts.CrashQuota
-	if quota == nil {
-		quota = make([]int, n)
-	}
-	if len(quota) != n {
-		return nil, fmt.Errorf("model: %d crash quotas for %d processes", len(quota), n)
-	}
-	maxNodes := opts.MaxNodes
-	if maxNodes == 0 {
-		maxNodes = 2_000_000
-	}
-	validity := opts.Validity
-	if validity == nil {
-		validity = func(d int) bool {
-			for _, in := range opts.Inputs {
-				if d == in {
-					return true
-				}
-			}
-			return false
-		}
-	}
-
-	r := &Result{pr: pr, inputs: opts.Inputs, nodes: make(map[string]*node)}
-	initCfg := InitialConfig(pr, opts.Inputs)
-	initOuts := mergeOuts(pr, initCfg, freshOuts(n))
-	for _, e := range opts.StartTrace {
-		if e.Crash {
-			initCfg = CrashProc(pr, initCfg, e.P, opts.Inputs[e.P])
-		} else {
-			initCfg = Step(pr, initCfg, e.P)
-			initOuts = mergeOuts(pr, initCfg, initOuts)
-		}
-	}
-	r.init = &node{
-		cfg: initCfg, used: make([]int, n), outs: initOuts,
-		key: nodeKey(initCfg, make([]int, n), initOuts),
-	}
-	r.nodes[r.init.key] = r.init
-
-	seenKinds := make(map[string]bool)
-	report := func(kind string, nd *node, detail string) {
-		if seenKinds[kind] {
-			return
-		}
-		seenKinds[kind] = true
-		r.Violations = append(r.Violations, &Violation{
-			Kind: kind, Trace: nd.trace(), Config: nd.cfg, Detail: detail,
-		})
-	}
-
-	// checkSafety verifies agreement and validity over the path's output
-	// history (parentOuts) extended by the decisions visible in nd's
-	// configuration. Outputs persist across crashes: a process that
-	// decided, crashed and re-decided a different value is an agreement
-	// violation with its own earlier output.
-	checkSafety := func(nd *node, parentOuts []int8) {
-		for p := 0; p < n; p++ {
-			if v, ok := Decision(pr, nd.cfg, p); ok {
-				if prev := parentOuts[p]; prev >= 0 && int(prev) != v {
-					report("agreement", nd, fmt.Sprintf(
-						"p%d output %d, crashed, and re-decided %d", p, prev, v))
-				}
-			}
-		}
-		first, firstP := -1, -1
-		for p := 0; p < n; p++ {
-			v := nd.outs[p]
-			if v < 0 {
-				continue
-			}
-			if !validity(int(v)) {
-				report("validity", nd, fmt.Sprintf(
-					"p%d decided %d, not an input of any process", p, v))
-			}
-			if first == -1 {
-				first, firstP = int(v), p
-			} else if int(v) != first {
-				report("agreement", nd, fmt.Sprintf(
-					"p%d decided %d but p%d decided %d", firstP, first, p, v))
-			}
-		}
-	}
-
-	var done <-chan struct{}
-	if opts.Ctx != nil {
-		if err := opts.Ctx.Err(); err != nil {
-			return nil, err
-		}
-		done = opts.Ctx.Done()
-	}
-
-	// BFS over (configuration, crash-usage, output-history) nodes.
-	queue := []*node{r.init}
-	checkSafety(r.init, freshOuts(n))
-	visited := 0
-	for len(queue) > 0 && len(r.nodes) <= maxNodes {
-		if visited++; done != nil && visited%1024 == 0 {
-			select {
-			case <-done:
-				return nil, opts.Ctx.Err()
-			default:
-			}
-		}
-		nd := queue[0]
-		queue = queue[1:]
-
-		// Step successors (decided processes take no-op steps, which
-		// cannot reach new configurations — skipped).
-		for p := 0; p < n; p++ {
-			if a := pr.Poised(p, nd.cfg.States[p]); a.Decided {
-				continue
-			}
-			next := Step(pr, nd.cfg, p)
-			outs := mergeOuts(pr, next, nd.outs)
-			key := nodeKey(next, nd.used, outs)
-			child, ok := r.nodes[key]
-			if !ok {
-				child = &node{cfg: next, used: nd.used, outs: outs, key: key,
-					parent: nd, via: schedule.Step(p)}
-				r.nodes[key] = child
-				checkSafety(child, nd.outs)
-				queue = append(queue, child)
-			}
-			nd.succ = append(nd.succ, child)
-		}
-
-		// Crash successors. Crashing a process that is already in its
-		// initial state and has never output changes nothing and only
-		// burns quota, so it is skipped (any behaviour reachable with
-		// less remaining quota is reachable with more).
-		for p := 0; p < n; p++ {
-			if nd.used[p] >= quota[p] {
-				continue
-			}
-			if nd.cfg.States[p] == pr.Init(p, opts.Inputs[p]) {
-				continue
-			}
-			next := CrashProc(pr, nd.cfg, p, opts.Inputs[p])
-			used := make([]int, n)
-			copy(used, nd.used)
-			used[p]++
-			key := nodeKey(next, used, nd.outs)
-			if _, ok := r.nodes[key]; !ok {
-				child := &node{cfg: next, used: used, outs: nd.outs, key: key,
-					parent: nd, via: schedule.Crash(p)}
-				r.nodes[key] = child
-				checkSafety(child, nd.outs)
-				queue = append(queue, child)
-			}
-		}
-	}
-	if len(r.nodes) > maxNodes {
-		r.Truncated = true
-	}
-	r.Nodes = len(r.nodes)
-
-	if !opts.SkipLiveness && !r.Truncated {
-		r.checkLiveness(report)
-	}
-	return r, nil
+	return g.Check(opts)
 }
 
 // checkLiveness detects recoverable wait-freedom violations: a cycle in
 // the step-successor graph means the adversary can schedule some process to
 // take infinitely many steps without crashing and without deciding (crash
-// edges strictly consume quota, so no cycle contains a crash).
+// edges strictly consume quota, so no cycle contains a crash). Start nodes
+// are swept in BFS discovery order, so the reported witness is
+// deterministic for a given exploration.
 func (r *Result) checkLiveness(report func(kind string, nd *node, detail string)) {
 	const (
 		white = 0
@@ -338,7 +189,7 @@ func (r *Result) checkLiveness(report func(kind string, nd *node, detail string)
 		nd  *node
 		idx int
 	}
-	for _, start := range r.nodes {
+	for _, start := range r.order {
 		if color[start] != white {
 			continue
 		}

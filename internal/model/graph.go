@@ -1,0 +1,403 @@
+package model
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/schedule"
+)
+
+// Graph is a canonicalized, lazily-expanded exploration graph for one
+// (protocol, inputs) pair, shared across many Check runs. Nodes are
+// interned by the same fingerprint Check always used — the
+// (configuration, crash-usage, output-history) key — and each node's
+// successors are computed exactly once, with singleflight semantics:
+// concurrent walks that reach an unexpanded node agree on one expander,
+// the rest block until it is done. Per-request concerns — crash quotas,
+// node budgets, liveness, validity, cancellation — are resolved as
+// overlays during the walk and never influence the shared structure, so
+// requests with different quotas still share every transition,
+// output-merge and key computation on their common prefix.
+//
+// A Graph is safe for concurrent use; Graph.Check may be called from any
+// number of goroutines. Results are byte-identical to a fresh serial
+// exploration of the same options (model.Check itself runs on a one-shot
+// Graph, so there is exactly one exploration code path).
+type Graph struct {
+	pr     Protocol
+	inputs []int
+
+	mu    sync.Mutex
+	nodes map[string]*gnode
+
+	interned atomic.Uint64
+	expanded atomic.Uint64
+	reused   atomic.Uint64
+}
+
+// GraphStats counts a graph's reuse: how many canonical nodes exist, how
+// many expansions were performed, and how many expansion requests were
+// served from already-expanded nodes. Reused/(Expanded+Reused) is the
+// share of successor computations the graph amortized away.
+type GraphStats struct {
+	// Interned is the number of distinct canonical nodes in the store.
+	Interned uint64 `json:"interned"`
+	// Expanded is the number of node expansions performed (each computes
+	// the node's step and crash successors exactly once).
+	Expanded uint64 `json:"expanded"`
+	// Reused is the number of expansion requests answered by an
+	// already-expanded node — work some earlier walk (or an earlier visit
+	// of this walk) already paid for.
+	Reused uint64 `json:"reused"`
+}
+
+// HitRate returns Reused / (Expanded + Reused), or 0 before any walk.
+func (s GraphStats) HitRate() float64 {
+	if total := s.Expanded + s.Reused; total > 0 {
+		return float64(s.Reused) / float64(total)
+	}
+	return 0
+}
+
+// Add accumulates other into s.
+func (s *GraphStats) Add(other GraphStats) {
+	s.Interned += other.Interned
+	s.Expanded += other.Expanded
+	s.Reused += other.Reused
+}
+
+// gnode is one canonical node of the shared graph. All fields except the
+// expansion set are written once at intern time and read-only afterwards;
+// the expansion set (stepSucc, stepP, crashSucc) is written exactly once
+// inside the sync.Once and published by the expanded flag.
+type gnode struct {
+	cfg  Config
+	used []int // crashes used per process on every path to this node
+	outs []int8
+	key  string
+	// decided[p] is p's decision visible in cfg (-1 if undecided),
+	// precomputed so per-request safety checks need no Protocol calls.
+	decided []int8
+
+	once sync.Once
+	done atomic.Bool
+	// stepSucc[i] is the step successor via process stepP[i]; decided
+	// processes take no-op steps and are omitted, exactly as in the
+	// serial BFS.
+	stepSucc []*gnode
+	stepP    []int
+	// crashSucc[p] is the crash successor of process p, nil when p is in
+	// its initial state (crashing it changes nothing and only burns
+	// quota, so every walk skips it).
+	crashSucc []*gnode
+}
+
+// NewGraph validates the protocol and builds an empty shared graph for
+// the given input vector. Every Check run on the graph must use exactly
+// these inputs — crash transitions and the validity default depend on
+// them, so they are part of the graph's identity.
+func NewGraph(pr Protocol, inputs []int) (*Graph, error) {
+	if err := Validate(pr); err != nil {
+		return nil, err
+	}
+	if len(inputs) != pr.Procs() {
+		return nil, fmt.Errorf("model: %d inputs for %d processes", len(inputs), pr.Procs())
+	}
+	in := make([]int, len(inputs))
+	copy(in, inputs)
+	return &Graph{pr: pr, inputs: in, nodes: make(map[string]*gnode)}, nil
+}
+
+// Inputs returns the input vector the graph is built for.
+func (g *Graph) Inputs() []int {
+	out := make([]int, len(g.inputs))
+	copy(out, g.inputs)
+	return out
+}
+
+// Stats snapshots the graph's reuse counters.
+func (g *Graph) Stats() GraphStats {
+	return GraphStats{
+		Interned: g.interned.Load(),
+		Expanded: g.expanded.Load(),
+		Reused:   g.reused.Load(),
+	}
+}
+
+// decisionVec computes the per-process decision vector of cfg (-1 for
+// undecided processes), the shared-graph form of repeated Decision calls.
+func decisionVec(pr Protocol, cfg Config) []int8 {
+	n := pr.Procs()
+	out := make([]int8, n)
+	for p := 0; p < n; p++ {
+		if v, ok := Decision(pr, cfg, p); ok {
+			out[p] = int8(v)
+		} else {
+			out[p] = -1
+		}
+	}
+	return out
+}
+
+// mergeDecided extends a path's output history with a decision vector,
+// returning outs unchanged (same slice) if nothing new was decided — the
+// same copy-on-write contract as mergeOuts, driven by the precomputed
+// vector instead of fresh Decision calls.
+func mergeDecided(outs []int8, decided []int8) []int8 {
+	var copied []int8
+	for p, v := range decided {
+		if v >= 0 && outs[p] == -1 {
+			if copied == nil {
+				copied = make([]int8, len(outs))
+				copy(copied, outs)
+			}
+			copied[p] = v
+		}
+	}
+	if copied == nil {
+		return outs
+	}
+	return copied
+}
+
+// intern returns the canonical node for (cfg, used, outs), creating it
+// with the given decision vector if absent. The slices become shared,
+// read-only graph state.
+func (g *Graph) intern(cfg Config, used []int, outs []int8, decided []int8) *gnode {
+	key := nodeKey(cfg, used, outs)
+	g.mu.Lock()
+	if nd, ok := g.nodes[key]; ok {
+		g.mu.Unlock()
+		return nd
+	}
+	nd := &gnode{cfg: cfg, used: used, outs: outs, key: key, decided: decided}
+	g.nodes[key] = nd
+	g.mu.Unlock()
+	g.interned.Add(1)
+	return nd
+}
+
+// ensure expands nd's successors if no walk has yet, with singleflight
+// semantics: concurrent callers agree on one expander and the rest wait.
+// The expansion performs the Step/CrashProc transitions, output merges
+// and key constructions the serial BFS would redo per request.
+func (g *Graph) ensure(nd *gnode) {
+	if nd.done.Load() {
+		g.reused.Add(1)
+		return
+	}
+	fresh := false
+	nd.once.Do(func() {
+		n := g.pr.Procs()
+		for p := 0; p < n; p++ {
+			if nd.decided[p] >= 0 {
+				continue
+			}
+			next := Step(g.pr, nd.cfg, p)
+			dec := decisionVec(g.pr, next)
+			outs := mergeDecided(nd.outs, dec)
+			nd.stepSucc = append(nd.stepSucc, g.intern(next, nd.used, outs, dec))
+			nd.stepP = append(nd.stepP, p)
+		}
+		nd.crashSucc = make([]*gnode, n)
+		for p := 0; p < n; p++ {
+			if nd.cfg.States[p] == g.pr.Init(p, g.inputs[p]) {
+				continue
+			}
+			next := CrashProc(g.pr, nd.cfg, p, g.inputs[p])
+			used := make([]int, n)
+			copy(used, nd.used)
+			used[p]++
+			nd.crashSucc[p] = g.intern(next, used, nd.outs, decisionVec(g.pr, next))
+		}
+		g.expanded.Add(1)
+		nd.done.Store(true)
+		fresh = true
+	})
+	if !fresh {
+		g.reused.Add(1)
+	}
+}
+
+// root interns the walk's starting node: the initial configuration with
+// the start trace applied. Crashes inside the trace do not consume the
+// walk's crash quota, and outputs are merged only across steps, exactly
+// as in the serial exploration.
+func (g *Graph) root(startTrace schedule.Schedule) *gnode {
+	n := g.pr.Procs()
+	initCfg := InitialConfig(g.pr, g.inputs)
+	initOuts := mergeDecided(freshOuts(n), decisionVec(g.pr, initCfg))
+	for _, e := range startTrace {
+		if e.Crash {
+			initCfg = CrashProc(g.pr, initCfg, e.P, g.inputs[e.P])
+		} else {
+			initCfg = Step(g.pr, initCfg, e.P)
+			initOuts = mergeDecided(initOuts, decisionVec(g.pr, initCfg))
+		}
+	}
+	return g.intern(initCfg, make([]int, n), initOuts, decisionVec(g.pr, initCfg))
+}
+
+// Check explores the graph under the given options and verifies
+// agreement, validity and recoverable wait-freedom, sharing every node
+// expansion with concurrent and past walks. opts.Inputs must equal the
+// graph's inputs. The walk's own structures — discovery parents, BFS
+// order, violation traces, node counts — are private to the call, so the
+// returned Result is identical to a serial model.Check of the same
+// options.
+func (g *Graph) Check(opts CheckOpts) (*Result, error) {
+	n := g.pr.Procs()
+	if len(opts.Inputs) != n {
+		return nil, fmt.Errorf("model: %d inputs for %d processes", len(opts.Inputs), n)
+	}
+	for p, in := range opts.Inputs {
+		if in != g.inputs[p] {
+			return nil, fmt.Errorf("model: graph built for inputs %v, check requested %v", g.inputs, opts.Inputs)
+		}
+	}
+	quota := opts.CrashQuota
+	if quota == nil {
+		quota = make([]int, n)
+	}
+	if len(quota) != n {
+		return nil, fmt.Errorf("model: %d crash quotas for %d processes", len(quota), n)
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 2_000_000
+	}
+	validity := opts.Validity
+	if validity == nil {
+		validity = func(d int) bool {
+			for _, in := range opts.Inputs {
+				if d == in {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	r := &Result{pr: g.pr, inputs: opts.Inputs, nodes: make(map[string]*node)}
+	rootG := g.root(opts.StartTrace)
+	r.init = &node{cfg: rootG.cfg, used: rootG.used, outs: rootG.outs, key: rootG.key, gn: rootG}
+	r.nodes[r.init.key] = r.init
+	r.order = append(r.order, r.init)
+
+	seenKinds := make(map[string]bool)
+	report := func(kind string, nd *node, detail string) {
+		if seenKinds[kind] {
+			return
+		}
+		seenKinds[kind] = true
+		r.Violations = append(r.Violations, &Violation{
+			Kind: kind, Trace: nd.trace(), Config: nd.cfg, Detail: detail,
+		})
+	}
+
+	// checkSafety verifies agreement and validity over the path's output
+	// history (parentOuts) extended by the decisions visible in nd's
+	// configuration, read from the node's precomputed decision vector.
+	// Outputs persist across crashes: a process that decided, crashed and
+	// re-decided a different value is an agreement violation with its own
+	// earlier output.
+	checkSafety := func(nd *node, parentOuts []int8) {
+		for p := 0; p < n; p++ {
+			if v := nd.gn.decided[p]; v >= 0 {
+				if prev := parentOuts[p]; prev >= 0 && prev != v {
+					report("agreement", nd, fmt.Sprintf(
+						"p%d output %d, crashed, and re-decided %d", p, prev, v))
+				}
+			}
+		}
+		first, firstP := -1, -1
+		for p := 0; p < n; p++ {
+			v := nd.outs[p]
+			if v < 0 {
+				continue
+			}
+			if !validity(int(v)) {
+				report("validity", nd, fmt.Sprintf(
+					"p%d decided %d, not an input of any process", p, v))
+			}
+			if first == -1 {
+				first, firstP = int(v), p
+			} else if int(v) != first {
+				report("agreement", nd, fmt.Sprintf(
+					"p%d decided %d but p%d decided %d", firstP, first, p, v))
+			}
+		}
+	}
+
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+		done = opts.Ctx.Done()
+	}
+
+	// BFS over (configuration, crash-usage, output-history) nodes. The
+	// loop mirrors the original serial exploration exactly; only the
+	// successor computations are delegated to the shared graph.
+	queue := []*node{r.init}
+	checkSafety(r.init, freshOuts(n))
+	visited := 0
+	for len(queue) > 0 && len(r.nodes) <= maxNodes {
+		if visited++; done != nil && visited%1024 == 0 {
+			select {
+			case <-done:
+				return nil, opts.Ctx.Err()
+			default:
+			}
+		}
+		nd := queue[0]
+		queue = queue[1:]
+		g.ensure(nd.gn)
+
+		// Step successors (decided processes take no-op steps, which
+		// cannot reach new configurations — omitted from the expansion).
+		for i, cg := range nd.gn.stepSucc {
+			child, ok := r.nodes[cg.key]
+			if !ok {
+				child = &node{cfg: cg.cfg, used: cg.used, outs: cg.outs, key: cg.key,
+					parent: nd, via: schedule.Step(nd.gn.stepP[i]), gn: cg}
+				r.nodes[cg.key] = child
+				r.order = append(r.order, child)
+				checkSafety(child, nd.outs)
+				queue = append(queue, child)
+			}
+			nd.succ = append(nd.succ, child)
+		}
+
+		// Crash successors: quota is this walk's overlay on the shared
+		// structure; the initial-state skip is baked into the expansion.
+		for p := 0; p < n; p++ {
+			if nd.used[p] >= quota[p] {
+				continue
+			}
+			cg := nd.gn.crashSucc[p]
+			if cg == nil {
+				continue
+			}
+			if _, ok := r.nodes[cg.key]; !ok {
+				child := &node{cfg: cg.cfg, used: cg.used, outs: cg.outs, key: cg.key,
+					parent: nd, via: schedule.Crash(p), gn: cg}
+				r.nodes[cg.key] = child
+				r.order = append(r.order, child)
+				checkSafety(child, nd.outs)
+				queue = append(queue, child)
+			}
+		}
+	}
+	if len(r.nodes) > maxNodes {
+		r.Truncated = true
+	}
+	r.Nodes = len(r.nodes)
+
+	if !opts.SkipLiveness && !r.Truncated {
+		r.checkLiveness(report)
+	}
+	return r, nil
+}

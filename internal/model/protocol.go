@@ -1,14 +1,3 @@
-// Package model is the valency engine: an explicit-state model checker for
-// consensus protocols in the crash-recovery shared memory model of
-// Section 2 of the paper.
-//
-// Protocols are deterministic per-process state machines over shared
-// objects with finite-type sequential specifications. The checker
-// exhaustively explores reachable configurations under per-process crash
-// budgets, verifies agreement / validity / (recoverable) wait-freedom,
-// computes bivalence and univalence of configurations, searches for
-// critical executions (Lemma 6), and classifies critical configurations as
-// n-recording, v-hiding, or colliding (Observation 11).
 package model
 
 import (

@@ -1,14 +1,3 @@
-// Package nvm simulates non-volatile main memory for the crash-recovery
-// model of Section 2: a store of typed object cells whose values survive
-// process crashes, with linearizable (mutex-serialized) operation
-// application and access statistics.
-//
-// Go's garbage-collected runtime cannot host real persistent memory, so
-// this package is the substitution documented in DESIGN.md: object values
-// live in an explicit store that the simulation layer never resets, while
-// process-local state (ordinary Go variables in a process's program) is
-// wiped by restarting the program — exactly the crash semantics the paper
-// assumes.
 package nvm
 
 import (

@@ -1,0 +1,17 @@
+// Package pool is the one worker-pool implementation shared by the
+// engine, the report suite and the cmd tools: feed indices [0, n) to a
+// bounded set of workers in order, stop feeding on the first error or
+// when the context is done, and report how far the feed got. Callers
+// index into their own pre-sized result slices, so results come back in
+// input order no matter how the pool interleaves.
+//
+// # Concurrency contract
+//
+// Run owns its worker goroutines completely: it returns only after every
+// in-flight fn call has finished, so callers may treat the result slices
+// fn wrote to as exclusively theirs again the moment Run returns. fn is
+// called from multiple goroutines and must be safe for the caller's own
+// shared state; indices are fed in increasing order and the fed count
+// [0, fed) is always a contiguous prefix, which is what makes
+// cancellation reporting ("stopped after k of n") meaningful.
+package pool

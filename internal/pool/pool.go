@@ -1,9 +1,3 @@
-// Package pool is the one worker-pool implementation shared by the
-// engine, the report suite and the cmd tools: feed indices [0, n) to a
-// bounded set of workers in order, stop feeding on the first error or
-// when the context is done, and report how far the feed got. Callers
-// index into their own pre-sized result slices, so results come back in
-// input order no matter how the pool interleaves.
 package pool
 
 import (

@@ -1,17 +1,3 @@
-// Package proto implements concrete consensus protocols as deterministic
-// step machines for the model checker in internal/model:
-//
-//   - the paper's wait-free n-process consensus algorithm using one
-//     T_{n,n'} object (Section 4, Lemma 15 lower bound);
-//   - the paper's recoverable n'-process consensus algorithm using one
-//     T_{n,n'} object (Section 4, Lemma 16 lower bound);
-//   - wait-free and recoverable consensus from compare-and-swap
-//     (baselines with unbounded consensus number);
-//   - the classic 2-process consensus from test-and-set plus registers,
-//     which is correct crash-free but fails under individual crashes
-//     (Golab's separation, Experiment E8).
-//
-// Local states are short strings; "d<v>" is a decided state with output v.
 package proto
 
 import (

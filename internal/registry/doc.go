@@ -1,0 +1,26 @@
+// Package registry names the executable artifacts for command-line tools
+// and the HTTP service: it parses compact descriptors into constructed
+// values.
+//
+// Two registries live here:
+//
+//   - Types: descriptors such as "tas", "tnn:5,2", "cas:3",
+//     "register:2" or "product:tas,register:2" resolve to
+//     spec.FiniteType values (Parse, Names, Help).
+//   - Protocols: descriptors such as "tnn-wf:3,2", "tnn-rec:3,2",
+//     "cas-rec:2" or "tas-reg" resolve to model.Protocol values for the
+//     model checker and /v1/check (ParseProtocol, ProtocolNames,
+//     ProtocolHelp).
+//
+// Unknown names error with the full list of valid descriptors, so a typo
+// at an API boundary is self-documenting.
+//
+// # Concurrency and stability
+//
+// The registries are static: parsing allocates a fresh value per call,
+// never shares state between calls, and is safe for concurrent use.
+// Descriptor strings are stable identifiers — they appear in HTTP
+// requests, cache keys derived from the constructed types' structural
+// fingerprints remain valid across processes, and renaming an entry is
+// an API break.
+package registry

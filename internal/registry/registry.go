@@ -1,7 +1,3 @@
-// Package registry names the type zoo for command-line tools and
-// examples: it parses compact type descriptors such as "tas",
-// "tnn:5,2", "cas:3", "register:2", "product:tas,register:2" into
-// constructed spec.FiniteType values.
 package registry
 
 import (

@@ -29,6 +29,9 @@ func ProgressLine(ev engine.Event) string {
 	case "check.done":
 		return fmt.Sprintf("[engine] %s: check %s (%s, %s)",
 			ev.Type, passFail(ev.OK), ev.Detail, ev.Elapsed.Round(10*time.Microsecond))
+	case "checkbatch.done":
+		return fmt.Sprintf("[engine] %s: batch check %s (%s, %s)",
+			ev.Type, passFail(ev.OK), ev.Detail, ev.Elapsed.Round(10*time.Microsecond))
 	case "chain.stage":
 		return fmt.Sprintf("[engine] %s: chain stage %d is %s", ev.Type, ev.N, ev.Detail)
 	}

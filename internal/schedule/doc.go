@@ -1,0 +1,13 @@
+// Package schedule implements schedules and the schedule sets used by the
+// paper's valency argument: S(P') (at most one step per process, no
+// crashes) and the crash-budgeted execution sets E_z and E*_z of Section 3.
+//
+// A schedule is a sequence of events; each event is either a step by a
+// process p_i or a crash c_i of process p_i. The schedule of an execution
+// is the sequence of processes that take steps and crashes that occur in
+// it (Section 2).
+//
+// Schedules are plain slices with value semantics; their String
+// rendering is the paper's notation and is stable — violation traces and
+// test goldens depend on it.
+package schedule

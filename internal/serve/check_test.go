@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestCheckBatchEndpoint(t *testing.T) {
+	s := New(Config{})
+	code, body := post(t, s, "/v1/check", `{
+		"protocol": "cas-rec:2",
+		"requests": [
+			{"inputs": [0, 1]},
+			{"inputs": [0, 1], "crashQuota": [1, 1]},
+			{"inputs": [0, 1], "crashQuota": [1, 1]}
+		]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("check = %d %s", code, body)
+	}
+	var resp CheckResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	for i, res := range resp.Results {
+		if res.Error != "" || !res.OK || res.Nodes == 0 {
+			t.Fatalf("item %d: %+v", i, res)
+		}
+	}
+	// Items 1 and 2 are identical and item 0 is a prefix of their space:
+	// the shared graph must have been reused.
+	if resp.Graph.Expanded == 0 || resp.Graph.Reused == 0 {
+		t.Fatalf("no shared-graph reuse reported: %+v", resp.Graph)
+	}
+	// Violating protocol: TAS+registers under individual crashes.
+	code, body = post(t, s, "/v1/check", `{
+		"protocol": "tas-reg",
+		"requests": [{"inputs": [0, 1], "crashQuota": [1, 1]}]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("check = %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].OK || len(resp.Results[0].Violations) == 0 {
+		t.Fatalf("tas-reg under crashes should violate, got %+v", resp.Results[0])
+	}
+	if resp.Results[0].Violations[0].Trace == "" || resp.Results[0].Violations[0].Kind == "" {
+		t.Fatalf("violation missing trace/kind: %+v", resp.Results[0].Violations[0])
+	}
+}
+
+// TestCheckPerItemErrors: one malformed item (wrong inputs length) must
+// not fail the batch.
+func TestCheckPerItemErrors(t *testing.T) {
+	s := New(Config{})
+	code, body := post(t, s, "/v1/check", `{
+		"protocol": "cas-wf:2",
+		"requests": [
+			{"inputs": [0, 1]},
+			{"inputs": [0, 1, 1]},
+			{"inputs": [1, 0]}
+		]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("check with one malformed item = %d %s", code, body)
+	}
+	var resp CheckResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error != "" || !resp.Results[0].OK {
+		t.Fatalf("item 0 should succeed: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" || !strings.Contains(resp.Results[1].Error, "inputs") {
+		t.Fatalf("item 1 should carry an inputs error: %+v", resp.Results[1])
+	}
+	if resp.Results[2].Error != "" || !resp.Results[2].OK {
+		t.Fatalf("item 2 should succeed: %+v", resp.Results[2])
+	}
+}
+
+// TestCheckPerItemTimeout: an item with an absurdly small timeout fails
+// alone; its sibling completes.
+func TestCheckPerItemTimeout(t *testing.T) {
+	s := New(Config{})
+	code, body := post(t, s, "/v1/check", `{
+		"protocol": "cas-rec:2",
+		"requests": [
+			{"inputs": [0, 1], "crashQuota": [2, 2], "timeoutMs": 1},
+			{"inputs": [0, 1]}
+		]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("check = %d %s", code, body)
+	}
+	var resp CheckResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	// The 1ms item usually trips its deadline; if the machine is fast
+	// enough to finish anyway, it must have finished correctly.
+	if resp.Results[0].Error == "" && !resp.Results[0].OK {
+		t.Fatalf("timed item neither errored nor completed: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error != "" || !resp.Results[1].OK {
+		t.Fatalf("untimed sibling failed: %+v", resp.Results[1])
+	}
+}
+
+func TestCheckRequestValidation(t *testing.T) {
+	s := New(Config{BatchLimit: 2})
+	for name, body := range map[string]string{
+		"unknown protocol": `{"protocol":"nope","requests":[{"inputs":[0,1]}]}`,
+		"empty batch":      `{"protocol":"cas-wf:2","requests":[]}`,
+		"over limit":       `{"protocol":"cas-wf:2","requests":[{"inputs":[0,1]},{"inputs":[0,1]},{"inputs":[0,1]}]}`,
+		"unknown field":    `{"protocol":"cas-wf:2","requests":[{"inputs":[0,1],"quota":[1,1]}]}`,
+	} {
+		code, respBody := post(t, s, "/v1/check", body)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: got %d %s, want 400", name, code, respBody)
+		}
+	}
+}
+
+// TestCheckStatsAndMetrics verifies graph counters surface on /v1/stats
+// and /metrics.
+func TestCheckStatsAndMetrics(t *testing.T) {
+	s := New(Config{})
+	code, body := post(t, s, "/v1/check", `{
+		"protocol": "cas-wf:2",
+		"requests": [{"inputs":[0,1]},{"inputs":[0,1]}]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("check = %d %s", code, body)
+	}
+	code, body = get(t, s, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests.Check != 1 || stats.ChecksRun != 2 {
+		t.Fatalf("check counters wrong: %+v", stats.Requests)
+	}
+	if stats.Graph.Expanded == 0 || stats.Graph.Reused == 0 || stats.Graph.HitRate == 0 {
+		t.Fatalf("graph counters not threaded to stats: %+v", stats.Graph)
+	}
+	code, body = get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`reprod_requests_total{endpoint="check"} 1`,
+		`reprod_graph_expansions_total{outcome="expanded"}`,
+		`reprod_graph_expansions_total{outcome="reused"}`,
+		`# TYPE reprod_cache_requests_total counter`,
+		"reprod_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestBatchPerItemErrorPaths re-checks the analyze-batch contract next to
+// the check-batch one: a malformed descriptor mid-batch must not cost the
+// other items their analyses.
+func TestBatchPerItemErrorPaths(t *testing.T) {
+	s := New(Config{MaxN: 3})
+	code, body := post(t, s, "/v1/batch", `{"types":["tas","definitely-not-a-type","register:2"],"maxN":2}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d %s", code, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if resp.Results[0].Analysis == nil || resp.Results[0].Error != "" {
+		t.Fatalf("tas should analyze: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Analysis != nil || !strings.Contains(resp.Results[1].Error, "unknown type") {
+		t.Fatalf("bad descriptor should carry its own error: %+v", resp.Results[1])
+	}
+	if resp.Results[2].Analysis == nil || resp.Results[2].Error != "" {
+		t.Fatalf("register:2 should analyze: %+v", resp.Results[2])
+	}
+}

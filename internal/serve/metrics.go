@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// handleMetrics serves the server's counters in Prometheus text
+// exposition format (version 0.0.4) on GET /metrics: request counters by
+// endpoint, decision-cache and shared-graph reuse, store sizes and
+// uptime. The same numbers appear as JSON on /v1/stats; this endpoint
+// exists so a scraper needs no translation layer.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	counter := func(name, help string, pairs ...struct {
+		labels string
+		value  float64
+	}) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, p := range pairs {
+			fmt.Fprintf(&b, "%s%s %g\n", name, p.labels, p.value)
+		}
+	}
+	gauge := func(name, help string, value float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, value)
+	}
+	lv := func(labels string, v float64) struct {
+		labels string
+		value  float64
+	} {
+		return struct {
+			labels string
+			value  float64
+		}{labels, v}
+	}
+
+	counter("reprod_requests_total", "Requests served OK by endpoint.",
+		lv(`{endpoint="analyze"}`, float64(s.analyzed.Load())),
+		lv(`{endpoint="batch"}`, float64(s.batched.Load())),
+		lv(`{endpoint="check"}`, float64(s.checked.Load())))
+	counter("reprod_requests_failed_total", "Requests answered with an error status.",
+		lv("", float64(s.failed.Load())))
+	counter("reprod_types_analyzed_total", "Type analyses completed across analyze and batch.",
+		lv("", float64(s.typesDone.Load())))
+	counter("reprod_check_items_total", "Model-check items completed across check batches.",
+		lv("", float64(s.checkItems.Load())))
+
+	hits, misses, entries := s.cfg.Cache.Stats()
+	counter("reprod_cache_requests_total", "Decision-cache lookups by outcome.",
+		lv(`{outcome="hit"}`, float64(hits)),
+		lv(`{outcome="miss"}`, float64(misses)))
+	gauge("reprod_cache_entries", "Distinct memoized level decisions.", float64(entries))
+
+	counter("reprod_graph_expansions_total",
+		"Shared-exploration-graph successor computations by outcome (expanded = performed, reused = amortized away).",
+		lv(`{outcome="expanded"}`, float64(s.graphExpanded.Load())),
+		lv(`{outcome="reused"}`, float64(s.graphReused.Load())))
+
+	gauge("reprod_inflight_requests", "Requests holding an analysis slot.", float64(s.inflight.Load()))
+	gauge("reprod_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		gauge("reprod_store_journal_bytes", "Decision-store journal size on disk.", float64(st.JournalBytes))
+		gauge("reprod_store_snapshot_bytes", "Decision-store snapshot size on disk.", float64(st.SnapshotBytes))
+		counter("reprod_store_decisions_total", "Decisions by origin.",
+			lv(`{origin="loaded"}`, float64(st.Loaded)),
+			lv(`{origin="appended"}`, float64(st.Appended)))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, b.String())
+}

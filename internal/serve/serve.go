@@ -1,25 +1,3 @@
-// Package serve implements the reprod analysis service: an HTTP JSON
-// facade over the analysis engine, built for one long-lived process
-// serving many clients against one shared decision cache (optionally
-// disk-backed via internal/store).
-//
-// Endpoints:
-//
-//	POST /v1/analyze  {"type":"tnn:5,2","maxN":5}       one type
-//	POST /v1/batch    {"types":["tas","x4"],"maxN":4}   many types
-//	GET  /healthz                                       liveness
-//	GET  /v1/stats                                      cache/store/traffic counters
-//
-// Each request runs on its own short-lived engine bound to the request
-// context (so per-request timeouts and client disconnects cancel the
-// search), while every engine shares the server's one decision cache —
-// concurrent identical requests therefore collapse into one computation
-// via the cache's singleflight, and previously decided levels are served
-// without recomputation. A semaphore bounds the number of requests
-// analyzing at once; the engines' worker pools interleave on the
-// scheduler below that bound.
-//
-// The Server is an http.Handler, so tests drive it without sockets.
 package serve
 
 import (
@@ -83,9 +61,13 @@ type Config struct {
 	// requests queue until a slot frees or their context fires
 	// (0 = 2 × Parallelism).
 	MaxConcurrent int
-	// BatchLimit bounds the descriptors of one batch request
-	// (0 = DefaultBatchLimit).
+	// BatchLimit bounds the descriptors of one batch request and the
+	// items of one check request (0 = DefaultBatchLimit).
 	BatchLimit int
+	// CheckMaxNodes is both the default and the ceiling of one check
+	// item's explored-state budget (0 = DefaultCheckMaxNodes): the
+	// service bounds the memory one item can demand.
+	CheckMaxNodes int
 }
 
 // Server is the reprod HTTP service. Construct with New.
@@ -97,9 +79,14 @@ type Server struct {
 
 	analyzed  atomic.Uint64 // analyze requests served OK
 	batched   atomic.Uint64 // batch requests served OK
+	checked   atomic.Uint64 // check requests served OK
 	failed    atomic.Uint64 // requests answered with an error status
 	inflight  atomic.Int64  // requests holding an analysis slot
 	typesDone atomic.Uint64 // type analyses completed across both endpoints
+
+	checkItems    atomic.Uint64 // model-check items completed across check batches
+	graphExpanded atomic.Uint64 // shared-graph expansions performed
+	graphReused   atomic.Uint64 // shared-graph expansions amortized away
 }
 
 // New builds a Server, normalizing zero Config fields to the defaults.
@@ -122,10 +109,15 @@ func New(cfg Config) *Server {
 	if cfg.BatchLimit <= 0 {
 		cfg.BatchLimit = DefaultBatchLimit
 	}
+	if cfg.CheckMaxNodes <= 0 {
+		cfg.CheckMaxNodes = DefaultCheckMaxNodes
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), sem: make(chan struct{}, cfg.MaxConcurrent), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -199,16 +191,25 @@ type StatsResponse struct {
 	Requests      struct {
 		Analyze uint64 `json:"analyze"`
 		Batch   uint64 `json:"batch"`
+		Check   uint64 `json:"check"`
 		Failed  uint64 `json:"failed"`
 	} `json:"requests"`
 	Inflight      int64  `json:"inflight"`
 	TypesAnalyzed uint64 `json:"typesAnalyzed"`
+	ChecksRun     uint64 `json:"checksRun"`
 	Cache         struct {
 		Hits    uint64  `json:"hits"`
 		Misses  uint64  `json:"misses"`
 		Entries int     `json:"entries"`
 		HitRate float64 `json:"hitRate"`
 	} `json:"cache"`
+	// Graph aggregates shared-exploration-graph reuse across every
+	// /v1/check batch served so far.
+	Graph struct {
+		Expanded uint64  `json:"expanded"`
+		Reused   uint64  `json:"reused"`
+		HitRate  float64 `json:"hitRate"`
+	} `json:"graph"`
 	Store *store.Stats `json:"store,omitempty"`
 }
 
@@ -422,9 +423,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.UptimeSeconds = time.Since(s.start).Seconds()
 	resp.Requests.Analyze = s.analyzed.Load()
 	resp.Requests.Batch = s.batched.Load()
+	resp.Requests.Check = s.checked.Load()
 	resp.Requests.Failed = s.failed.Load()
 	resp.Inflight = s.inflight.Load()
 	resp.TypesAnalyzed = s.typesDone.Load()
+	resp.ChecksRun = s.checkItems.Load()
+	resp.Graph.Expanded = s.graphExpanded.Load()
+	resp.Graph.Reused = s.graphReused.Load()
+	if total := resp.Graph.Expanded + resp.Graph.Reused; total > 0 {
+		resp.Graph.HitRate = float64(resp.Graph.Reused) / float64(total)
+	}
 	hits, misses, entries := s.cfg.Cache.Stats()
 	resp.Cache.Hits = hits
 	resp.Cache.Misses = misses

@@ -1,0 +1,19 @@
+// Package sim is the concurrent crash-recovery runtime: it executes
+// process programs as goroutines over a non-volatile store, under a
+// deterministic scheduler driven by an adversary that chooses, before
+// every shared-memory step, which process moves next and whether it
+// crashes instead.
+//
+// Crash semantics follow Section 2 of the paper exactly: a crashed process
+// loses all local state (its program is aborted via a panic that the
+// runtime recovers, and restarted from the top, so ordinary Go local
+// variables are the volatile state), while the nvm.Store it accesses is
+// never reset.
+//
+// The runtime is fully deterministic for a deterministic adversary: only
+// one process runs between grants, so every run with the same adversary
+// produces the same schedule — which is what lets the integration tests
+// replay simulator schedules inside the model checker. One Run owns its
+// programs and store for the duration of the call; independent Runs are
+// safe to execute concurrently (the seed sweeps in cmd/crashsim do).
+package sim

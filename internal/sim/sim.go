@@ -1,18 +1,3 @@
-// Package sim is the concurrent crash-recovery runtime: it executes
-// process programs as goroutines over a non-volatile store, under a
-// deterministic scheduler driven by an adversary that chooses, before
-// every shared-memory step, which process moves next and whether it
-// crashes instead.
-//
-// Crash semantics follow Section 2 of the paper exactly: a crashed process
-// loses all local state (its program is aborted via a panic that the
-// runtime recovers, and restarted from the top, so ordinary Go local
-// variables are the volatile state), while the nvm.Store it accesses is
-// never reset.
-//
-// The runtime is fully deterministic for a deterministic adversary: only
-// one process runs between grants, so every run with the same adversary
-// produces the same schedule.
 package sim
 
 import (

@@ -1,0 +1,21 @@
+// Package spec defines deterministic sequential specifications of shared
+// object types, following Section 2 of "Determining Recoverable Consensus
+// Numbers" (Ovens, PODC 2024).
+//
+// A type defines a finite set of values, a finite set of operations, and a
+// deterministic transition function: applying an operation op to an object
+// with value v yields exactly one response and exactly one resulting value.
+// A type is readable if it supports an operation that returns the current
+// value of the object without changing it.
+//
+// All deciders in this repository (n-discerning, n-recording) operate on
+// the FiniteType representation defined here.
+//
+// FiniteType values are immutable after construction (the Builder
+// enforces a total, deterministic table) and safe to share across
+// goroutines and engines. Fingerprint is a structural hash that is
+// stable across processes — it keys the decision cache and the
+// persistent store, so two independently constructed but identical types
+// share cached decisions, and changing the fingerprint algorithm is a
+// store-format break. The JSON encoding round-trips byte-identically.
+package spec

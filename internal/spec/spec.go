@@ -1,15 +1,3 @@
-// Package spec defines deterministic sequential specifications of shared
-// object types, following Section 2 of "Determining Recoverable Consensus
-// Numbers" (Ovens, PODC 2024).
-//
-// A type defines a finite set of values, a finite set of operations, and a
-// deterministic transition function: applying an operation op to an object
-// with value v yields exactly one response and exactly one resulting value.
-// A type is readable if it supports an operation that returns the current
-// value of the object without changing it.
-//
-// All deciders in this repository (n-discerning, n-recording) operate on
-// the FiniteType representation defined here.
 package spec
 
 import (

@@ -1,0 +1,43 @@
+// Package store persists engine decision caches across processes: every
+// memoized level decision (one propKey → propResult entry of
+// internal/engine.Cache, in its exported engine.Entry form) is written to
+// a disk-backed store and warm-loaded on the next Open, so the
+// exponential discerning/recording searches are paid once per type and
+// level, ever, rather than once per process.
+//
+// # On-disk layout
+//
+// A store at path P owns two files:
+//
+//   - P — the compacted snapshot, rewritten atomically (write to a
+//     temporary file in the same directory, fsync, rename) by Compact;
+//   - P.journal — the append-only journal receiving every decision
+//     computed since the last compaction.
+//
+// Both files share one line-oriented format: a header line
+// {"format":"repro-decision-store","version":1} followed by one record
+// per line, {"e":<entry>,"c":<crc32c of the entry bytes>}. The CRC makes
+// corruption detection independent of JSON syntax: a torn tail from a
+// crash, a bit flip, or a truncated copy is caught at load time, and the
+// load keeps every record up to the first bad one (for the journal, the
+// file is also physically truncated back to that point so appends resume
+// on a clean boundary). A record only counts as good if its trailing
+// newline made it to disk.
+//
+// # Concurrency and ownership
+//
+// Writes are asynchronous: the cache's sink hands newly computed
+// decisions to a flusher goroutine owning the journal file, so deciders
+// never block on disk. Close drains and syncs the journal; Flush and
+// Compact are available mid-run. One process at a time may own a store
+// path (the -cache-file contract of the cmd tools) — concurrent writers
+// would interleave journal lines. Within the owning process a *Store is
+// safe for concurrent use.
+//
+// # Byte-stability guarantees
+//
+// Snapshot bytes are deterministic for a given set of decisions (entries
+// are sorted before writing), and the witness JSON codecs round-trip
+// byte-identically, so two stores holding the same decisions compact to
+// identical snapshot files.
+package store

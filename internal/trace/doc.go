@@ -1,0 +1,5 @@
+// Package trace renders executions for humans: annotated event logs of
+// simulator runs and model-checker counterexamples, in the paper's
+// notation (steps p_i, crashes c_i). Rendering is pure formatting —
+// deterministic for a given execution and safe for concurrent use.
+package trace

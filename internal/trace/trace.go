@@ -1,6 +1,3 @@
-// Package trace renders executions for humans: annotated event logs of
-// simulator runs and model-checker counterexamples, in the paper's
-// notation (steps p_i, crashes c_i).
 package trace
 
 import (

@@ -1,0 +1,12 @@
+// Package types provides the zoo of deterministic object types used
+// throughout the reproduction: classical types (registers, test-and-set,
+// swap, fetch-and-add, compare-and-swap, queues, sticky bits, counters),
+// the paper's non-readable family T_{n,n'} (Section 4), and a readable
+// family XLike(n) with the discerning/recording spectrum of DFFR's X_n.
+//
+// Every constructor returns a *spec.FiniteType whose transition table is
+// total and deterministic (enforced by the spec.Builder). Constructors
+// are pure: equal parameters produce structurally identical types with
+// equal fingerprints, which is what lets the decision cache and the
+// persistent store recognize them across calls and processes.
+package types

@@ -1,0 +1,6 @@
+// Package uf provides a minimal union-find (disjoint-set) structure used by
+// the discerning and recording deciders to compute which team partitions
+// keep all constraint sets monochromatic. A UnionFind value is owned by
+// one decider invocation and is not safe for concurrent use; deciders
+// allocate one per (value, assignment) candidate.
+package uf

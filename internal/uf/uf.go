@@ -1,6 +1,3 @@
-// Package uf provides a minimal union-find (disjoint-set) structure used by
-// the discerning and recording deciders to compute which team partitions
-// keep all constraint sets monochromatic.
 package uf
 
 // UnionFind is a union-find over the elements 0..n-1.

@@ -1,32 +1,3 @@
-// Package universal implements a recoverable, linearizable universal
-// construction: a shared object of ANY deterministic finite type, usable
-// by n crash-prone processes, built from recoverable consensus objects
-// and non-volatile registers.
-//
-// The paper's introduction cites two universality results for the
-// recoverable setting: Berryhill-Golab-Tripunitara (simultaneous crashes)
-// and Delporte-Gallet-Fatourou-Fauconnier-Ruppert (individual crashes),
-// the latter providing detectability: after a crash, the invoking process
-// can tell whether its interrupted operation linearized and, if so,
-// obtain its response. This package reproduces that functionality:
-//
-//   - the shared state is an unbounded log of slots, each decided by a
-//     recoverable consensus object (package-provided ConsensusCell, which
-//     stands in for "any object with recoverable consensus number >= n",
-//     e.g. compare-and-swap per the deciders in this repository);
-//   - a process announces its operation in a non-volatile announce array
-//     and then drives the log forward, helping announced operations of
-//     other processes in round-robin slot order (Herlihy-style helping,
-//     which yields wait-freedom);
-//   - every piece of process-local progress state is recomputable from
-//     the log and announce array, so a crashed process recovers by
-//     re-scanning: if its announced (pid, seq) pair is in the log, the
-//     operation linearized and its response is obtained by replay
-//     (detectability); otherwise it re-drives the log.
-//
-// Crashes are simulated by abandoning an Invoke mid-flight (the test
-// harness bounds the number of shared-memory steps); all volatile state
-// is function-local by construction.
 package universal
 
 import (

@@ -32,6 +32,7 @@
 //	a, err := eng.Analyze(t)       // cons / rcons spectrum of one type
 //	as, err := eng.AnalyzeAll(ts)  // many types, one flat pool run
 //	res, err := eng.Check(p, repro.CheckRequest{Inputs: in, CrashQuota: q})
+//	items, gs, err := eng.CheckBatch(p, reqs) // many checks, one shared graph
 //	ch, err := eng.Theorem13(p, repro.CheckRequest{Inputs: in, CrashQuota: q})
 //
 // # Deprecated free functions
@@ -83,6 +84,11 @@ type (
 	Protocol = model.Protocol
 	// CheckResult is the outcome of model checking a protocol.
 	CheckResult = model.Result
+	// CheckItem is one Engine.CheckBatch outcome: a result or a
+	// per-request error.
+	CheckItem = engine.CheckItem
+	// GraphStats counts shared-exploration-graph reuse in CheckBatch.
+	GraphStats = model.GraphStats
 )
 
 // Engine API types, re-exported from internal/engine.
@@ -175,6 +181,12 @@ const DefaultShardThreshold = engine.DefaultShardThreshold
 // "product:tas,register:2", ...) into a type; unknown names error with
 // the list of valid descriptors. It is the default engine's Resolve.
 func Resolve(desc string) (*Type, error) { return Default().Resolve(desc) }
+
+// ResolveProtocol parses a protocol registry descriptor ("tnn-wf:3,2",
+// "tnn-rec:3,2", "cas-wf:2", "cas-rec:3", "tas-reg") into a
+// model-checkable consensus protocol for Engine.Check, Engine.CheckBatch
+// and Engine.Theorem13. It is the default engine's ResolveProtocol.
+func ResolveProtocol(desc string) (Protocol, error) { return Default().ResolveProtocol(desc) }
 
 // defaultEngine backs the deprecated free functions, so legacy call
 // sites transparently share one decision cache.
