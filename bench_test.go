@@ -323,6 +323,106 @@ func BenchmarkShardedLevelCheck(b *testing.B) {
 	}
 }
 
+// BenchmarkGraphCacheCheckBatch measures the engine-resident graph
+// cache: one batch of mixed-quota check requests against one protocol,
+// cold (a fresh engine per iteration: every graph is built and expanded
+// from scratch) versus warm (one long-lived engine: after the first
+// iteration every walk runs over a fully expanded cached graph and
+// expands nothing). The warm/cold ratio is the cross-call amortization
+// the cache buys; allocs/op on the warm path is the hot-walk allocation
+// figure the 128-bit fingerprint index and pooled frontiers target.
+func BenchmarkGraphCacheCheckBatch(b *testing.B) {
+	// Four distinct input vectors on the 5-process wait-free protocol:
+	// each is its own graph, so a cold batch pays four full state-space
+	// expansions and a warm one pays none — the shape of repeated
+	// /v1/check traffic against a long-lived server.
+	pr := proto.NewTnnWaitFree(5, 2, 5)
+	reqs := []engine.CheckRequest{
+		{Inputs: []int{1, 0, 1, 0, 1}},
+		{Inputs: []int{0, 1, 0, 1, 0}},
+		{Inputs: []int{1, 1, 0, 0, 1}},
+		{Inputs: []int{0, 0, 1, 1, 0}},
+	}
+	runBatch := func(b *testing.B, e *engine.Engine) {
+		items, _, err := e.CheckBatch(pr, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, it := range items {
+			if it.Err != nil || !it.OK() {
+				b.Fatalf("item %d failed: %v", i, it.Err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runBatch(b, engine.New(engine.WithParallelism(1)))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		e := engine.New(engine.WithParallelism(1))
+		runBatch(b, e) // prime the graph cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runBatch(b, e)
+		}
+	})
+}
+
+// BenchmarkTheorem13Graph measures graph-backed Theorem 13 chains: the
+// construction walking one shared exploration graph for all stages
+// (shared, the default) versus re-exploring each stage on a one-shot
+// graph (per-stage, the pre-cache behavior, kept as the
+// FreshGraphPerStage ablation). The tas-reg case is the multi-walk
+// chain: its colliding stage forces a second full exploration, which the
+// shared graph serves without expanding a single new node.
+func BenchmarkTheorem13Graph(b *testing.B) {
+	cases := []struct {
+		name   string
+		pr     model.Protocol
+		inputs []int
+		quota  []int
+		mayErr bool
+	}{
+		{"cas-rec2", proto.NewCASRecoverable(2), []int{1, 0}, []int{0, 2}, false},
+		{"tnn-rec42", proto.NewTnnRecoverable(4, 2, 2), []int{1, 0}, []int{0, 2}, false},
+		// tas-reg's chain legitimately dies at stage 1 (wait-free-only
+		// algorithms are not crash-tolerant — that is Golab's
+		// separation); both variants still pay stage 1's exploration,
+		// which is the interesting one to amortize.
+		{"tas-reg", proto.NewTASConsensus(), []int{1, 0}, []int{2, 2}, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name+"/shared", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				chain, err := model.Theorem13ChainOpts(c.pr, c.inputs, c.quota, model.ChainOpts{})
+				if err != nil && !c.mayErr {
+					b.Fatalf("chain failed: %v", err)
+				}
+				if len(chain.Stages) == 0 {
+					b.Fatal("no stages")
+				}
+			}
+		})
+		b.Run(c.name+"/per-stage", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				chain, err := model.Theorem13ChainOpts(c.pr, c.inputs, c.quota,
+					model.ChainOpts{FreshGraphPerStage: true})
+				if err != nil && !c.mayErr {
+					b.Fatalf("chain failed: %v", err)
+				}
+				if len(chain.Stages) == 0 {
+					b.Fatal("no stages")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineAnalyzeCached measures a warm-cache Analyze — the
 // steady-state cost when a long-lived engine re-serves a known type.
 func BenchmarkEngineAnalyzeCached(b *testing.B) {

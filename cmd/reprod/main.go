@@ -12,6 +12,7 @@
 //	POST /v1/analyze  {"type":"tnn:5,2","maxN":5}
 //	POST /v1/batch    {"types":["tas","x4"],"maxN":4}
 //	POST /v1/check    {"protocol":"cas-rec:2","requests":[{"inputs":[0,1],"crashQuota":[1,1]}]}
+//	POST /v1/compact  (fold the -cache-file journal into a fresh snapshot)
 //	GET  /healthz
 //	GET  /v1/stats
 //	GET  /metrics     (Prometheus text format)
@@ -20,7 +21,16 @@
 // protocol over a shared exploration graph: requests with the same
 // inputs expand common state-space prefixes once (reuse shows up in
 // /v1/stats under "graph"). Item errors and timeouts (timeoutMs) are
-// per-item; -check-max-nodes caps one item's explored state space.
+// per-item; -check-max-nodes caps one item's explored state space. The
+// graphs live in a server-wide cache (-graph-cache-budget bounds its
+// total node count), so repeated traffic for the same protocol and
+// inputs walks warm graphs across requests — cache traffic shows up in
+// /v1/stats under "graphCache".
+//
+// With -cache-file set, -compact-every additionally folds the decision
+// journal into a fresh snapshot on a timer (drain-safe: shutdown waits
+// for an in-flight compaction before the final flush), and
+// POST /v1/compact does the same on demand.
 //
 // The shared engine flags apply: -parallel sizes each request's worker
 // pool, -shard-threshold tunes single-level sharding, -cache-file
@@ -68,6 +78,8 @@ func run(args []string) error {
 	batchLimit := fs.Int("batch-limit", serve.DefaultBatchLimit, "max type descriptors per batch request (also max items per check request)")
 	checkMaxNodes := fs.Int("check-max-nodes", serve.DefaultCheckMaxNodes,
 		"default and ceiling for one model-check item's explored state space, in nodes")
+	compactEvery := fs.Duration("compact-every", 0,
+		"fold the -cache-file journal into a fresh snapshot at this interval (0 = only on demand via POST /v1/compact)")
 	ef := cli.AddEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,16 +108,43 @@ func run(args []string) error {
 	}
 
 	srv := serve.New(serve.Config{
-		Cache:          cache,
-		Store:          pc,
-		MaxN:           *maxN,
-		Parallelism:    ef.Parallel,
-		ShardThreshold: ef.ShardThreshold,
-		RequestTimeout: *reqTimeout,
-		MaxConcurrent:  *maxConc,
-		BatchLimit:     *batchLimit,
-		CheckMaxNodes:  *checkMaxNodes,
+		Cache:            cache,
+		Store:            pc,
+		MaxN:             *maxN,
+		Parallelism:      ef.Parallel,
+		ShardThreshold:   ef.ShardThreshold,
+		RequestTimeout:   *reqTimeout,
+		MaxConcurrent:    *maxConc,
+		BatchLimit:       *batchLimit,
+		CheckMaxNodes:    *checkMaxNodes,
+		GraphCacheBudget: ef.GraphCacheBudget,
 	})
+
+	// Periodic auto-compaction: fold the journal into a fresh snapshot on
+	// a timer. The ticker goroutine signals compactorDone when it exits;
+	// shutdown waits on it BEFORE closing the store, so a compaction can
+	// never race the final flush-and-close (drain-safe by construction —
+	// Compact itself is serialized with appends on the store's flusher).
+	compactorDone := make(chan struct{})
+	if *compactEvery > 0 && pc != nil {
+		go func() {
+			defer close(compactorDone)
+			tick := time.NewTicker(*compactEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := pc.Compact(); err != nil {
+						fmt.Fprintln(os.Stderr, "reprod: compact:", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(compactorDone)
+	}
 	hs := &http.Server{
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -129,6 +168,8 @@ func run(args []string) error {
 	select {
 	case err := <-serveErr:
 		if pc != nil {
+			cancelRun() // stops the auto-compactor before the store closes
+			<-compactorDone
 			pc.Close()
 		}
 		return err
@@ -149,6 +190,7 @@ func run(args []string) error {
 	}
 	ef.Summary(cache)
 	if pc != nil {
+		<-compactorDone // ctx is done; wait out any in-flight compaction
 		if err := pc.Close(); err != nil {
 			return fmt.Errorf("flushing cache file: %w", err)
 		}

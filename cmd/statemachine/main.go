@@ -6,6 +6,7 @@
 //	statemachine -dot tnn:5,2     # the same as DOT (render with graphviz)
 //	statemachine -json t.json     # a hand-written JSON type
 //	statemachine -batch types.txt -analyze   # many types, one engine run
+//	statemachine -check reqs.json            # one model-check batch
 //
 // With -export, the type itself is written as JSON (round-trippable with
 // rcnum -json). With -analyze, each type's hierarchy summary (computed on
@@ -17,16 +18,25 @@
 // level checks of all types interleave across workers and shared
 // sub-decisions collapse in the cache, instead of each type serializing
 // behind the previous one.
+//
+// -check reads a model-check batch as JSON — the same shape as the
+// reprod service's POST /v1/check body: {"protocol":"cas-rec:2",
+// "requests":[{"inputs":[0,1],"crashQuota":[1,1]}]} — and runs it as one
+// Engine.CheckBatch: requests with the same inputs walk one shared
+// exploration graph, per-item errors stay per-item, and the JSON result
+// (per-request outcomes plus graph-reuse counters) lands on stdout.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/cli"
@@ -48,6 +58,7 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list registered type descriptors")
 	analyze := fs.Bool("analyze", false, "append the type's hierarchy summary")
 	batch := fs.String("batch", "", "read type descriptors from this file, one per line (\"-\" = stdin); with -analyze, all types run in one engine pass")
+	check := fs.String("check", "", "read a model-check batch (JSON: {\"protocol\":...,\"requests\":[...]}) from this file (\"-\" = stdin) and run one Engine.CheckBatch")
 	ef := cli.AddEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +73,14 @@ func run(args []string) error {
 		return err
 	}
 	defer cleanup()
+
+	if *check != "" {
+		if err := runCheckBatch(eng, *check); err != nil {
+			return err
+		}
+		ef.Summary(eng.Cache())
+		return nil
+	}
 
 	var types []*repro.Type
 	if *jsonFile != "" {
@@ -124,6 +143,112 @@ func run(args []string) error {
 		}
 	}
 	ef.Summary(eng.Cache())
+	return nil
+}
+
+// checkFile is the -check input: one protocol descriptor plus the
+// request batch, using the same field names as POST /v1/check on the
+// reprod service, so a request body works as a -check file unchanged.
+type checkFile struct {
+	Protocol string `json:"protocol"`
+	Requests []struct {
+		Inputs       []int `json:"inputs"`
+		CrashQuota   []int `json:"crashQuota,omitempty"`
+		MaxNodes     int   `json:"maxNodes,omitempty"`
+		SkipLiveness bool  `json:"skipLiveness,omitempty"`
+		TimeoutMs    int   `json:"timeoutMs,omitempty"`
+	} `json:"requests"`
+}
+
+// checkResult is one -check outcome; checkOutput is the full rendering,
+// one result per request (positionally aligned), plus the batch's
+// graph-reuse counters.
+type checkResult struct {
+	Error      string   `json:"error,omitempty"`
+	OK         bool     `json:"ok"`
+	Nodes      int      `json:"nodes,omitempty"`
+	Truncated  bool     `json:"truncated,omitempty"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+type checkOutput struct {
+	Protocol string           `json:"protocol"`
+	Results  []checkResult    `json:"results"`
+	Graph    repro.GraphStats `json:"graph"`
+}
+
+// runCheckBatch loads a -check batch file and runs it as one
+// Engine.CheckBatch: every request with the same inputs walks one shared
+// exploration graph, and the whole batch runs concurrently on the
+// engine's pool. Results are printed as JSON on stdout; per-item errors
+// (malformed inputs) land in their item, not the exit status.
+func runCheckBatch(eng *repro.Engine, path string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("-check: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var cf checkFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cf); err != nil {
+		return fmt.Errorf("-check: parse %s: %w", path, err)
+	}
+	if len(cf.Requests) == 0 {
+		return fmt.Errorf("-check: %s has no requests", path)
+	}
+	pr, err := eng.ResolveProtocol(cf.Protocol)
+	if err != nil {
+		return fmt.Errorf("-check: %w", err)
+	}
+	reqs := make([]repro.CheckRequest, len(cf.Requests))
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	for i, item := range cf.Requests {
+		reqs[i] = repro.CheckRequest{
+			Inputs:       item.Inputs,
+			CrashQuota:   item.CrashQuota,
+			MaxNodes:     item.MaxNodes,
+			SkipLiveness: item.SkipLiveness,
+		}
+		if item.TimeoutMs > 0 {
+			// Per-item deadline, exactly as the /v1/check handler wires
+			// timeoutMs: an expired item fails alone.
+			ctx, c := context.WithTimeout(context.Background(), time.Duration(item.TimeoutMs)*time.Millisecond)
+			cancels = append(cancels, c)
+			reqs[i].Ctx = ctx
+		}
+	}
+	items, gs, err := eng.CheckBatch(pr, reqs)
+	if err != nil {
+		return fmt.Errorf("-check: %w", err)
+	}
+	out := checkOutput{Protocol: cf.Protocol, Graph: gs, Results: make([]checkResult, len(items))}
+	for i, it := range items {
+		if it.Err != nil {
+			out.Results[i].Error = it.Err.Error()
+			continue
+		}
+		out.Results[i].OK = it.Result.OK()
+		out.Results[i].Nodes = it.Result.Nodes
+		out.Results[i].Truncated = it.Result.Truncated
+		for _, v := range it.Result.Violations {
+			out.Results[i].Violations = append(out.Results[i].Violations, v.String())
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
 	return nil
 }
 

@@ -99,6 +99,71 @@ func TestBatchAnalyze(t *testing.T) {
 	}
 }
 
+func TestCheckBatchMode(t *testing.T) {
+	dir := t.TempDir()
+	file := dir + "/reqs.json"
+	// The same body shape POST /v1/check accepts, timeoutMs included.
+	body := `{"protocol":"cas-rec:2","requests":[
+		{"inputs":[0,1],"crashQuota":[1,1],"timeoutMs":30000},
+		{"inputs":[0,1]},
+		{"inputs":[0]}
+	]}`
+	if err := os.WriteFile(file, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"-check", file}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Protocol string `json:"protocol"`
+		Results  []struct {
+			Error string `json:"error"`
+			OK    bool   `json:"ok"`
+			Nodes int    `json:"nodes"`
+		} `json:"results"`
+		Graph struct {
+			Expanded uint64 `json:"expanded"`
+			Reused   uint64 `json:"reused"`
+		} `json:"graph"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-check output is not valid JSON: %v\n%s", err, out)
+	}
+	if res.Protocol != "cas-rec:2" || len(res.Results) != 3 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	if !res.Results[0].OK || res.Results[0].Nodes == 0 || !res.Results[1].OK {
+		t.Fatalf("well-formed items failed: %+v", res.Results)
+	}
+	if !strings.Contains(res.Results[2].Error, "inputs") {
+		t.Fatalf("malformed item should carry a per-item inputs error: %+v", res.Results[2])
+	}
+	if res.Graph.Expanded == 0 || res.Graph.Reused == 0 {
+		t.Fatalf("batch reported no graph sharing: %+v", res.Graph)
+	}
+}
+
+func TestCheckBatchModeErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-check", "/nonexistent/file"}) }); err == nil {
+		t.Error("missing -check file should fail")
+	}
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"bad-protocol.json": `{"protocol":"nope","requests":[{"inputs":[0,1]}]}`,
+		"no-requests.json":  `{"protocol":"cas-rec:2","requests":[]}`,
+		"bad-json.json":     `{"protocol":`,
+	} {
+		file := dir + "/" + name
+		if err := os.WriteFile(file, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := capture(t, func() error { return run([]string{"-check", file}) }); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+}
+
 func TestBatchErrors(t *testing.T) {
 	if _, err := capture(t, func() error { return run([]string{"-batch", "/nonexistent/file"}) }); err == nil {
 		t.Error("missing -batch file should fail")

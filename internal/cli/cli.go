@@ -27,6 +27,10 @@ type EngineFlags struct {
 	// CacheFile persists the decision cache at this path (-cache-file;
 	// empty = in-memory only), so sweeps resume across runs.
 	CacheFile string
+	// GraphCacheBudget bounds the engine's exploration-graph cache in
+	// total interned nodes (-graph-cache-budget; 0 = engine default,
+	// negative = disable graph caching).
+	GraphCacheBudget int
 
 	// Cache is the persistent cache opened for -cache-file; it is set by
 	// OpenCache (and therefore by Engine) and nil when the flag is
@@ -49,6 +53,8 @@ func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 		"assignment count above which one level check is sharded across idle workers (0 = engine default, negative = never shard)")
 	fs.StringVar(&f.CacheFile, "cache-file", "",
 		"persist the decision cache at this path (journal + snapshot), resuming prior runs' decisions")
+	fs.IntVar(&f.GraphCacheBudget, "graph-cache-budget", 0,
+		"node budget of the engine's exploration-graph cache (0 = engine default, negative = disable)")
 	return f
 }
 
@@ -95,6 +101,7 @@ func (f *EngineFlags) EngineOn(ctx context.Context, extra ...repro.Option) (*rep
 		repro.WithContext(ctx),
 		repro.WithParallelism(f.Parallel),
 		repro.WithShardThreshold(f.ShardThreshold),
+		repro.WithGraphCacheBudget(f.GraphCacheBudget),
 	}
 	pc, err := f.OpenCache()
 	if err != nil {

@@ -51,15 +51,19 @@ func (e *Engine) requestCtx(reqCtx context.Context) (context.Context, func()) {
 // common schedule prefixes and valency subtrees are expanded once and
 // shared, while per-request crash quotas, node budgets and liveness
 // settings are resolved as overlays during each walk. Requests run
-// concurrently on the engine's worker pool.
+// concurrently on the engine's worker pool. The graphs come from the
+// engine's graph cache, so a later batch (or Check, or Theorem13) of the
+// same protocol and inputs walks them warm and expands nothing.
 //
 // Results are positionally aligned with reqs and byte-identical to
 // serial Engine.Check calls of the same requests. Errors are
 // per-item — a malformed request (wrong inputs length) or a canceled
 // per-request context (CheckRequest.Ctx) fails only its own item. The
-// returned GraphStats aggregates reuse across the batch's graphs.
-// CheckBatch itself errors only when the engine context is done or the
-// protocol fails validation.
+// returned GraphStats aggregates reuse attributed to this batch: the
+// counter deltas of its graphs over the call (a fully warm batch reports
+// Expanded == 0; concurrent calls sharing a cached graph may blur the
+// attribution, never the results). CheckBatch itself errors only when
+// the engine context is done or the protocol fails validation.
 func (e *Engine) CheckBatch(p model.Protocol, reqs []CheckRequest) ([]CheckItem, model.GraphStats, error) {
 	var agg model.GraphStats
 	if err := e.ctx.Err(); err != nil {
@@ -71,21 +75,26 @@ func (e *Engine) CheckBatch(p model.Protocol, reqs []CheckRequest) ([]CheckItem,
 	start := time.Now()
 	items := make([]CheckItem, len(reqs))
 
-	// Group requests by input vector; each group shares one graph. Graph
-	// construction errors (wrong inputs length) are per-item.
+	// Group requests by input vector; each group shares one graph (served
+	// from the engine's graph cache when enabled). Graph resolution
+	// errors (wrong inputs length) are per-item.
 	graphs := make(map[string]*model.Graph)
+	before := make(map[*model.Graph]model.GraphStats)
 	graphFor := make([]*model.Graph, len(reqs))
 	for i, req := range reqs {
 		k := inputsKey(req.Inputs)
 		g, ok := graphs[k]
 		if !ok {
 			var err error
-			g, err = model.NewGraph(p, req.Inputs)
+			g, err = e.graphFor(p, req.Inputs)
 			if err != nil {
 				items[i].Err = err
 				continue
 			}
 			graphs[k] = g
+			if _, seen := before[g]; !seen {
+				before[g] = g.Stats()
+			}
 		}
 		graphFor[i] = g
 	}
@@ -134,8 +143,8 @@ func (e *Engine) CheckBatch(p model.Protocol, reqs []CheckRequest) ([]CheckItem,
 			break
 		}
 	}
-	for _, g := range graphs {
-		agg.Add(g.Stats())
+	for g, prev := range before {
+		agg.Add(g.Stats().Sub(prev))
 	}
 	e.emit(Event{Kind: "checkbatch.done", Type: p.Name(), N: len(reqs), OK: ok,
 		Elapsed: time.Since(start),

@@ -16,19 +16,33 @@
 // Analyze calls — interleave freely on the pool. A Cache may back any
 // number of engines at once (WithCache); its singleflight layer
 // guarantees concurrent identical level checks run the underlying
-// decider exactly once. CheckBatch shares one exploration graph
-// (model.Graph) per distinct input vector across the batch's concurrent
-// walks. Progress consumers are invoked under an engine-held mutex, so
-// one emission at a time; the consumer must not call back into the
-// engine.
+// decider exactly once. Progress consumers are invoked under an
+// engine-held mutex, so one emission at a time; the consumer must not
+// call back into the engine.
+//
+// # The exploration-graph cache
+//
+// Check, CheckBatch and Theorem13 resolve their model.Graphs through a
+// GraphCache: a bounded LRU keyed by protocol identity + input vector,
+// engine-private by default (WithGraphCacheBudget) or shared across
+// engines (WithGraphCache — the reprod service installs one server-wide
+// cache into its per-request engines). The cache owns only references:
+// graphs are built under the cache lock (cheap validation; expansion is
+// lazy and singleflight inside the graph), the node budget is enforced
+// against live node counts on every resolution, and evicting a graph
+// never invalidates walks already running on it — they hold their own
+// reference and finish unharmed. A negative budget disables caching and
+// restores fresh-graph-per-call behavior.
 //
 // # Byte-stability guarantees
 //
 // Sharded and serial level checks return identical results, including
 // the witness chosen (the lowest-ranked one in the deterministic tuple
-// enumeration). CheckBatch results are byte-identical to serial Check
-// calls of the same requests — both run the one exploration code path,
-// model.(*Graph).Check. Witnesses served from the cache are deep copies,
-// so callers may mutate what they receive without corrupting later
-// analyses.
+// enumeration). Check, CheckBatch and Theorem13 results are
+// byte-identical whether their graphs are cold, warm, shared with
+// concurrent calls, or rebuilt after eviction — all run the one
+// exploration code path, model.(*Graph).Check, whose walks are
+// deterministic overlays. Witnesses served from the decision cache are
+// deep copies, so callers may mutate what they receive without
+// corrupting later analyses.
 package engine

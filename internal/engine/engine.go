@@ -65,6 +65,8 @@ type Engine struct {
 	progress       func(Event)
 	progressMu     sync.Mutex
 	cache          *Cache
+	graphs         *GraphCache
+	graphBudget    int
 	maxN           int
 	budget         int
 	shardThreshold int
@@ -118,6 +120,26 @@ func WithMaxN(n int) Option {
 	return func(e *Engine) { e.maxN = n }
 }
 
+// WithGraphCache installs a shared exploration-graph cache, letting
+// several engines (the reprod service's per-request engines, say) reuse
+// expanded state spaces. A nil cache is replaced by a fresh private one.
+// The default is a fresh private cache with the engine's
+// WithGraphCacheBudget.
+func WithGraphCache(c *GraphCache) Option {
+	return func(e *Engine) { e.graphs = c }
+}
+
+// WithGraphCacheBudget bounds the engine's private graph cache: the total
+// number of interned exploration-graph nodes retained across cached
+// graphs before least-recently-used graphs are evicted. 0 (the default)
+// selects DefaultGraphCacheBudget; a negative budget disables graph
+// caching entirely (every Check/CheckBatch/Theorem13 builds fresh
+// graphs, the pre-cache behavior). Ignored when WithGraphCache installs
+// a shared cache, which carries its own budget.
+func WithGraphCacheBudget(nodes int) Option {
+	return func(e *Engine) { e.graphBudget = nodes }
+}
+
 // WithBudget bounds the model checker's explored state space, in nodes,
 // for Check and Theorem13 (0 means the checker's default). Explorations
 // that exceed the budget come back Truncated, exactly as with
@@ -154,6 +176,9 @@ func New(opts ...Option) *Engine {
 	if e.cache == nil {
 		e.cache = NewCache()
 	}
+	if e.graphs == nil && e.graphBudget >= 0 {
+		e.graphs = NewGraphCache(e.graphBudget)
+	}
 	// An out-of-range maxN is reported by Analyze/AnalyzeAll, not here:
 	// option application has no error channel.
 	return e
@@ -164,6 +189,29 @@ func (e *Engine) MaxN() int { return e.maxN }
 
 // Cache returns the engine's decision cache (for stats and sharing).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// GraphCache returns the engine's exploration-graph cache, or nil when
+// graph caching is disabled (WithGraphCacheBudget < 0).
+func (e *Engine) GraphCache() *GraphCache { return e.graphs }
+
+// GraphCacheStats snapshots the graph cache's counters (zero when graph
+// caching is disabled).
+func (e *Engine) GraphCacheStats() GraphCacheStats {
+	if e.graphs == nil {
+		return GraphCacheStats{}
+	}
+	return e.graphs.Stats()
+}
+
+// graphFor resolves the exploration graph a check of (p, inputs) walks:
+// the cached live graph, or a fresh one-shot graph when caching is
+// disabled.
+func (e *Engine) graphFor(p model.Protocol, inputs []int) (*model.Graph, error) {
+	if e.graphs != nil {
+		return e.graphs.Get(p, inputs)
+	}
+	return model.NewGraph(p, inputs)
+}
 
 // emit serializes progress emissions.
 func (e *Engine) emit(ev Event) {
@@ -456,14 +504,20 @@ func (e *Engine) maxNodes(req CheckRequest) int {
 }
 
 // Check model-checks a consensus protocol under the engine's context and
-// state budget (plus the request's own context, when set). For many
+// state budget (plus the request's own context, when set). The walk runs
+// on the engine's cached exploration graph for (p, inputs): a repeat
+// check on one engine walks a warm graph and expands nothing. For many
 // requests against one protocol, CheckBatch amortizes the state-space
-// expansion across them.
+// expansion across them within a single call as well.
 func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error) {
 	start := time.Now()
 	ctx, stop := e.requestCtx(req.Ctx)
 	defer stop()
-	res, err := model.Check(p, model.CheckOpts{
+	g, err := e.graphFor(p, req.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := g.Check(model.CheckOpts{
 		Ctx:          ctx,
 		Inputs:       req.Inputs,
 		CrashQuota:   req.CrashQuota,
@@ -480,14 +534,22 @@ func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error
 
 // Theorem13 runs the mechanized Theorem 13 chain construction under the
 // engine's context and state budget, reporting each stage as a progress
-// event.
+// event. All chain stages walk the engine's cached exploration graph for
+// (p, inputs), so the chain expands the overlapping per-stage state
+// spaces once — and a repeated chain (or a Check of the same protocol
+// and inputs) reuses them again.
 func (e *Engine) Theorem13(p model.Protocol, req CheckRequest) (*model.Chain, error) {
 	start := time.Now()
 	ctx, stop := e.requestCtx(req.Ctx)
 	defer stop()
+	g, err := e.graphFor(p, req.Inputs)
+	if err != nil {
+		return nil, err
+	}
 	chain, err := model.Theorem13ChainOpts(p, req.Inputs, req.CrashQuota, model.ChainOpts{
 		Ctx:      ctx,
 		MaxNodes: e.maxNodes(req),
+		Graph:    g,
 		OnStage: func(stage int, info *model.CriticalInfo) {
 			e.emit(Event{Kind: "chain.stage", Type: p.Name(), N: stage,
 				Detail: info.Class})

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// DefaultGraphCacheBudget is the node budget a GraphCache is built with
+// when WithGraphCacheBudget is left at 0: the total number of interned
+// exploration-graph nodes retained across all cached graphs (roughly two
+// default-sized model-checker explorations).
+const DefaultGraphCacheBudget = 4_000_000
+
+// GraphCache is a bounded LRU of live exploration graphs, keyed by
+// protocol identity plus input vector, shared by Engine.Check,
+// Engine.CheckBatch and Engine.Theorem13 — and, via WithGraphCache, by
+// any number of engines (the reprod service installs one server-wide
+// cache into its per-request engines). A cached graph keeps every node
+// expansion it has ever performed, so repeated checks of the same
+// protocol and inputs walk a warm graph and expand nothing.
+//
+// Graph construction is cheap (validation only; expansion is lazy), so
+// builds run under the cache lock, which doubles as singleflight:
+// concurrent requests for the same key always share one graph.
+//
+// # Protocol identity
+//
+// Two Get calls share a graph when their protocols agree on Name, process
+// count, object specs (structural type fingerprints plus initial values)
+// and per-process initial states, and their input vectors are equal.
+// Transition behavior (Poised/Next) is code and cannot be fingerprinted,
+// so Name must identify it; every registry protocol embeds its
+// parameters in its Name. A caller-defined protocol whose Name does not
+// determine its transitions must not share a GraphCache across variants.
+//
+// # Eviction
+//
+// The cache is bounded by total interned nodes, not graph count: cached
+// graphs keep growing as walks expand them, so the budget is re-checked
+// against live node counts on every Get and least-recently-used graphs
+// are dropped until the total fits (the entry just served is never
+// evicted, and a single over-budget graph is tolerated until a newer one
+// displaces it). Eviction only forgets the cache's reference — walks
+// holding the evicted graph finish unharmed; the next Get of that key
+// rebuilds cold.
+type GraphCache struct {
+	mu      sync.Mutex
+	budget  uint64
+	entries map[string]*gcEntry
+	// head is the most-recently-used entry, tail the eviction candidate.
+	head, tail *gcEntry
+
+	hits, misses, evicted uint64
+}
+
+// gcEntry is one cached graph on the intrusive LRU list.
+type gcEntry struct {
+	key        string
+	g          *model.Graph
+	prev, next *gcEntry
+}
+
+// GraphCacheStats is a snapshot of a GraphCache's counters.
+type GraphCacheStats struct {
+	// Hits and Misses count Get calls served from / building a graph.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evicted counts graphs dropped to fit the node budget.
+	Evicted uint64 `json:"evicted"`
+	// Graphs is the number of graphs currently cached.
+	Graphs int `json:"graphs"`
+	// Nodes is the total interned node count across cached graphs — the
+	// quantity the budget bounds.
+	Nodes uint64 `json:"nodes"`
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any Get.
+func (s GraphCacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// NewGraphCache builds an empty cache with the given total-node budget
+// (<= 0 selects DefaultGraphCacheBudget).
+func NewGraphCache(budget int) *GraphCache {
+	if budget <= 0 {
+		budget = DefaultGraphCacheBudget
+	}
+	return &GraphCache{budget: uint64(budget), entries: make(map[string]*gcEntry)}
+}
+
+// graphKey canonicalizes the (protocol identity, inputs) cache key.
+func graphKey(p model.Protocol, inputs []int) string {
+	var b strings.Builder
+	b.WriteString(p.Name())
+	b.WriteByte(0)
+	fmt.Fprintf(&b, "procs=%d;", p.Procs())
+	for _, o := range p.Objects() {
+		fmt.Fprintf(&b, "obj=%016x:%d;", o.Type.Fingerprint(), int(o.Init))
+	}
+	for proc := 0; proc < p.Procs(); proc++ {
+		for in := 0; in <= 1; in++ {
+			b.WriteString(p.Init(proc, in))
+			b.WriteByte(1)
+		}
+	}
+	b.WriteString("in=")
+	for _, in := range inputs {
+		fmt.Fprintf(&b, "%d,", in)
+	}
+	return b.String()
+}
+
+// Get returns the cached live graph for (p, inputs), building and caching
+// it on a miss. Construction errors (invalid protocol, wrong inputs
+// length) are returned without caching anything.
+func (c *GraphCache) Get(p model.Protocol, inputs []int) (*model.Graph, error) {
+	key := graphKey(p, inputs)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.moveFront(e)
+		c.enforce(e)
+		return e.g, nil
+	}
+	g, err := model.NewGraph(p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	c.misses++
+	e := &gcEntry{key: key, g: g}
+	c.entries[key] = e
+	c.pushFront(e)
+	c.enforce(e)
+	return g, nil
+}
+
+// Stats snapshots the cache's counters.
+func (c *GraphCache) Stats() GraphCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := GraphCacheStats{Hits: c.hits, Misses: c.misses, Evicted: c.evicted, Graphs: len(c.entries)}
+	for _, e := range c.entries {
+		st.Nodes += e.g.Stats().Interned
+	}
+	return st
+}
+
+// Purge empties the cache, keeping the statistics (in-flight walks on
+// formerly cached graphs are unaffected).
+func (c *GraphCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*gcEntry)
+	c.head, c.tail = nil, nil
+}
+
+// enforce evicts least-recently-used entries (never keep) until the live
+// node total fits the budget. Called with the lock held.
+func (c *GraphCache) enforce(keep *gcEntry) {
+	for len(c.entries) > 1 {
+		var total uint64
+		for _, e := range c.entries {
+			total += e.g.Stats().Interned
+		}
+		if total <= c.budget {
+			return
+		}
+		victim := c.tail
+		if victim == nil || victim == keep {
+			return
+		}
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+		c.evicted++
+	}
+}
+
+// pushFront links e as the most-recently-used entry (lock held).
+func (c *GraphCache) pushFront(e *gcEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// moveFront promotes e to most-recently-used (lock held).
+func (c *GraphCache) moveFront(e *gcEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// unlink removes e from the LRU list (lock held).
+func (c *GraphCache) unlink(e *gcEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

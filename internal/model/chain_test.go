@@ -1,6 +1,7 @@
 package model_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -83,5 +84,146 @@ func TestTheorem13ChainUnivalentStart(t *testing.T) {
 	pr := proto.NewCASRecoverable(2)
 	if _, err := model.Theorem13Chain(pr, []int{1, 1}, []int{0, 1}); err == nil {
 		t.Error("expected failure from a univalent initial configuration")
+	}
+}
+
+// chainCases are the property-test protocols: the registry families with
+// known multi- and single-stage chains.
+func chainCases() []struct {
+	name   string
+	pr     model.Protocol
+	inputs []int
+	quota  []int
+} {
+	return []struct {
+		name   string
+		pr     model.Protocol
+		inputs []int
+		quota  []int
+	}{
+		{"cas-rec-2", proto.NewCASRecoverable(2), []int{1, 0}, []int{0, 1}},
+		{"cas-rec-3", proto.NewCASRecoverable(3), []int{1, 0, 0}, []int{0, 1, 1}},
+		{"tnn-rec-4-2", proto.NewTnnRecoverable(4, 2, 2), []int{1, 0}, []int{0, 2}},
+		{"tnn-rec-4-3", proto.NewTnnRecoverable(4, 3, 3), []int{1, 0, 0}, []int{0, 2, 2}},
+		{"tas-reg", proto.NewTASConsensus(), []int{1, 0}, []int{0, 2}},
+	}
+}
+
+// TestTheorem13ChainGraphMatchesPerStage is the chain byte-identity
+// property test: the shared-graph construction must produce stages
+// identical — start schedules, critical traces, classifications, team
+// vectors — to the historical per-stage construction (FreshGraphPerStage)
+// AND to a direct serial replay of every stage (a fresh model.Check from
+// the stage's start prefix followed by FindCritical).
+func TestTheorem13ChainGraphMatchesPerStage(t *testing.T) {
+	for _, tc := range chainCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			shared, errShared := model.Theorem13ChainOpts(tc.pr, tc.inputs, tc.quota, model.ChainOpts{})
+			fresh, errFresh := model.Theorem13ChainOpts(tc.pr, tc.inputs, tc.quota,
+				model.ChainOpts{FreshGraphPerStage: true})
+			if (errShared == nil) != (errFresh == nil) {
+				t.Fatalf("error behavior diverged: shared %v, per-stage %v", errShared, errFresh)
+			}
+			if errShared != nil {
+				if errShared.Error() != errFresh.Error() {
+					t.Fatalf("errors diverged: shared %v, per-stage %v", errShared, errFresh)
+				}
+				return
+			}
+			if shared.String() != fresh.String() {
+				t.Fatalf("shared-graph chain diverged from per-stage chain:\n got %s\nwant %s",
+					shared, fresh)
+			}
+
+			// Replay every stage serially: Check from the stage's start
+			// prefix, FindCritical, and compare the full classification.
+			for i, st := range shared.Stages {
+				res, err := model.Check(tc.pr, model.CheckOpts{
+					Inputs:       tc.inputs,
+					CrashQuota:   tc.quota,
+					StartTrace:   st.Start,
+					SkipLiveness: true,
+				})
+				if err != nil {
+					t.Fatalf("stage %d serial replay: %v", i, err)
+				}
+				info, err := model.FindCritical(res)
+				if err != nil {
+					t.Fatalf("stage %d serial FindCritical: %v", i, err)
+				}
+				if got, want := st.Info.Trace.String(), info.Trace.String(); got != want {
+					t.Fatalf("stage %d: trace diverged: got [%s] want [%s]", i, got, want)
+				}
+				if st.Info.Class != info.Class {
+					t.Fatalf("stage %d: class diverged: got %s want %s", i, st.Info.Class, info.Class)
+				}
+				if !reflect.DeepEqual(st.Info.Teams, info.Teams) {
+					t.Fatalf("stage %d: teams diverged: got %v want %v", i, st.Info.Teams, info.Teams)
+				}
+				if st.Info.Config.String() != info.Config.String() {
+					t.Fatalf("stage %d: critical configuration diverged", i)
+				}
+			}
+		})
+	}
+}
+
+// TestTheorem13ChainSharedGraphExpandsOnce quantifies the tentpole: a
+// chain on one shared graph never expands more than per-stage one-shot
+// graphs would, and — the acceptance criterion — the graph's Expanded
+// counter is FLAT after the first stage: every later stage's walk is
+// served entirely from the stage-0 expansion. The registry's recoverable
+// protocols end n-recording at stage 0, so the multi-walk case is
+// tas-reg: its colliding stage-0 classification forces the Figure 1 move
+// and a second full exploration from the shifted root (which then fails
+// FindCritical — wait-free-only algorithms are expected to; the stage-1
+// walk still ran, and is what this test measures).
+func TestTheorem13ChainSharedGraphExpandsOnce(t *testing.T) {
+	for _, tc := range chainCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := model.NewGraph(tc.pr, tc.inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var perStage []model.GraphStats
+			shared, chainErr := model.Theorem13ChainOpts(tc.pr, tc.inputs, tc.quota, model.ChainOpts{
+				Graph:   g,
+				OnStage: func(int, *model.CriticalInfo) { perStage = append(perStage, g.Stats()) },
+			})
+			if chainErr != nil && len(shared.Stages) == 0 {
+				t.Fatalf("chain failed before any stage: %v", chainErr)
+			}
+			if len(perStage) > 0 {
+				afterStage0 := perStage[0].Expanded
+				if final := g.Stats().Expanded; final != afterStage0 {
+					t.Fatalf("Expanded not flat across stages: %d after stage 0, %d at the end",
+						afterStage0, final)
+				}
+			}
+
+			// The per-stage baseline: total expansions when every stage
+			// explores its own one-shot graph (exactly what the shared
+			// chain's walks covered, minus a possibly erroring final
+			// stage whose walk the shared graph additionally absorbed).
+			var freshTotal uint64
+			for _, st := range shared.Stages {
+				fg, err := model.NewGraph(tc.pr, tc.inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := fg.Check(model.CheckOpts{
+					Inputs:     tc.inputs,
+					CrashQuota: tc.quota,
+					StartTrace: st.Start, SkipLiveness: true,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				freshTotal += fg.Stats().Expanded
+			}
+			if sharedTotal := g.Stats().Expanded; sharedTotal > freshTotal {
+				t.Fatalf("shared graph expanded more (%d) than per-stage total (%d)",
+					sharedTotal, freshTotal)
+			}
+		})
 	}
 }

@@ -13,24 +13,36 @@
 // # The shared exploration graph
 //
 // All exploration runs on a Graph: a canonicalized store of
-// (configuration, crash-usage, output-history) nodes whose successors
-// are computed exactly once, with singleflight expansion. Check builds a
-// one-shot Graph; batch callers (engine.CheckBatch) build one Graph per
-// input vector and walk it once per request, so common schedule prefixes
-// and valency subtrees are expanded once and shared while per-request
-// crash quotas and node budgets act as overlays on the walk.
+// (configuration, output-history) nodes whose successors are computed
+// exactly once, with singleflight expansion. Nodes are interned by a
+// 128-bit hashed fingerprint with collision-checked buckets — hashing is
+// a speedup, never a correctness input. Crash usage is deliberately NOT
+// part of node identity (transitions do not depend on it); each walk
+// overlays its own (node, crash-usage) bookkeeping, reproducing the
+// serial checker's (configuration, crash-usage, output-history) dedup
+// exactly. Check builds a one-shot Graph; batch callers
+// (engine.CheckBatch) walk one Graph per input vector, long-lived
+// callers (the engine's graph cache) keep Graphs warm across calls, and
+// Theorem13ChainOpts walks every chain stage over one Graph — all
+// share every transition, output-merge and hash computation.
 //
 // # Concurrency and ownership
 //
-// A Graph is safe for concurrent use by any number of Check walks. A
-// Result is owned by the caller that obtained it and is not safe for
-// concurrent mutation; its lazily computed valency map means even
-// read-style methods (Valence, FindCritical) must not race.
+// A Graph is safe for concurrent use by any number of Check walks, and
+// only ever grows: eviction by a caching layer merely drops a reference,
+// in-flight walks finish unharmed. A Result is owned by the caller that
+// obtained it and is not safe for concurrent mutation; its lazily
+// computed valency map means even read-style methods (Valence,
+// FindCritical) must not race. Walk-internal scratch (frontier queues,
+// expansion buffers) is pooled per graph and never escapes into Results.
 //
 // # Byte-stability guarantees
 //
 // Exploration is deterministic: BFS discovery order, violation traces
 // and node counts depend only on the protocol and options, never on
 // scheduling (the liveness sweep walks nodes in discovery order, not map
-// order), and shared-graph walks are byte-identical to serial ones.
+// order). Shared-graph walks are byte-identical to serial ones, and
+// shared-graph Theorem 13 chains are byte-identical to the per-stage
+// construction (ChainOpts.FreshGraphPerStage is kept as the tested
+// ablation baseline).
 package model

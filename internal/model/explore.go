@@ -3,8 +3,6 @@ package model
 import (
 	"context"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/schedule"
 )
@@ -59,6 +57,10 @@ func (v *Violation) String() string {
 type Result struct {
 	pr     Protocol
 	inputs []int
+	// g is the shared exploration graph the walk ran on; post-exploration
+	// analyses (Node, valency, critical search) resolve canonical nodes
+	// through it.
+	g *Graph
 
 	// Nodes is the number of distinct (configuration, crash-usage) nodes
 	// visited.
@@ -69,13 +71,31 @@ type Result struct {
 	// Truncated reports whether exploration hit MaxNodes.
 	Truncated bool
 
-	nodes map[string]*node
+	// nodes indexes this walk's nodes by their canonical graph node; the
+	// small per-bucket entries are told apart by crash-usage vector, so
+	// the walk's dedup identity is exactly the serial checker's
+	// (configuration, crash-usage, output-history) triple. The first
+	// entry is inlined: crash-free walks (one usage vector per node)
+	// never allocate a bucket slice.
+	nodes map[*gnode]nbucket
+	count int
 	// order lists the nodes in BFS discovery order (init first), making
 	// post-exploration passes — in particular the liveness DFS sweep —
 	// deterministic instead of map-ordered.
-	order    []*node
-	init     *node
-	valences map[*node]int
+	order []*node
+	init  *node
+	// arena batch-allocates walk nodes and usedArena their crash-usage
+	// vectors (they live and die with the Result, so chunked allocation
+	// is safe and cheap). arenaHint shrinks the FIRST chunk below the
+	// 512-node default when the graph is small (its canonical node
+	// count), so a tiny walk over a tiny graph does not allocate a
+	// 512-node block; larger walks use default-size chunks — a budgeted
+	// or quota-restricted walk may visit only a slice of a big cached
+	// graph, so the hint is a cap on waste, not a preallocation target.
+	arena     []node
+	arenaHint int
+	usedArena []int
+	valences  map[*node]int
 }
 
 // OK reports whether the exploration completed without violations.
@@ -89,7 +109,6 @@ type node struct {
 	// process that decided, crashed and re-decided differently violates
 	// agreement even though its local decided state was erased.
 	outs   []int8
-	key    string
 	parent *node
 	via    schedule.Event
 	// succ caches step successors (crash successors are recomputed).
@@ -100,20 +119,112 @@ type node struct {
 	gn *gnode
 }
 
-func nodeKey(c Config, used []int, outs []int8) string {
-	var b strings.Builder
-	b.WriteString(c.Key())
-	b.WriteByte('\x02')
-	for _, u := range used {
-		b.WriteString(strconv.Itoa(u))
-		b.WriteByte(',')
+// nbucket holds one canonical node's walk twins: the common case of a
+// single crash-usage vector stays inline, further vectors overflow into
+// the slice.
+type nbucket struct {
+	first *node
+	rest  []*node
+}
+
+// newNode hands out the next arena slot. The first chunk is
+// min(arenaHint, 512) — see arenaHint — and later chunks the default.
+func (r *Result) newNode() *node {
+	if len(r.arena) == 0 {
+		size := 512
+		if r.arenaHint > 0 {
+			if r.arenaHint < size {
+				size = r.arenaHint
+			}
+			r.arenaHint = 0
+		}
+		r.arena = make([]node, size)
 	}
-	b.WriteByte('\x03')
-	for _, o := range outs {
-		b.WriteString(strconv.Itoa(int(o)))
-		b.WriteByte(',')
+	nd := &r.arena[0]
+	r.arena = r.arena[1:]
+	return nd
+}
+
+// newUsed hands out an n-length crash-usage vector from the arena (full
+// capacity slice, so an append could never bleed into a neighbor).
+func (r *Result) newUsed(n int) []int {
+	if len(r.usedArena) < n {
+		r.usedArena = make([]int, 512*n)
 	}
-	return b.String()
+	u := r.usedArena[:n:n]
+	r.usedArena = r.usedArena[n:]
+	return u
+}
+
+// add registers nd in the walk's dedup index and discovery order.
+func (r *Result) add(nd *node) {
+	b := r.nodes[nd.gn]
+	if b.first == nil {
+		b.first = nd
+	} else {
+		b.rest = append(b.rest, nd)
+	}
+	r.nodes[nd.gn] = b
+	r.order = append(r.order, nd)
+	r.count++
+}
+
+// lookup finds this walk's node for (gn, used), or nil.
+func (r *Result) lookup(gn *gnode, used []int) *node {
+	b := r.nodes[gn]
+	if b.first == nil {
+		return nil
+	}
+	if eqUsed(b.first.used, used) {
+		return b.first
+	}
+	for _, nd := range b.rest {
+		if eqUsed(nd.used, used) {
+			return nd
+		}
+	}
+	return nil
+}
+
+// lookupPlus finds this walk's node for (gn, base with base[p]+1) without
+// materializing the incremented usage vector.
+func (r *Result) lookupPlus(gn *gnode, base []int, p int) *node {
+	b := r.nodes[gn]
+	if b.first == nil {
+		return nil
+	}
+	if eqUsedPlus(b.first.used, base, p) {
+		return b.first
+	}
+	for _, nd := range b.rest {
+		if eqUsedPlus(nd.used, base, p) {
+			return nd
+		}
+	}
+	return nil
+}
+
+func eqUsed(a, b []int) bool {
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// eqUsedPlus reports a == base except a[p] == base[p]+1.
+func eqUsedPlus(a, base []int, p int) bool {
+	for i, v := range a {
+		want := base[i]
+		if i == p {
+			want++
+		}
+		if v != want {
+			return false
+		}
+	}
+	return true
 }
 
 // freshOuts returns an all-undecided output vector.
@@ -183,7 +294,7 @@ func (r *Result) checkLiveness(report func(kind string, nd *node, detail string)
 		gray  = 1
 		black = 2
 	)
-	color := make(map[*node]int, len(r.nodes))
+	color := make(map[*node]int, r.count)
 	// Iterative DFS to avoid deep recursion on long chains.
 	type frame struct {
 		nd  *node
@@ -245,16 +356,27 @@ func (r *Result) ReachableDecisions(start *node) map[int]bool {
 }
 
 // allSucc returns step and crash successors of nd that exist in the
-// explored graph.
+// explored graph. Visited nodes were expanded during the walk, so the
+// canonical crash successors are read lock-free off the graph node — no
+// CrashProc recomputation, no shared-graph mutex in the valency and
+// liveness sweeps. Nodes left unexpanded by a truncated walk fall back
+// to the locked lookup (FindCritical refuses truncated results anyway).
 func (r *Result) allSucc(nd *node) []*node {
 	out := append([]*node(nil), nd.succ...)
-	n := r.pr.Procs()
-	for p := 0; p < n; p++ {
+	if nd.gn.done.Load() {
+		for p, cg := range nd.gn.crashSucc {
+			if cg == nil {
+				continue
+			}
+			if child := r.lookupPlus(cg, nd.used, p); child != nil {
+				out = append(out, child)
+			}
+		}
+		return out
+	}
+	for p := 0; p < r.pr.Procs(); p++ {
 		next := CrashProc(r.pr, nd.cfg, p, r.inputs[p])
-		used := make([]int, n)
-		copy(used, nd.used)
-		used[p]++
-		if child, ok := r.nodes[nodeKey(next, used, nd.outs)]; ok {
+		if child := r.lookupPlus(r.g.find(next, nd.outs), nd.used, p); child != nil {
 			out = append(out, child)
 		}
 	}
@@ -279,7 +401,7 @@ func (r *Result) Node(sigma schedule.Schedule) *node {
 			outs = mergeOuts(r.pr, cfg, outs)
 		}
 	}
-	return r.nodes[nodeKey(cfg, used, outs)]
+	return r.lookup(r.g.find(cfg, outs), used)
 }
 
 // InitNode returns the initial node of the exploration.

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -10,15 +11,22 @@ import (
 
 // Graph is a canonicalized, lazily-expanded exploration graph for one
 // (protocol, inputs) pair, shared across many Check runs. Nodes are
-// interned by the same fingerprint Check always used — the
-// (configuration, crash-usage, output-history) key — and each node's
+// interned by a 128-bit hashed fingerprint of the (configuration,
+// output-history) pair — collision-checked against the full pair, so
+// hashing is a pure speedup, never a correctness input — and each node's
 // successors are computed exactly once, with singleflight semantics:
 // concurrent walks that reach an unexpanded node agree on one expander,
-// the rest block until it is done. Per-request concerns — crash quotas,
-// node budgets, liveness, validity, cancellation — are resolved as
-// overlays during the walk and never influence the shared structure, so
-// requests with different quotas still share every transition,
-// output-merge and key computation on their common prefix.
+// the rest block until it is done.
+//
+// Crash usage is deliberately NOT part of a graph node's identity:
+// transitions depend only on the configuration and the output history, so
+// the same canonical node serves every path to its configuration no
+// matter how many crashes the path spent. Each walk layers its own
+// (node, crash-usage) bookkeeping on top (see Graph.Check), preserving
+// the serial checker's (configuration, crash-usage, output-history)
+// dedup exactly. This is what lets walks with different crash quotas —
+// and the stages of a Theorem 13 chain, whose per-stage quotas reset —
+// share every transition, output-merge and hash computation.
 //
 // A Graph is safe for concurrent use; Graph.Check may be called from any
 // number of goroutines. Results are byte-identical to a fresh serial
@@ -29,7 +37,13 @@ type Graph struct {
 	inputs []int
 
 	mu    sync.Mutex
-	nodes map[string]*gnode
+	nodes map[nodeFP][]*gnode
+
+	// scratch pools per-expansion decision/output buffers and frontier
+	// pools per-walk BFS queues, so steady-state walks over a warm graph
+	// allocate only their own Result structures.
+	scratch  sync.Pool
+	frontier sync.Pool
 
 	interned atomic.Uint64
 	expanded atomic.Uint64
@@ -67,15 +81,77 @@ func (s *GraphStats) Add(other GraphStats) {
 	s.Reused += other.Reused
 }
 
+// Sub returns the counter delta s - prev, the per-call attribution when a
+// long-lived cached graph serves many calls.
+func (s GraphStats) Sub(prev GraphStats) GraphStats {
+	return GraphStats{
+		Interned: s.Interned - prev.Interned,
+		Expanded: s.Expanded - prev.Expanded,
+		Reused:   s.Reused - prev.Reused,
+	}
+}
+
+// nodeFP is the 128-bit hashed fingerprint a canonical node is indexed
+// by. Nodes whose fingerprints collide live in one bucket and are told
+// apart by full (configuration, output-history) comparison.
+type nodeFP struct{ hi, lo uint64 }
+
+// FNV-1a 128-bit parameters (offset basis and prime).
+const (
+	fnvOffset128Hi = 0x6c62272e07bb0142
+	fnvOffset128Lo = 0x62b821756295c58d
+	fnvPrime128Hi  = 0x0000000001000000
+	fnvPrime128Lo  = 0x000000000000013b
+)
+
+// hash128 accumulates an FNV-1a 128-bit hash with no allocation — the
+// replacement for the string-key building the hot path used to pay per
+// intern.
+type hash128 struct{ hi, lo uint64 }
+
+func newHash128() hash128 { return hash128{hi: fnvOffset128Hi, lo: fnvOffset128Lo} }
+
+func (h *hash128) writeByte(b byte) {
+	lo := h.lo ^ uint64(b)
+	// Multiply the 128-bit state by the FNV prime, mod 2^128.
+	carry, newLo := bits.Mul64(lo, fnvPrime128Lo)
+	h.hi = h.hi*fnvPrime128Lo + lo*fnvPrime128Hi + carry
+	h.lo = newLo
+}
+
+func (h *hash128) writeString(s string) {
+	for i := 0; i < len(s); i++ {
+		h.writeByte(s[i])
+	}
+	h.writeByte(0xff) // terminator: "ab","c" must not alias "a","bc"
+}
+
+// fingerprintOf hashes a node's identity. A weak spot (object values are
+// hashed mod 2^16) only costs bucket scans, never correctness.
+func fingerprintOf(cfg Config, outs []int8) nodeFP {
+	h := newHash128()
+	for _, s := range cfg.States {
+		h.writeString(s)
+	}
+	h.writeByte(0xfe)
+	for _, v := range cfg.Vals {
+		h.writeByte(byte(v))
+		h.writeByte(byte(uint16(v) >> 8))
+	}
+	h.writeByte(0xfe)
+	for _, o := range outs {
+		h.writeByte(byte(o))
+	}
+	return nodeFP{hi: h.hi, lo: h.lo}
+}
+
 // gnode is one canonical node of the shared graph. All fields except the
 // expansion set are written once at intern time and read-only afterwards;
 // the expansion set (stepSucc, stepP, crashSucc) is written exactly once
 // inside the sync.Once and published by the expanded flag.
 type gnode struct {
 	cfg  Config
-	used []int // crashes used per process on every path to this node
 	outs []int8
-	key  string
 	// decided[p] is p's decision visible in cfg (-1 if undecided),
 	// precomputed so per-request safety checks need no Protocol calls.
 	decided []int8
@@ -93,6 +169,27 @@ type gnode struct {
 	crashSucc []*gnode
 }
 
+// eq reports whether nd is the canonical node for (cfg, outs) — the
+// collision check behind the hashed index.
+func (nd *gnode) eq(cfg Config, outs []int8) bool {
+	for i, s := range nd.cfg.States {
+		if s != cfg.States[i] {
+			return false
+		}
+	}
+	for i, v := range nd.cfg.Vals {
+		if v != cfg.Vals[i] {
+			return false
+		}
+	}
+	for i, o := range nd.outs {
+		if o != outs[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // NewGraph validates the protocol and builds an empty shared graph for
 // the given input vector. Every Check run on the graph must use exactly
 // these inputs — crash transitions and the validity default depend on
@@ -106,7 +203,7 @@ func NewGraph(pr Protocol, inputs []int) (*Graph, error) {
 	}
 	in := make([]int, len(inputs))
 	copy(in, inputs)
-	return &Graph{pr: pr, inputs: in, nodes: make(map[string]*gnode)}, nil
+	return &Graph{pr: pr, inputs: in, nodes: make(map[nodeFP][]*gnode)}, nil
 }
 
 // Inputs returns the input vector the graph is built for.
@@ -128,16 +225,22 @@ func (g *Graph) Stats() GraphStats {
 // decisionVec computes the per-process decision vector of cfg (-1 for
 // undecided processes), the shared-graph form of repeated Decision calls.
 func decisionVec(pr Protocol, cfg Config) []int8 {
-	n := pr.Procs()
-	out := make([]int8, n)
-	for p := 0; p < n; p++ {
+	out := make([]int8, pr.Procs())
+	decisionVecInto(out, pr, cfg)
+	return out
+}
+
+// decisionVecInto is decisionVec into a caller-owned buffer (the
+// expansion scratch), so probing an already-interned successor costs no
+// allocation.
+func decisionVecInto(dst []int8, pr Protocol, cfg Config) {
+	for p := range dst {
 		if v, ok := Decision(pr, cfg, p); ok {
-			out[p] = int8(v)
+			dst[p] = int8(v)
 		} else {
-			out[p] = -1
+			dst[p] = -1
 		}
 	}
-	return out
 }
 
 // mergeDecided extends a path's output history with a decision vector,
@@ -161,27 +264,89 @@ func mergeDecided(outs []int8, decided []int8) []int8 {
 	return copied
 }
 
-// intern returns the canonical node for (cfg, used, outs), creating it
-// with the given decision vector if absent. The slices become shared,
-// read-only graph state.
-func (g *Graph) intern(cfg Config, used []int, outs []int8, decided []int8) *gnode {
-	key := nodeKey(cfg, used, outs)
-	g.mu.Lock()
-	if nd, ok := g.nodes[key]; ok {
-		g.mu.Unlock()
-		return nd
+// mergeDecidedInto is mergeDecided with the copy landing in a
+// caller-owned scratch buffer. It returns either outs itself (owned=true:
+// nothing new was decided, the graph-owned slice may be shared) or
+// scratch (owned=false: the caller must copy before retaining).
+func mergeDecidedInto(outs, decided, scratch []int8) (res []int8, owned bool) {
+	changed := false
+	for p, v := range decided {
+		if v >= 0 && outs[p] == -1 {
+			changed = true
+			break
+		}
 	}
-	nd := &gnode{cfg: cfg, used: used, outs: outs, key: key, decided: decided}
-	g.nodes[key] = nd
+	if !changed {
+		return outs, true
+	}
+	copy(scratch, outs)
+	for p, v := range decided {
+		if v >= 0 && scratch[p] == -1 {
+			scratch[p] = v
+		}
+	}
+	return scratch, false
+}
+
+// exScratch is one expansion's reusable buffers.
+type exScratch struct {
+	dec  []int8
+	outs []int8
+}
+
+func (g *Graph) getScratch() *exScratch {
+	if v := g.scratch.Get(); v != nil {
+		return v.(*exScratch)
+	}
+	n := g.pr.Procs()
+	return &exScratch{dec: make([]int8, n), outs: make([]int8, n)}
+}
+
+// intern returns the canonical node for (cfg, outs), creating it with the
+// given decision vector if absent. cfg is always caller-built and fresh
+// (Step/CrashProc clone), so it is adopted as-is; outs is adopted only
+// when outsOwned (a graph-owned or walk-root slice) and copied out of the
+// expansion scratch otherwise; decided is always copied on create, so
+// callers may pass scratch.
+func (g *Graph) intern(cfg Config, outs []int8, outsOwned bool, decided []int8) *gnode {
+	fp := fingerprintOf(cfg, outs)
+	g.mu.Lock()
+	bucket := g.nodes[fp]
+	for _, nd := range bucket {
+		if nd.eq(cfg, outs) {
+			g.mu.Unlock()
+			return nd
+		}
+	}
+	if !outsOwned {
+		outs = append([]int8(nil), outs...)
+	}
+	nd := &gnode{cfg: cfg, outs: outs, decided: append([]int8(nil), decided...)}
+	g.nodes[fp] = append(bucket, nd)
 	g.mu.Unlock()
 	g.interned.Add(1)
 	return nd
 }
 
+// find returns the canonical node for (cfg, outs) without creating it, or
+// nil — the lookup behind post-exploration analyses (Result.Node, crash
+// successors in valency sweeps).
+func (g *Graph) find(cfg Config, outs []int8) *gnode {
+	fp := fingerprintOf(cfg, outs)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, nd := range g.nodes[fp] {
+		if nd.eq(cfg, outs) {
+			return nd
+		}
+	}
+	return nil
+}
+
 // ensure expands nd's successors if no walk has yet, with singleflight
 // semantics: concurrent callers agree on one expander and the rest wait.
 // The expansion performs the Step/CrashProc transitions, output merges
-// and key constructions the serial BFS would redo per request.
+// and fingerprint computations the serial BFS would redo per request.
 func (g *Graph) ensure(nd *gnode) {
 	if nd.done.Load() {
 		g.reused.Add(1)
@@ -190,14 +355,15 @@ func (g *Graph) ensure(nd *gnode) {
 	fresh := false
 	nd.once.Do(func() {
 		n := g.pr.Procs()
+		sc := g.getScratch()
 		for p := 0; p < n; p++ {
 			if nd.decided[p] >= 0 {
 				continue
 			}
 			next := Step(g.pr, nd.cfg, p)
-			dec := decisionVec(g.pr, next)
-			outs := mergeDecided(nd.outs, dec)
-			nd.stepSucc = append(nd.stepSucc, g.intern(next, nd.used, outs, dec))
+			decisionVecInto(sc.dec, g.pr, next)
+			outs, owned := mergeDecidedInto(nd.outs, sc.dec, sc.outs)
+			nd.stepSucc = append(nd.stepSucc, g.intern(next, outs, owned, sc.dec))
 			nd.stepP = append(nd.stepP, p)
 		}
 		nd.crashSucc = make([]*gnode, n)
@@ -206,11 +372,10 @@ func (g *Graph) ensure(nd *gnode) {
 				continue
 			}
 			next := CrashProc(g.pr, nd.cfg, p, g.inputs[p])
-			used := make([]int, n)
-			copy(used, nd.used)
-			used[p]++
-			nd.crashSucc[p] = g.intern(next, used, nd.outs, decisionVec(g.pr, next))
+			decisionVecInto(sc.dec, g.pr, next)
+			nd.crashSucc[p] = g.intern(next, nd.outs, true, sc.dec)
 		}
+		g.scratch.Put(sc)
 		g.expanded.Add(1)
 		nd.done.Store(true)
 		fresh = true
@@ -225,9 +390,8 @@ func (g *Graph) ensure(nd *gnode) {
 // walk's crash quota, and outputs are merged only across steps, exactly
 // as in the serial exploration.
 func (g *Graph) root(startTrace schedule.Schedule) *gnode {
-	n := g.pr.Procs()
 	initCfg := InitialConfig(g.pr, g.inputs)
-	initOuts := mergeDecided(freshOuts(n), decisionVec(g.pr, initCfg))
+	initOuts := mergeDecided(freshOuts(g.pr.Procs()), decisionVec(g.pr, initCfg))
 	for _, e := range startTrace {
 		if e.Crash {
 			initCfg = CrashProc(g.pr, initCfg, e.P, g.inputs[e.P])
@@ -236,16 +400,35 @@ func (g *Graph) root(startTrace schedule.Schedule) *gnode {
 			initOuts = mergeDecided(initOuts, decisionVec(g.pr, initCfg))
 		}
 	}
-	return g.intern(initCfg, make([]int, n), initOuts, decisionVec(g.pr, initCfg))
+	return g.intern(initCfg, initOuts, true, decisionVec(g.pr, initCfg))
+}
+
+// getFrontier returns a pooled, empty BFS queue buffer.
+func (g *Graph) getFrontier() *[]*node {
+	if v := g.frontier.Get(); v != nil {
+		return v.(*[]*node)
+	}
+	buf := make([]*node, 0, 1024)
+	return &buf
+}
+
+// putFrontier clears and returns a queue buffer to the pool. Clearing
+// drops the walk's node pointers so pooling never retains a finished
+// walk's Result.
+func (g *Graph) putFrontier(buf *[]*node) {
+	q := *buf
+	clear(q)
+	*buf = q[:0]
+	g.frontier.Put(buf)
 }
 
 // Check explores the graph under the given options and verifies
 // agreement, validity and recoverable wait-freedom, sharing every node
 // expansion with concurrent and past walks. opts.Inputs must equal the
-// graph's inputs. The walk's own structures — discovery parents, BFS
-// order, violation traces, node counts — are private to the call, so the
-// returned Result is identical to a serial model.Check of the same
-// options.
+// graph's inputs. The walk's own structures — crash-usage overlays,
+// discovery parents, BFS order, violation traces, node counts — are
+// private to the call, so the returned Result is identical to a serial
+// model.Check of the same options.
 func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 	n := g.pr.Procs()
 	if len(opts.Inputs) != n {
@@ -279,11 +462,19 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 		}
 	}
 
-	r := &Result{pr: g.pr, inputs: opts.Inputs, nodes: make(map[string]*node)}
+	// Pre-size the walk index from the graph's canonical node count: on a
+	// warm graph it is the exact bucket bound, on a cold one a harmless
+	// underestimate.
+	hint := int(g.interned.Load())
+	if hint > maxNodes {
+		hint = maxNodes
+	}
+	r := &Result{pr: g.pr, g: g, inputs: opts.Inputs,
+		nodes: make(map[*gnode]nbucket, hint+1), arenaHint: hint + 1}
 	rootG := g.root(opts.StartTrace)
-	r.init = &node{cfg: rootG.cfg, used: rootG.used, outs: rootG.outs, key: rootG.key, gn: rootG}
-	r.nodes[r.init.key] = r.init
-	r.order = append(r.order, r.init)
+	r.init = r.newNode()
+	*r.init = node{cfg: rootG.cfg, used: make([]int, n), outs: rootG.outs, gn: rootG}
+	r.add(r.init)
 
 	seenKinds := make(map[string]bool)
 	report := func(kind string, nd *node, detail string) {
@@ -338,13 +529,21 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 		done = opts.Ctx.Done()
 	}
 
-	// BFS over (configuration, crash-usage, output-history) nodes. The
-	// loop mirrors the original serial exploration exactly; only the
-	// successor computations are delegated to the shared graph.
-	queue := []*node{r.init}
+	// BFS over (configuration, crash-usage, output-history) walk nodes,
+	// each backed by its canonical (configuration, output-history) graph
+	// node plus this walk's crash-usage vector. The loop mirrors the
+	// original serial exploration exactly; only the successor
+	// computations are delegated to the shared graph. The queue buffer is
+	// pooled; popping advances a head index so the backing array is
+	// reused instead of reallocated walk after walk.
+	fbuf := g.getFrontier()
+	queue := (*fbuf)[:0]
+	defer func() { *fbuf = queue; g.putFrontier(fbuf) }()
+	queue = append(queue, r.init)
+	head := 0
 	checkSafety(r.init, freshOuts(n))
 	visited := 0
-	for len(queue) > 0 && len(r.nodes) <= maxNodes {
+	for head < len(queue) && r.count <= maxNodes {
 		if visited++; done != nil && visited%1024 == 0 {
 			select {
 			case <-done:
@@ -352,19 +551,21 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 			default:
 			}
 		}
-		nd := queue[0]
-		queue = queue[1:]
+		nd := queue[head]
+		head++
 		g.ensure(nd.gn)
 
 		// Step successors (decided processes take no-op steps, which
 		// cannot reach new configurations — omitted from the expansion).
+		// Step children inherit the parent's crash-usage vector (shared,
+		// read-only).
 		for i, cg := range nd.gn.stepSucc {
-			child, ok := r.nodes[cg.key]
-			if !ok {
-				child = &node{cfg: cg.cfg, used: cg.used, outs: cg.outs, key: cg.key,
+			child := r.lookup(cg, nd.used)
+			if child == nil {
+				child = r.newNode()
+				*child = node{cfg: cg.cfg, used: nd.used, outs: cg.outs,
 					parent: nd, via: schedule.Step(nd.gn.stepP[i]), gn: cg}
-				r.nodes[cg.key] = child
-				r.order = append(r.order, child)
+				r.add(child)
 				checkSafety(child, nd.outs)
 				queue = append(queue, child)
 			}
@@ -373,6 +574,7 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 
 		// Crash successors: quota is this walk's overlay on the shared
 		// structure; the initial-state skip is baked into the expansion.
+		// The usage vector is only materialized when the child is new.
 		for p := 0; p < n; p++ {
 			if nd.used[p] >= quota[p] {
 				continue
@@ -381,20 +583,23 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 			if cg == nil {
 				continue
 			}
-			if _, ok := r.nodes[cg.key]; !ok {
-				child := &node{cfg: cg.cfg, used: cg.used, outs: cg.outs, key: cg.key,
+			if r.lookupPlus(cg, nd.used, p) == nil {
+				used := r.newUsed(n)
+				copy(used, nd.used)
+				used[p]++
+				child := r.newNode()
+				*child = node{cfg: cg.cfg, used: used, outs: cg.outs,
 					parent: nd, via: schedule.Crash(p), gn: cg}
-				r.nodes[cg.key] = child
-				r.order = append(r.order, child)
+				r.add(child)
 				checkSafety(child, nd.outs)
 				queue = append(queue, child)
 			}
 		}
 	}
-	if len(r.nodes) > maxNodes {
+	if r.count > maxNodes {
 		r.Truncated = true
 	}
-	r.Nodes = len(r.nodes)
+	r.Nodes = r.count
 
 	if !opts.SkipLiveness && !r.Truncated {
 		r.checkLiveness(report)

@@ -22,19 +22,19 @@ func (r *Result) valency() map[*node]int {
 	if r.valences != nil {
 		return r.valences
 	}
-	preds := make(map[*node][]*node, len(r.nodes))
+	preds := make(map[*node][]*node, r.count)
 	var deciding [2][]*node
-	for _, nd := range r.nodes {
+	for _, nd := range r.order {
 		for _, s := range r.allSucc(nd) {
 			preds[s] = append(preds[s], nd)
 		}
 		for p := 0; p < r.pr.Procs(); p++ {
-			if v, ok := Decision(r.pr, nd.cfg, p); ok && (v == 0 || v == 1) {
+			if v := nd.gn.decided[p]; v == 0 || v == 1 {
 				deciding[v] = append(deciding[v], nd)
 			}
 		}
 	}
-	val := make(map[*node]int, len(r.nodes))
+	val := make(map[*node]int, r.count)
 	for v := 0; v <= 1; v++ {
 		bit := 1 << uint(v)
 		queue := append([]*node(nil), deciding[v]...)
@@ -163,11 +163,12 @@ func (r *Result) classify(nd *node) (*CriticalInfo, error) {
 	info.Object = obj
 
 	// Teams: the valency of each step successor. In a critical node every
-	// successor is univalent.
-	for p := 0; p < n; p++ {
-		child := Step(r.pr, nd.cfg, p)
-		cn, ok := r.nodes[nodeKey(child, nd.used, mergeOuts(r.pr, child, nd.outs))]
-		if !ok {
+	// successor is univalent. No process has decided (checked above), so
+	// the node's expansion carries exactly one step successor per
+	// process — read canonically instead of recomputing the transition.
+	for i, p := range nd.gn.stepP {
+		cn := r.lookup(nd.gn.stepSucc[i], nd.used)
+		if cn == nil {
 			return nil, fmt.Errorf("model: internal error — step successor of critical node not explored")
 		}
 		switch val[cn] {

@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/store"
+)
+
+// CompactResponse is the body of a POST /v1/compact reply: the store's
+// statistics after the compaction.
+type CompactResponse struct {
+	Compacted bool        `json:"compacted"`
+	Store     store.Stats `json:"store"`
+}
+
+// handleCompact folds the decision store's journal into a fresh snapshot
+// on demand (POST /v1/compact). Compaction runs on the store's flusher
+// goroutine, serialized with appends and flushes, so it is safe while
+// analysis traffic is in flight; the handler blocks until the snapshot
+// is durable. Servers without a persistent store answer 409.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		s.fail(w, http.StatusConflict, "no persistent store configured (start with -cache-file)")
+		return
+	}
+	if err := s.cfg.Store.Compact(); err != nil {
+		s.fail(w, http.StatusInternalServerError, "compact: %v", err)
+		return
+	}
+	s.compacted.Add(1)
+	writeJSON(w, http.StatusOK, CompactResponse{Compacted: true, Store: s.cfg.Store.Stats()})
+}

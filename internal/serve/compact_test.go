@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestCompactEndpoint exercises POST /v1/compact against a real store:
+// decisions computed by an analyze request are journaled, the compaction
+// folds them into a snapshot, and the counters land in stats + metrics.
+func TestCompactEndpoint(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "decisions.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := New(Config{Cache: st.Cache(), Store: st, MaxN: 2})
+
+	if code, body := post(t, s, "/v1/analyze", `{"type":"tas"}`); code != http.StatusOK {
+		t.Fatalf("analyze = %d %s", code, body)
+	}
+	code, body := post(t, s, "/v1/compact", "")
+	if code != http.StatusOK {
+		t.Fatalf("compact = %d %s", code, body)
+	}
+	var resp CompactResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Compacted {
+		t.Fatalf("compact response: %+v", resp)
+	}
+	if resp.Store.SnapshotBytes == 0 {
+		t.Fatalf("compaction produced no snapshot: %+v", resp.Store)
+	}
+
+	code, body = get(t, s, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compactions != 1 {
+		t.Fatalf("compactions counter = %d, want 1", stats.Compactions)
+	}
+	if _, body := get(t, s, "/metrics"); !strings.Contains(string(body), "reprod_store_compactions_total 1") {
+		t.Fatal("metrics missing reprod_store_compactions_total")
+	}
+}
+
+// TestCompactWithoutStore answers 409: there is nothing to compact on a
+// memory-only server, and that is a caller configuration error, not a
+// server fault.
+func TestCompactWithoutStore(t *testing.T) {
+	s := New(Config{})
+	code, body := post(t, s, "/v1/compact", "")
+	if code != http.StatusConflict {
+		t.Fatalf("compact without store = %d %s, want 409", code, body)
+	}
+}
+
+// TestCheckGraphCacheAcrossRequests is the service-level tentpole check:
+// two identical /v1/check requests — separate HTTP requests, separate
+// request engines — share the server-wide graph cache, so the second
+// expands nothing and the cache reports hits.
+func TestCheckGraphCacheAcrossRequests(t *testing.T) {
+	s := New(Config{})
+	body1 := `{"protocol":"cas-rec:2","requests":[{"inputs":[0,1],"crashQuota":[1,1]}]}`
+	code, resp1 := post(t, s, "/v1/check", body1)
+	if code != http.StatusOK {
+		t.Fatalf("first check = %d %s", code, resp1)
+	}
+	code, resp2 := post(t, s, "/v1/check", body1)
+	if code != http.StatusOK {
+		t.Fatalf("second check = %d %s", code, resp2)
+	}
+	var r1, r2 CheckResponse
+	if err := json.Unmarshal(resp1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(resp2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Graph.Expanded == 0 {
+		t.Fatalf("first request expanded nothing: %+v", r1.Graph)
+	}
+	if r2.Graph.Expanded != 0 {
+		t.Fatalf("second request re-expanded %d nodes — graph cache not shared across requests", r2.Graph.Expanded)
+	}
+	if r1.Results[0].Nodes != r2.Results[0].Nodes || !r2.Results[0].OK {
+		t.Fatalf("cached walk diverged: %+v vs %+v", r1.Results[0], r2.Results[0])
+	}
+
+	code, body := get(t, s, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.GraphCache.Hits == 0 || stats.GraphCache.Graphs == 0 || stats.GraphCache.Nodes == 0 {
+		t.Fatalf("graph cache stats not threaded: %+v", stats.GraphCache)
+	}
+	if _, body := get(t, s, "/metrics"); !strings.Contains(string(body), `reprod_graph_cache_requests_total{outcome="hit"}`) {
+		t.Fatal("metrics missing reprod_graph_cache_requests_total")
+	}
+}

@@ -8,6 +8,7 @@
 //	POST /v1/analyze  {"type":"tnn:5,2","maxN":5}       one type
 //	POST /v1/batch    {"types":["tas","x4"],"maxN":4}   many types
 //	POST /v1/check    {"protocol":"cas-rec:2","requests":[...]}  batched model checking
+//	POST /v1/compact                                    fold the store journal into a snapshot
 //	GET  /healthz                                       liveness
 //	GET  /v1/stats                                      cache/graph/store/traffic counters
 //	GET  /metrics                                       the same, Prometheus text format
@@ -26,11 +27,16 @@
 // search), while every engine shares the server's one decision cache —
 // concurrent identical analyze requests therefore collapse into one
 // computation via the cache's singleflight, and previously decided
-// levels are served without recomputation. A semaphore bounds the number
-// of requests analyzing at once; the engines' worker pools interleave on
+// levels are served without recomputation — and the server's one
+// exploration-graph cache (engine.GraphCache, Config.GraphCacheBudget),
+// so repeated check/chain traffic for the same protocol and inputs
+// walks warm graphs across requests. A semaphore bounds the number of
+// requests analyzing at once; the engines' worker pools interleave on
 // the scheduler below that bound. The server never closes its Store —
 // the owning process (cmd/reprod) flushes it at shutdown, preserving the
-// one-process-per-cache-path ownership contract.
+// one-process-per-cache-path ownership contract; /v1/compact runs on the
+// store's flusher goroutine, serialized with appends, so it is safe
+// under live traffic.
 //
 // # Byte-stability guarantees
 //

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // handleMetrics serves the server's counters in Prometheus text
@@ -57,6 +59,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Shared-exploration-graph successor computations by outcome (expanded = performed, reused = amortized away).",
 		lv(`{outcome="expanded"}`, float64(s.graphExpanded.Load())),
 		lv(`{outcome="reused"}`, float64(s.graphReused.Load())))
+
+	var gc engine.GraphCacheStats
+	if s.graphs != nil {
+		gc = s.graphs.Stats()
+	}
+	counter("reprod_graph_cache_requests_total", "Exploration-graph cache resolutions by outcome.",
+		lv(`{outcome="hit"}`, float64(gc.Hits)),
+		lv(`{outcome="miss"}`, float64(gc.Misses)))
+	counter("reprod_graph_cache_evicted_total", "Cached exploration graphs evicted to fit the node budget.",
+		lv("", float64(gc.Evicted)))
+	gauge("reprod_graph_cache_graphs", "Exploration graphs currently cached.", float64(gc.Graphs))
+	gauge("reprod_graph_cache_nodes", "Interned nodes across cached exploration graphs.", float64(gc.Nodes))
+	counter("reprod_store_compactions_total", "On-demand store compactions served OK.",
+		lv("", float64(s.compacted.Load())))
 
 	gauge("reprod_inflight_requests", "Requests holding an analysis slot.", float64(s.inflight.Load()))
 	gauge("reprod_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())

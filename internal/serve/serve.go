@@ -68,6 +68,13 @@ type Config struct {
 	// item's explored-state budget (0 = DefaultCheckMaxNodes): the
 	// service bounds the memory one item can demand.
 	CheckMaxNodes int
+	// GraphCacheBudget bounds the server-wide exploration-graph cache
+	// shared by every request's engine, in total interned nodes
+	// (0 = engine.DefaultGraphCacheBudget; negative disables graph
+	// caching — every request re-expands). Repeated /v1/check traffic
+	// for the same protocol and inputs walks warm cached graphs instead
+	// of re-expanding the state space per request.
+	GraphCacheBudget int
 }
 
 // Server is the reprod HTTP service. Construct with New.
@@ -76,6 +83,10 @@ type Server struct {
 	mux   *http.ServeMux
 	sem   chan struct{}
 	start time.Time
+	// graphs is the server-wide exploration-graph cache installed into
+	// every per-request engine, so state spaces expanded for one request
+	// serve all later ones.
+	graphs *engine.GraphCache
 
 	analyzed  atomic.Uint64 // analyze requests served OK
 	batched   atomic.Uint64 // batch requests served OK
@@ -87,6 +98,7 @@ type Server struct {
 	checkItems    atomic.Uint64 // model-check items completed across check batches
 	graphExpanded atomic.Uint64 // shared-graph expansions performed
 	graphReused   atomic.Uint64 // shared-graph expansions amortized away
+	compacted     atomic.Uint64 // on-demand store compactions served OK
 }
 
 // New builds a Server, normalizing zero Config fields to the defaults.
@@ -113,9 +125,13 @@ func New(cfg Config) *Server {
 		cfg.CheckMaxNodes = DefaultCheckMaxNodes
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), sem: make(chan struct{}, cfg.MaxConcurrent), start: time.Now()}
+	if cfg.GraphCacheBudget >= 0 {
+		s.graphs = engine.NewGraphCache(cfg.GraphCacheBudget)
+	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
+	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -210,7 +226,21 @@ type StatsResponse struct {
 		Reused   uint64  `json:"reused"`
 		HitRate  float64 `json:"hitRate"`
 	} `json:"graph"`
-	Store *store.Stats `json:"store,omitempty"`
+	// GraphCache reports the server-wide exploration-graph cache: how
+	// many check/chain graph resolutions found a live cached graph, how
+	// many graphs were evicted to fit the node budget, and the cache's
+	// current footprint.
+	GraphCache struct {
+		Hits    uint64  `json:"hits"`
+		Misses  uint64  `json:"misses"`
+		Evicted uint64  `json:"evicted"`
+		Graphs  int     `json:"graphs"`
+		Nodes   uint64  `json:"nodes"`
+		HitRate float64 `json:"hitRate"`
+	} `json:"graphCache"`
+	// Compactions counts POST /v1/compact requests served OK.
+	Compactions uint64       `json:"compactions"`
+	Store       *store.Stats `json:"store,omitempty"`
 }
 
 // errorResponse is the uniform error body.
@@ -274,14 +304,19 @@ func (s *Server) requestEngine(r *http.Request, maxN int) (*engine.Engine, conte
 	if s.cfg.RequestTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	}
-	eng := engine.New(
+	opts := []engine.Option{
 		engine.WithContext(ctx),
 		engine.WithCache(s.cfg.Cache),
 		engine.WithParallelism(s.cfg.Parallelism),
 		engine.WithShardThreshold(s.cfg.ShardThreshold),
 		engine.WithMaxN(maxN),
-	)
-	return eng, cancel
+	}
+	if s.graphs != nil {
+		opts = append(opts, engine.WithGraphCache(s.graphs))
+	} else {
+		opts = append(opts, engine.WithGraphCacheBudget(-1))
+	}
+	return engine.New(opts...), cancel
 }
 
 // analysisJSON renders a core.Analysis.
@@ -433,6 +468,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if total := resp.Graph.Expanded + resp.Graph.Reused; total > 0 {
 		resp.Graph.HitRate = float64(resp.Graph.Reused) / float64(total)
 	}
+	var gc engine.GraphCacheStats
+	if s.graphs != nil {
+		gc = s.graphs.Stats()
+	}
+	resp.GraphCache.Hits = gc.Hits
+	resp.GraphCache.Misses = gc.Misses
+	resp.GraphCache.Evicted = gc.Evicted
+	resp.GraphCache.Graphs = gc.Graphs
+	resp.GraphCache.Nodes = gc.Nodes
+	resp.GraphCache.HitRate = gc.HitRate()
+	resp.Compactions = s.compacted.Load()
 	hits, misses, entries := s.cfg.Cache.Stats()
 	resp.Cache.Hits = hits
 	resp.Cache.Misses = misses

@@ -108,6 +108,14 @@ type (
 	Cache = engine.Cache
 	// Property names a level property in progress events.
 	Property = engine.Property
+	// GraphCache is a bounded LRU of live exploration graphs keyed by
+	// protocol identity + inputs, shared by Check, CheckBatch and
+	// Theorem13 — and, via WithGraphCache, across engines.
+	GraphCache = engine.GraphCache
+	// GraphCacheStats snapshots a GraphCache's hit/miss/eviction counters
+	// and footprint (Engine.GraphCacheStats; cmd/reprod serves it on
+	// /v1/stats and /metrics).
+	GraphCacheStats = engine.GraphCacheStats
 )
 
 // The two level properties appearing in progress events.
@@ -166,6 +174,24 @@ func WithMaxN(n int) Option { return engine.WithMaxN(n) }
 
 // WithBudget bounds the model checker's explored state space in nodes.
 func WithBudget(states int) Option { return engine.WithBudget(states) }
+
+// WithGraphCache installs a shared exploration-graph cache, letting
+// several engines reuse expanded state spaces across Check, CheckBatch
+// and Theorem13 calls.
+func WithGraphCache(c *GraphCache) Option { return engine.WithGraphCache(c) }
+
+// WithGraphCacheBudget bounds the engine's private exploration-graph
+// cache in total interned nodes (0 = DefaultGraphCacheBudget; negative
+// disables graph caching, restoring fresh-graph-per-call behavior).
+func WithGraphCacheBudget(nodes int) Option { return engine.WithGraphCacheBudget(nodes) }
+
+// NewGraphCache returns an empty exploration-graph cache for
+// WithGraphCache (budget <= 0 selects DefaultGraphCacheBudget).
+func NewGraphCache(budget int) *GraphCache { return engine.NewGraphCache(budget) }
+
+// DefaultGraphCacheBudget is the node budget WithGraphCacheBudget(0)
+// resolves to.
+const DefaultGraphCacheBudget = engine.DefaultGraphCacheBudget
 
 // WithShardThreshold controls auto-sharding of single level checks: a
 // level whose operation-assignment count exceeds the threshold is split
