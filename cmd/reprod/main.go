@@ -9,13 +9,17 @@
 //
 // Endpoints (see internal/serve):
 //
-//	POST /v1/analyze  {"type":"tnn:5,2","maxN":5}
-//	POST /v1/batch    {"types":["tas","x4"],"maxN":4}
-//	POST /v1/check    {"protocol":"cas-rec:2","requests":[{"inputs":[0,1],"crashQuota":[1,1]}]}
-//	POST /v1/compact  (fold the -cache-file journal into a fresh snapshot)
+//	POST /v1/analyze    {"type":"tnn:5,2","maxN":5}
+//	POST /v1/batch      {"types":["tas","x4"],"maxN":4}
+//	POST /v1/check      {"protocol":"cas-rec:2","requests":[{"inputs":[0,1],"crashQuota":[1,1]}]}
+//	POST /v1/protocols  (register a JSON protocol descriptor; returns its structural fingerprint)
+//	GET  /v1/protocols/{fingerprint}
+//	POST /v1/jobs       {"kind":"check","check":{...}} (async; also "analyze", "theorem13")
+//	GET  /v1/jobs/{id}  (DELETE cancels; /v1/jobs/{id}/events streams progress as SSE)
+//	POST /v1/compact    (fold the -cache-file journal into a fresh snapshot)
 //	GET  /healthz
 //	GET  /v1/stats
-//	GET  /metrics     (Prometheus text format)
+//	GET  /metrics       (Prometheus text format)
 //
 // /v1/check model-checks a batch of requests against one registry-named
 // protocol over a shared exploration graph: requests with the same
@@ -26,6 +30,23 @@
 // total node count), so repeated traffic for the same protocol and
 // inputs walks warm graphs across requests — cache traffic shows up in
 // /v1/stats under "graphCache".
+//
+// POST /v1/protocols accepts a user-written state-machine descriptor
+// (see internal/protodef), validates and compiles it, and registers it
+// under its structural fingerprint — a name-independent hash of the
+// reachable state machine (internal/model.Fingerprint). A descriptor
+// structurally identical to a registry protocol gets the registry
+// build's fingerprint, so fingerprint-addressed requests
+// ("protocolFingerprint" in /v1/analyze, /v1/check, and job payloads)
+// share cached exploration graphs with registry-named traffic.
+//
+// POST /v1/jobs runs analyze/check/theorem13 work asynchronously on a
+// bounded worker pool: -max-jobs jobs run concurrently, -job-queue
+// bounds the waiting queue (beyond it submissions answer 429), and
+// GET /v1/jobs/{id}/events streams engine progress as Server-Sent
+// Events until the job's terminal event. Shutdown drains jobs first —
+// queued jobs cancel, streams end with a terminal event — before the
+// HTTP listener and the decision journal close.
 //
 // With -cache-file set, -compact-every additionally folds the decision
 // journal into a fresh snapshot on a timer (drain-safe: shutdown waits
@@ -81,6 +102,7 @@ func run(args []string) error {
 	compactEvery := fs.Duration("compact-every", 0,
 		"fold the -cache-file journal into a fresh snapshot at this interval (0 = only on demand via POST /v1/compact)")
 	ef := cli.AddEngineFlags(fs)
+	jf := cli.AddJobFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +111,9 @@ func run(args []string) error {
 	}
 	if *maxN < 2 {
 		return fmt.Errorf("need -max-n >= 2, got %d", *maxN)
+	}
+	if err := jf.Validate(); err != nil {
+		return err
 	}
 
 	runCtx, cancelRun := ef.Context()
@@ -118,6 +143,8 @@ func run(args []string) error {
 		BatchLimit:       *batchLimit,
 		CheckMaxNodes:    *checkMaxNodes,
 		GraphCacheBudget: ef.GraphCacheBudget,
+		JobWorkers:       jf.MaxJobs,
+		JobQueue:         jf.JobQueue,
 	})
 
 	// Periodic auto-compaction: fold the journal into a fresh snapshot on
@@ -167,6 +194,9 @@ func run(args []string) error {
 
 	select {
 	case err := <-serveErr:
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(drainCtx) // no listener left, but jobs may still be running
+		cancelDrain()
 		if pc != nil {
 			cancelRun() // stops the auto-compactor before the store closes
 			<-compactorDone
@@ -176,14 +206,22 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: finish in-flight requests, then make the
-	// decision journal durable. Unregister the signal handler first so
-	// a second SIGINT/SIGTERM falls back to the default action and can
-	// force-quit a drain that is taking too long.
+	// Graceful shutdown, strictly ordered: (1) drain the async job
+	// subsystem — queued jobs cancel, running jobs stop, every SSE event
+	// stream ends with a terminal event; (2) then the HTTP server can
+	// drain, since the now-closed streams release their handlers;
+	// (3) only after all job and request work has stopped, wait out the
+	// auto-compactor and flush the decision journal, so nothing appends
+	// decisions after the final write. Unregister the signal handler
+	// first so a second SIGINT/SIGTERM falls back to the default action
+	// and can force-quit a drain that is taking too long.
 	stop()
 	fmt.Fprintln(os.Stderr, "reprod: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "reprod: draining jobs:", err)
+	}
 	shutErr := hs.Shutdown(shutCtx)
 	if errors.Is(shutErr, context.DeadlineExceeded) {
 		hs.Close()

@@ -206,6 +206,9 @@ func TestRunErrors(t *testing.T) {
 		{"-addr", "not an address"},
 		{"unexpected-positional"},
 		{"-cache-file", "/nonexistent-dir/sub/decisions"},
+		{"-max-jobs", "0"},
+		{"-max-jobs", "-3"},
+		{"-job-queue", "0"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("args %v should fail", args)

@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/jobs"
+)
+
+// JobFlags is the parsed async-job flag set of a serving tool.
+type JobFlags struct {
+	// MaxJobs is the number of async jobs run concurrently (-max-jobs).
+	MaxJobs int
+	// JobQueue bounds the async jobs waiting to run; submissions beyond
+	// it are rejected with HTTP 429 (-job-queue).
+	JobQueue int
+}
+
+// AddJobFlags registers the shared async-job flags on fs and returns the
+// struct the parsed values land in. Callers must Validate after parsing.
+func AddJobFlags(fs *flag.FlagSet) *JobFlags {
+	f := &JobFlags{}
+	fs.IntVar(&f.MaxJobs, "max-jobs", jobs.DefaultWorkers,
+		"async jobs (POST /v1/jobs) run concurrently")
+	fs.IntVar(&f.JobQueue, "job-queue", jobs.DefaultQueueLimit,
+		"async jobs queued beyond the running ones; further submissions are rejected with HTTP 429")
+	return f
+}
+
+// Validate rejects non-positive values: a job subsystem with no workers
+// or no queue can never serve a submission, so misconfiguration fails at
+// startup instead of 429-ing every request.
+func (f *JobFlags) Validate() error {
+	if f.MaxJobs <= 0 {
+		return fmt.Errorf("need -max-jobs >= 1, got %d", f.MaxJobs)
+	}
+	if f.JobQueue <= 0 {
+		return fmt.Errorf("need -job-queue >= 1, got %d", f.JobQueue)
+	}
+	return nil
+}

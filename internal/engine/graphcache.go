@@ -28,13 +28,16 @@ const DefaultGraphCacheBudget = 4_000_000
 //
 // # Protocol identity
 //
-// Two Get calls share a graph when their protocols agree on Name, process
-// count, object specs (structural type fingerprints plus initial values)
-// and per-process initial states, and their input vectors are equal.
-// Transition behavior (Poised/Next) is code and cannot be fingerprinted,
-// so Name must identify it; every registry protocol embeds its
-// parameters in its Name. A caller-defined protocol whose Name does not
-// determine its transitions must not share a GraphCache across variants.
+// Two Get calls share a graph exactly when their protocols have equal
+// structural fingerprints (model.Fingerprint — a canonical hash of the
+// reachable state machine) and their input vectors are equal.
+// Protocol.Name never enters the key: a registry-built protocol and a
+// user-submitted descriptor compilation that are structurally identical
+// share one cached graph, and two protocols that differ in any
+// transition can never alias each other no matter what they are called.
+// Nodes of a shared graph carry the local-state strings of whichever
+// structurally-equal protocol built it first; traces rendered from them
+// may therefore use that protocol's state names.
 //
 // # Eviction
 //
@@ -94,33 +97,32 @@ func NewGraphCache(budget int) *GraphCache {
 	return &GraphCache{budget: uint64(budget), entries: make(map[string]*gcEntry)}
 }
 
-// graphKey canonicalizes the (protocol identity, inputs) cache key.
-func graphKey(p model.Protocol, inputs []int) string {
+// graphKey canonicalizes the (protocol identity, inputs) cache key: the
+// protocol's structural fingerprint plus the input vector. Nothing
+// nominal — in particular not Protocol.Name — enters the key.
+func graphKey(p model.Protocol, inputs []int) (string, error) {
+	fp, err := model.Fingerprint(p)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
-	b.WriteString(p.Name())
-	b.WriteByte(0)
-	fmt.Fprintf(&b, "procs=%d;", p.Procs())
-	for _, o := range p.Objects() {
-		fmt.Fprintf(&b, "obj=%016x:%d;", o.Type.Fingerprint(), int(o.Init))
-	}
-	for proc := 0; proc < p.Procs(); proc++ {
-		for in := 0; in <= 1; in++ {
-			b.WriteString(p.Init(proc, in))
-			b.WriteByte(1)
-		}
-	}
-	b.WriteString("in=")
+	b.WriteString(fp)
+	b.WriteString(";in=")
 	for _, in := range inputs {
 		fmt.Fprintf(&b, "%d,", in)
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // Get returns the cached live graph for (p, inputs), building and caching
 // it on a miss. Construction errors (invalid protocol, wrong inputs
-// length) are returned without caching anything.
+// length, fingerprint budget exceeded) are returned without caching
+// anything.
 func (c *GraphCache) Get(p model.Protocol, inputs []int) (*model.Graph, error) {
-	key := graphKey(p, inputs)
+	key, err := graphKey(p, inputs)
+	if err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {

@@ -1,0 +1,39 @@
+package model_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/registry"
+)
+
+// TestFingerprintGolden pins the structural fingerprints of the five
+// registry protocols at their canonical instances. The fingerprint is a
+// wire- and cache-visible identity (GraphCache keys, the /v1/protocols
+// registry, and — per ROADMAP — future on-disk graph snapshots), so any
+// change to its canonicalization must be deliberate: if this test fails,
+// either revert the accidental change or, for an intentional format
+// change, update the goldens and treat every persisted fingerprint as
+// invalidated.
+func TestFingerprintGolden(t *testing.T) {
+	golden := map[string]string{
+		"cas-rec:2":   "0c287da0fa1ad681f4c906685a09c60880be0dd52792e643277d778e2f22c178",
+		"cas-wf:2":    "a979ba50253b370b05d2a8efd31da93d598980297c2b3df5a113a474de7f4328",
+		"tas-reg":     "46ca24919a3654cde4272cffebac07fcd931e173a0292c75af69f6dcd04870a4",
+		"tnn-rec:3,2": "8d30e1fb88b9a8eac08ad492b82a2582175604f07b7facbc3076c9dddcf17210",
+		"tnn-wf:3,2":  "2e89bcc93f2fa0c39caf1f94989e53c1734aeed8e497b9399eece3a9642207b3",
+	}
+	for desc, want := range golden {
+		pr, err := registry.ParseProtocol(desc)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		got, err := model.Fingerprint(pr)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		if got != want {
+			t.Errorf("%s: fingerprint drifted\n  got  %s\n  want %s", desc, got, want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package model_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/proto"
+	"repro/internal/spec"
+)
+
+// renamed wraps a protocol, renaming every local state and the protocol
+// itself while preserving the dynamics exactly. Structurally it is the
+// same protocol; nominally it shares nothing.
+type renamed struct{ inner model.Protocol }
+
+func (r renamed) Name() string { return "renamed:" + r.inner.Name() }
+func (r renamed) Procs() int   { return r.inner.Procs() }
+func (r renamed) Objects() []model.ObjectSpec {
+	return r.inner.Objects()
+}
+func (r renamed) Init(p, input int) string { return "X" + r.inner.Init(p, input) }
+func (r renamed) Poised(p int, state string) model.Action {
+	return r.inner.Poised(p, strings.TrimPrefix(state, "X"))
+}
+func (r renamed) Next(p int, state string, resp spec.Response) string {
+	return "X" + r.inner.Next(p, strings.TrimPrefix(state, "X"), resp)
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	for _, pr := range []model.Protocol{
+		proto.NewCASRecoverable(2),
+		proto.NewTnnWaitFree(3, 2, 3),
+		proto.NewTASConsensus(),
+	} {
+		fp, err := model.Fingerprint(pr)
+		if err != nil {
+			t.Fatalf("%s: %v", pr.Name(), err)
+		}
+		if len(fp) != 64 {
+			t.Fatalf("%s: fingerprint %q is not 64 hex chars", pr.Name(), fp)
+		}
+		fp2, err := model.Fingerprint(renamed{pr})
+		if err != nil {
+			t.Fatalf("renamed %s: %v", pr.Name(), err)
+		}
+		if fp != fp2 {
+			t.Fatalf("%s: renaming states changed the fingerprint: %s vs %s", pr.Name(), fp, fp2)
+		}
+	}
+}
+
+func TestFingerprintSeparatesStructure(t *testing.T) {
+	fps := make(map[string]string)
+	for _, pr := range []model.Protocol{
+		proto.NewCASWaitFree(2),
+		proto.NewCASWaitFree(3),
+		proto.NewCASRecoverable(2),
+		proto.NewTnnWaitFree(3, 2, 3),
+		proto.NewTnnWaitFree(4, 2, 4),
+		proto.NewTnnRecoverable(3, 2, 2),
+		proto.NewTASConsensus(),
+	} {
+		fp, err := model.Fingerprint(pr)
+		if err != nil {
+			t.Fatalf("%s: %v", pr.Name(), err)
+		}
+		if prev, dup := fps[fp]; dup {
+			t.Fatalf("distinct protocols %s and %s share fingerprint %s", prev, pr.Name(), fp)
+		}
+		fps[fp] = pr.Name()
+	}
+}
+
+// TestFingerprintSharesBehavioralTwins documents the deliberate upside
+// of structural identity: tnn-wf over T(3,2) and over T(3,1) never apply
+// opR — the only operation n' affects — so they are behaviorally
+// identical and share a fingerprint (and therefore a cached graph),
+// which a Name-keyed cache could never discover.
+func TestFingerprintSharesBehavioralTwins(t *testing.T) {
+	a, err := model.Fingerprint(proto.NewTnnWaitFree(3, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := model.Fingerprint(proto.NewTnnWaitFree(3, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("behaviorally identical protocols fingerprint differently: %s vs %s", a, b)
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a, err := model.Fingerprint(proto.NewTnnRecoverable(4, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := model.Fingerprint(proto.NewTnnRecoverable(4, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("two builds of one protocol fingerprint differently: %s vs %s", a, b)
+	}
+}
+
+// unbounded is a protocol whose local-state namespace grows without
+// bound, exercising the fingerprint state budget.
+type unbounded struct{ model.Protocol }
+
+func newUnbounded() unbounded { return unbounded{proto.NewCASWaitFree(2)} }
+
+func (u unbounded) Poised(p int, state string) model.Action {
+	return model.Apply(0, 0)
+}
+func (u unbounded) Next(p int, state string, resp spec.Response) string {
+	return state + "x"
+}
+
+func TestFingerprintStateBudget(t *testing.T) {
+	if _, err := model.Fingerprint(newUnbounded()); err == nil {
+		t.Fatal("unbounded protocol fingerprinted without error")
+	}
+}

@@ -1,0 +1,147 @@
+package protodef
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// Describe exports any model.Protocol as a canonical Descriptor: the
+// same reachable-state closure the structural fingerprint canonicalizes
+// (model.ReachableStates / model.FingerprintedResponses), rendered as
+// data. All names in the output are canonical — types "t<i>", values
+// "v<j>", ops "op<k>", responses "r<code>", states "s<bfs-index>" — so
+// the result is a pure function of the protocol's structure.
+//
+// The round-trip law tying the package together: for any valid protocol
+// pr, Compile(Describe(pr)) fingerprints equal to pr. Registry builds
+// and their descriptor exports therefore share cached exploration
+// graphs.
+func Describe(pr model.Protocol) (*Descriptor, error) {
+	if err := model.Validate(pr); err != nil {
+		return nil, err
+	}
+	objs := pr.Objects()
+
+	// Dedup object types by pointer and name them in first-use order.
+	typeName := make(map[*spec.FiniteType]string)
+	var typeDefs []TypeDef
+	for _, o := range objs {
+		if _, ok := typeName[o.Type]; ok {
+			continue
+		}
+		name := fmt.Sprintf("t%d", len(typeDefs))
+		typeName[o.Type] = name
+		typeDefs = append(typeDefs, exportType(name, o.Type))
+	}
+
+	objDefs := make([]ObjectDef, len(objs))
+	for i, o := range objs {
+		objDefs[i] = ObjectDef{
+			Type: typeName[o.Type],
+			Init: fmt.Sprintf("v%d", int(o.Init)),
+		}
+	}
+
+	outputs := 2
+	if c, ok := pr.(interface{ Outputs() int }); ok {
+		outputs = c.Outputs()
+	}
+
+	machines := make([]MachineDef, pr.Procs())
+	for p := 0; p < pr.Procs(); p++ {
+		m, maxDecision, err := exportMachine(pr, p, objs)
+		if err != nil {
+			return nil, err
+		}
+		machines[p] = m
+		if maxDecision >= outputs {
+			outputs = maxDecision + 1
+		}
+	}
+	// Collapse to one shared machine when every process runs the same one.
+	shared := true
+	for p := 1; p < len(machines); p++ {
+		if !reflect.DeepEqual(machines[p], machines[0]) {
+			shared = false
+			break
+		}
+	}
+	if shared {
+		machines = machines[:1]
+	}
+
+	return &Descriptor{
+		Name:     pr.Name(),
+		Procs:    pr.Procs(),
+		Outputs:  outputs,
+		Types:    typeDefs,
+		Objects:  objDefs,
+		Machines: machines,
+	}, nil
+}
+
+// exportType renders one FiniteType as a TypeDef with canonical value,
+// op and response names ("v<j>", "op<k>", "r<code>").
+func exportType(name string, t *spec.FiniteType) TypeDef {
+	td := TypeDef{Name: name}
+	for v := 0; v < t.NumValues(); v++ {
+		td.Values = append(td.Values, fmt.Sprintf("v%d", v))
+	}
+	for op := 0; op < t.NumOps(); op++ {
+		od := OpDef{Name: fmt.Sprintf("op%d", op)}
+		for v := 0; v < t.NumValues(); v++ {
+			e := t.Apply(spec.Value(v), spec.Op(op))
+			od.Transitions = append(od.Transitions, TransitionDef{
+				From: fmt.Sprintf("v%d", v),
+				Resp: fmt.Sprintf("r%d", int(e.Resp)),
+				To:   fmt.Sprintf("v%d", int(e.Next)),
+			})
+		}
+		td.Ops = append(td.Ops, od)
+	}
+	return td
+}
+
+// exportMachine renders process p's reachable local state machine with
+// canonical state names ("s<bfs-index>") and returns the largest
+// decision it reaches (-1 when none).
+func exportMachine(pr model.Protocol, p int, objs []model.ObjectSpec) (MachineDef, int, error) {
+	states, err := model.ReachableStates(pr, p)
+	if err != nil {
+		return MachineDef{}, 0, err
+	}
+	id := make(map[string]int, len(states))
+	for i, s := range states {
+		id[s] = i
+	}
+	canon := func(s string) string { return fmt.Sprintf("s%d", id[s]) }
+
+	m := MachineDef{Init: []string{canon(pr.Init(p, 0)), canon(pr.Init(p, 1))}}
+	maxDecision := -1
+	for _, st := range states {
+		sd := StateDef{Name: canon(st)}
+		a := pr.Poised(p, st)
+		if a.Decided {
+			d := a.Decision
+			sd.Decide = &d
+			if d > maxDecision {
+				maxDecision = d
+			}
+		} else {
+			sd.Apply = &ApplyDef{Obj: a.Obj, Op: fmt.Sprintf("op%d", int(a.Op))}
+			edges, err := model.FingerprintedResponses(pr, p, st)
+			if err != nil {
+				return MachineDef{}, 0, err
+			}
+			sd.Next = make(map[string]string, len(edges))
+			for _, e := range edges {
+				sd.Next[fmt.Sprintf("r%d", int(e.Resp))] = canon(e.Next)
+			}
+		}
+		m.States = append(m.States, sd)
+	}
+	return m, maxDecision, nil
+}

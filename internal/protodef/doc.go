@@ -1,0 +1,23 @@
+// Package protodef makes protocols data: a JSON state-machine descriptor
+// format for user-submitted consensus protocols, a validating compiler
+// from descriptors to executable model.Protocol implementations, and the
+// inverse exporter rendering any protocol back to a canonical
+// descriptor.
+//
+// A Descriptor spells out everything model.Protocol expresses — object
+// types as total transition tables, shared objects with initial values,
+// and per-process local state machines whose states either decide an
+// output or apply an operation and branch on its response. Compile
+// validates a descriptor against hard budgets (MaxProcs, MaxTypes,
+// MaxValues, MaxOps, MaxStates, ...) so untrusted submissions cannot
+// demand unbounded work, then builds a Compiled protocol the engine
+// checks exactly like a registry protocol.
+//
+// Identity is structural, never nominal. The Store registry keys
+// protocols by model.Fingerprint — the canonical hash of the reachable
+// state machine — so a submitted descriptor that is behaviorally
+// identical to a registry protocol (whatever its names) resolves to the
+// same fingerprint and shares the engine's cached exploration graphs.
+// Describe completes the loop: Compile(Describe(pr)) fingerprints equal
+// to pr for every valid protocol.
+package protodef

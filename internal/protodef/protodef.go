@@ -1,0 +1,484 @@
+package protodef
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// Budgets for user-submitted descriptors. A descriptor is data from an
+// untrusted client; every dimension that feeds the compiler or the model
+// checker is bounded so one submission cannot demand unbounded work.
+const (
+	// MaxProcs bounds the process count (state spaces are exponential
+	// in it).
+	MaxProcs = 8
+	// MaxTypes bounds the object-type definitions of one descriptor.
+	MaxTypes = 8
+	// MaxValues and MaxOps bound one type's value/operation tables.
+	MaxValues = 64
+	MaxOps    = 64
+	// MaxObjects bounds the shared objects of one descriptor.
+	MaxObjects = 8
+	// MaxStates bounds one machine's local states.
+	MaxStates = 1024
+	// MaxOutputs bounds the output alphabet (decisions are indices
+	// [0, Outputs)).
+	MaxOutputs = 16
+	// MaxNameLen bounds every name in a descriptor (protocol, type,
+	// value, op, response, state).
+	MaxNameLen = 128
+)
+
+// Descriptor is the JSON protocol-definition format: a complete
+// state-machine description of a consensus protocol — object types as
+// transition tables, shared objects with initial values, and one local
+// state machine per process (or one shared by all). It is everything
+// model.Protocol expresses, as data instead of code.
+//
+// Responses are named strings scoped to their type; the compiler interns
+// them to dense spec.Response integers in first-appearance order, so two
+// operations returning the same response name return the same response.
+type Descriptor struct {
+	// Name labels the compiled protocol in reports. It never enters the
+	// structural fingerprint.
+	Name string `json:"name"`
+	// Procs is the process count.
+	Procs int `json:"procs"`
+	// Outputs is the size of the output alphabet; decisions must lie in
+	// [0, Outputs). 0 defaults to 2 (binary consensus).
+	Outputs int `json:"outputs,omitempty"`
+	// Types defines the object types used by Objects.
+	Types []TypeDef `json:"types"`
+	// Objects declares the shared objects: a type reference plus the
+	// initial value.
+	Objects []ObjectDef `json:"objects"`
+	// Machines holds the per-process local state machines. Exactly one
+	// machine is shared by every process; otherwise len(Machines) must
+	// equal Procs.
+	Machines []MachineDef `json:"machines"`
+}
+
+// TypeDef defines one finite object type as a named transition table.
+type TypeDef struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+	Ops    []OpDef  `json:"ops"`
+}
+
+// OpDef defines one operation: for every value of the type, the response
+// returned and the successor value. The table must be total.
+type OpDef struct {
+	Name string `json:"name"`
+	// Transitions must cover every value exactly once.
+	Transitions []TransitionDef `json:"transitions"`
+}
+
+// TransitionDef is one cell of an operation's column: applying the
+// operation to From returns Resp and moves the object to To.
+type TransitionDef struct {
+	From string `json:"from"`
+	Resp string `json:"resp"`
+	To   string `json:"to"`
+}
+
+// ObjectDef declares one shared object.
+type ObjectDef struct {
+	// Type names a TypeDef.
+	Type string `json:"type"`
+	// Init names the initial value.
+	Init string `json:"init"`
+}
+
+// MachineDef is one process's local state machine.
+type MachineDef struct {
+	// Init names the initial states for consensus inputs 0 and 1 (two
+	// entries; they may coincide).
+	Init []string `json:"init"`
+	// States lists the machine's states. Every state reachable from the
+	// initial states must be defined.
+	States []StateDef `json:"states"`
+}
+
+// StateDef is one local state: either a decision (Decide non-nil) or a
+// pending operation (Apply non-nil) with a response-keyed successor map.
+type StateDef struct {
+	Name string `json:"name"`
+	// Decide, when set, makes this an output state deciding *Decide.
+	Decide *int `json:"decide,omitempty"`
+	// Apply, when set, is the pending operation.
+	Apply *ApplyDef `json:"apply,omitempty"`
+	// Next maps response names of the applied operation to successor
+	// state names. The reserved key "*" is a fallback for responses not
+	// listed explicitly. Together they must cover every response the
+	// operation can return.
+	Next map[string]string `json:"next,omitempty"`
+}
+
+// ApplyDef identifies a pending operation: object index and operation
+// name on that object's type.
+type ApplyDef struct {
+	Obj int    `json:"obj"`
+	Op  string `json:"op"`
+}
+
+// Parse decodes and compiles a JSON descriptor in one step, rejecting
+// unknown fields so client typos surface instead of silently defaulting.
+func Parse(data []byte) (*Compiled, error) {
+	var d Descriptor
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("protodef: decode: %w", err)
+	}
+	return Compile(&d)
+}
+
+// Compiled is a descriptor compiled into an executable protocol. It
+// implements model.Protocol; local states are the descriptor's state
+// names, so traces and violation reports read in the author's
+// vocabulary.
+type Compiled struct {
+	name    string
+	procs   int
+	outputs int
+	objects []model.ObjectSpec
+	// machines[p] is process p's state machine (shared machines are
+	// replicated by pointer).
+	machines []*cmachine
+	// src is the validated descriptor the protocol was compiled from,
+	// kept for introspection (GET /v1/protocols/{fingerprint}).
+	src *Descriptor
+}
+
+var _ model.Protocol = (*Compiled)(nil)
+
+// cmachine is one compiled local state machine.
+type cmachine struct {
+	init   [2]string
+	states map[string]*cstate
+}
+
+// cstate is one compiled local state.
+type cstate struct {
+	decided  bool
+	decision int
+	obj      int
+	op       spec.Op
+	next     map[spec.Response]string
+	fallback string // "*" successor; "" when none
+	hasFall  bool
+}
+
+// Name implements model.Protocol.
+func (c *Compiled) Name() string { return c.name }
+
+// Procs implements model.Protocol.
+func (c *Compiled) Procs() int { return c.procs }
+
+// Outputs returns the descriptor's output-alphabet size.
+func (c *Compiled) Outputs() int { return c.outputs }
+
+// Objects implements model.Protocol.
+func (c *Compiled) Objects() []model.ObjectSpec {
+	out := make([]model.ObjectSpec, len(c.objects))
+	copy(out, c.objects)
+	return out
+}
+
+// Init implements model.Protocol.
+func (c *Compiled) Init(p, input int) string { return c.machines[p].init[input&1] }
+
+// Poised implements model.Protocol.
+func (c *Compiled) Poised(p int, state string) model.Action {
+	st := c.machines[p].states[state]
+	if st == nil {
+		// Unreachable after validation; a defensive self-decide keeps the
+		// checker panic-free if a caller hands a foreign state string.
+		return model.Decide(0)
+	}
+	if st.decided {
+		return model.Decide(st.decision)
+	}
+	return model.Apply(st.obj, st.op)
+}
+
+// Next implements model.Protocol. Validation guarantees every response
+// of the applied operation resolves; the defensive self-loop (returning
+// the state unchanged) can only trigger on states Poised never produced.
+func (c *Compiled) Next(p int, state string, resp spec.Response) string {
+	st := c.machines[p].states[state]
+	if st == nil || st.decided {
+		return state
+	}
+	if nx, ok := st.next[resp]; ok {
+		return nx
+	}
+	if st.hasFall {
+		return st.fallback
+	}
+	return state
+}
+
+// Descriptor returns the validated descriptor the protocol was compiled
+// from. Callers must not mutate it.
+func (c *Compiled) Descriptor() *Descriptor { return c.src }
+
+// Compile validates d against the package budgets and structural rules
+// and builds the executable protocol. The descriptor is not mutated; the
+// returned Compiled retains it for introspection.
+func Compile(d *Descriptor) (*Compiled, error) {
+	if d == nil {
+		return nil, fmt.Errorf("protodef: nil descriptor")
+	}
+	if err := checkName("protocol name", d.Name); err != nil {
+		return nil, err
+	}
+	if d.Procs < 1 || d.Procs > MaxProcs {
+		return nil, fmt.Errorf("protodef: procs %d out of range [1, %d]", d.Procs, MaxProcs)
+	}
+	outputs := d.Outputs
+	if outputs == 0 {
+		outputs = 2
+	}
+	if outputs < 1 || outputs > MaxOutputs {
+		return nil, fmt.Errorf("protodef: outputs %d out of range [1, %d]", outputs, MaxOutputs)
+	}
+
+	types, respIdx, err := compileTypes(d.Types)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(d.Objects) == 0 || len(d.Objects) > MaxObjects {
+		return nil, fmt.Errorf("protodef: need 1..%d objects, got %d", MaxObjects, len(d.Objects))
+	}
+	objects := make([]model.ObjectSpec, len(d.Objects))
+	objType := make([]string, len(d.Objects))
+	for i, o := range d.Objects {
+		t, ok := types[o.Type]
+		if !ok {
+			return nil, fmt.Errorf("protodef: object %d references undefined type %q", i, o.Type)
+		}
+		v, ok := t.ValueByName(o.Init)
+		if !ok {
+			return nil, fmt.Errorf("protodef: object %d: type %q has no value %q", i, o.Type, o.Init)
+		}
+		objects[i] = model.ObjectSpec{Type: t, Init: v}
+		objType[i] = o.Type
+	}
+
+	switch {
+	case len(d.Machines) == 1, len(d.Machines) == d.Procs:
+	default:
+		return nil, fmt.Errorf("protodef: need 1 shared machine or %d per-process machines, got %d",
+			d.Procs, len(d.Machines))
+	}
+	c := &Compiled{
+		name:    d.Name,
+		procs:   d.Procs,
+		outputs: outputs,
+		objects: objects,
+		src:     d,
+	}
+	compiled := make([]*cmachine, len(d.Machines))
+	for mi := range d.Machines {
+		m, err := compileMachine(&d.Machines[mi], mi, objects, objType, respIdx, outputs)
+		if err != nil {
+			return nil, err
+		}
+		compiled[mi] = m
+	}
+	c.machines = make([]*cmachine, d.Procs)
+	for p := 0; p < d.Procs; p++ {
+		if len(compiled) == 1 {
+			c.machines[p] = compiled[0]
+		} else {
+			c.machines[p] = compiled[p]
+		}
+	}
+	if err := model.Validate(c); err != nil {
+		return nil, fmt.Errorf("protodef: compiled protocol invalid: %w", err)
+	}
+	return c, nil
+}
+
+// compileTypes builds the spec.FiniteType table for each TypeDef and the
+// per-type response-name interning (name -> dense spec.Response).
+func compileTypes(defs []TypeDef) (map[string]*spec.FiniteType, map[string]map[string]spec.Response, error) {
+	if len(defs) == 0 || len(defs) > MaxTypes {
+		return nil, nil, fmt.Errorf("protodef: need 1..%d types, got %d", MaxTypes, len(defs))
+	}
+	types := make(map[string]*spec.FiniteType, len(defs))
+	respIdx := make(map[string]map[string]spec.Response, len(defs))
+	for _, td := range defs {
+		if err := checkName("type name", td.Name); err != nil {
+			return nil, nil, err
+		}
+		if _, dup := types[td.Name]; dup {
+			return nil, nil, fmt.Errorf("protodef: duplicate type %q", td.Name)
+		}
+		if len(td.Values) == 0 || len(td.Values) > MaxValues {
+			return nil, nil, fmt.Errorf("protodef: type %q: need 1..%d values, got %d",
+				td.Name, MaxValues, len(td.Values))
+		}
+		if len(td.Ops) == 0 || len(td.Ops) > MaxOps {
+			return nil, nil, fmt.Errorf("protodef: type %q: need 1..%d ops, got %d",
+				td.Name, MaxOps, len(td.Ops))
+		}
+		b := spec.NewBuilder(td.Name)
+		for _, v := range td.Values {
+			if err := checkName("value name", v); err != nil {
+				return nil, nil, fmt.Errorf("protodef: type %q: %w", td.Name, err)
+			}
+		}
+		b.Values(td.Values...)
+		resp := make(map[string]spec.Response)
+		for _, od := range td.Ops {
+			if err := checkName("op name", od.Name); err != nil {
+				return nil, nil, fmt.Errorf("protodef: type %q: %w", td.Name, err)
+			}
+			b.Ops(od.Name)
+			if len(od.Transitions) != len(td.Values) {
+				return nil, nil, fmt.Errorf("protodef: type %q op %q: %d transitions for %d values (the table must be total)",
+					td.Name, od.Name, len(od.Transitions), len(td.Values))
+			}
+			for _, tr := range od.Transitions {
+				if err := checkName("response name", tr.Resp); err != nil {
+					return nil, nil, fmt.Errorf("protodef: type %q op %q: %w", td.Name, od.Name, err)
+				}
+				r, ok := resp[tr.Resp]
+				if !ok {
+					r = spec.Response(len(resp))
+					resp[tr.Resp] = r
+					b.NameResponse(r, tr.Resp)
+				}
+				b.Transition(tr.From, od.Name, r, tr.To)
+			}
+		}
+		t, err := b.Build()
+		if err != nil {
+			return nil, nil, fmt.Errorf("protodef: type %q: %w", td.Name, err)
+		}
+		types[td.Name] = t
+		respIdx[td.Name] = resp
+	}
+	return types, respIdx, nil
+}
+
+// compileMachine validates one machine's states and transitions against
+// the objects it references and resolves response names to responses.
+func compileMachine(md *MachineDef, mi int, objects []model.ObjectSpec, objType []string,
+	respIdx map[string]map[string]spec.Response, outputs int) (*cmachine, error) {
+	where := fmt.Sprintf("machine %d", mi)
+	if len(md.States) == 0 || len(md.States) > MaxStates {
+		return nil, fmt.Errorf("protodef: %s: need 1..%d states, got %d", where, MaxStates, len(md.States))
+	}
+	m := &cmachine{states: make(map[string]*cstate, len(md.States))}
+	for _, sd := range md.States {
+		if err := checkName("state name", sd.Name); err != nil {
+			return nil, fmt.Errorf("protodef: %s: %w", where, err)
+		}
+		if _, dup := m.states[sd.Name]; dup {
+			return nil, fmt.Errorf("protodef: %s: duplicate state %q", where, sd.Name)
+		}
+		switch {
+		case sd.Decide != nil && sd.Apply != nil:
+			return nil, fmt.Errorf("protodef: %s state %q: both decide and apply set", where, sd.Name)
+		case sd.Decide == nil && sd.Apply == nil:
+			return nil, fmt.Errorf("protodef: %s state %q: one of decide or apply required", where, sd.Name)
+		case sd.Decide != nil:
+			if len(sd.Next) > 0 {
+				return nil, fmt.Errorf("protodef: %s state %q: decided states take no transitions", where, sd.Name)
+			}
+			if *sd.Decide < 0 || *sd.Decide >= outputs {
+				return nil, fmt.Errorf("protodef: %s state %q: decision %d outside the output alphabet [0, %d)",
+					where, sd.Name, *sd.Decide, outputs)
+			}
+			m.states[sd.Name] = &cstate{decided: true, decision: *sd.Decide}
+		default:
+			a := sd.Apply
+			if a.Obj < 0 || a.Obj >= len(objects) {
+				return nil, fmt.Errorf("protodef: %s state %q: object %d out of range [0, %d)",
+					where, sd.Name, a.Obj, len(objects))
+			}
+			t := objects[a.Obj].Type
+			op, ok := t.OpByName(a.Op)
+			if !ok {
+				return nil, fmt.Errorf("protodef: %s state %q: type %q has no op %q",
+					where, sd.Name, objType[a.Obj], a.Op)
+			}
+			cs := &cstate{obj: a.Obj, op: op, next: make(map[spec.Response]string)}
+			resp := respIdx[objType[a.Obj]]
+			for name, to := range sd.Next {
+				if name == "*" {
+					cs.fallback, cs.hasFall = to, true
+					continue
+				}
+				r, ok := resp[name]
+				if !ok {
+					return nil, fmt.Errorf("protodef: %s state %q: type %q has no response %q",
+						where, sd.Name, objType[a.Obj], name)
+				}
+				cs.next[r] = to
+			}
+			m.states[sd.Name] = cs
+		}
+	}
+
+	// Initial states.
+	if len(md.Init) != 2 {
+		return nil, fmt.Errorf("protodef: %s: init needs exactly 2 entries (inputs 0 and 1), got %d",
+			where, len(md.Init))
+	}
+	for i, s := range md.Init {
+		if _, ok := m.states[s]; !ok {
+			return nil, fmt.Errorf("protodef: %s: init[%d] references undefined state %q", where, i, s)
+		}
+		m.init[i] = s
+	}
+
+	// Totality: every non-decided state must resolve every response its
+	// operation can return (from any value), and every successor must be
+	// a defined state.
+	for name, cs := range m.states {
+		if cs.decided {
+			continue
+		}
+		t := objects[cs.obj].Type
+		seen := make(map[spec.Response]bool)
+		for v := 0; v < t.NumValues(); v++ {
+			r := t.Apply(spec.Value(v), cs.op).Resp
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			to, ok := cs.next[r]
+			if !ok {
+				if !cs.hasFall {
+					return nil, fmt.Errorf("protodef: %s state %q: no successor for response %q of op %q (add it to next or provide a \"*\" fallback)",
+						where, name, t.RespName(r), t.OpName(cs.op))
+				}
+				to = cs.fallback
+			}
+			if _, ok := m.states[to]; !ok {
+				return nil, fmt.Errorf("protodef: %s state %q: successor %q is not a defined state", where, name, to)
+			}
+		}
+	}
+	return m, nil
+}
+
+// checkName enforces the shared naming rules: non-empty, bounded length.
+func checkName(what, s string) error {
+	if s == "" {
+		return fmt.Errorf("protodef: empty %s", what)
+	}
+	if len(s) > MaxNameLen {
+		return fmt.Errorf("protodef: %s %q exceeds %d bytes", what, s[:32]+"...", MaxNameLen)
+	}
+	return nil
+}

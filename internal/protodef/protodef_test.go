@@ -1,0 +1,283 @@
+package protodef_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/protodef"
+	"repro/internal/registry"
+)
+
+// registryDescriptors are the canonical instances of all five registry
+// protocols, matching the serve/cmd defaults used elsewhere in the test
+// suite.
+var registryDescriptors = []string{
+	"tnn-wf:3,2", "tnn-rec:3,2", "cas-wf:2", "cas-rec:2", "tas-reg",
+}
+
+// TestRoundTripFingerprintEqual is the package's central property: for
+// every registry protocol, Describe -> JSON -> Parse -> Compile yields a
+// protocol with the same structural fingerprint as the registry build —
+// so descriptor submissions of known protocols share the registry's
+// cached exploration graphs.
+func TestRoundTripFingerprintEqual(t *testing.T) {
+	for _, desc := range registryDescriptors {
+		t.Run(desc, func(t *testing.T) {
+			pr, err := registry.ParseProtocol(desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := model.Fingerprint(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := protodef.Describe(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := json.Marshal(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := protodef.Parse(raw)
+			if err != nil {
+				t.Fatalf("compiled descriptor rejected: %v\n%s", err, raw)
+			}
+			got, err := model.Fingerprint(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("round-trip changed fingerprint: registry %s, descriptor %s", want, got)
+			}
+		})
+	}
+}
+
+// TestDescribeDeterministic checks Describe is a pure function of the
+// protocol's structure (canonical names, stable ordering).
+func TestDescribeDeterministic(t *testing.T) {
+	pr, err := registry.ParseProtocol("tnn-rec:3,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := protodef.Describe(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := protodef.Describe(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("two Describe calls disagree:\n%s\n%s", ja, jb)
+	}
+}
+
+// tasDescriptor builds a minimal hand-written descriptor: 2-process
+// test-and-set consensus where the winner decides its own input.
+func tasDescriptor() *protodef.Descriptor {
+	d0, d1 := 0, 1
+	return &protodef.Descriptor{
+		Name:  "hand-tas",
+		Procs: 2,
+		Types: []protodef.TypeDef{{
+			Name:   "tas",
+			Values: []string{"clear", "set"},
+			Ops: []protodef.OpDef{{
+				Name: "tas",
+				Transitions: []protodef.TransitionDef{
+					{From: "clear", Resp: "won", To: "set"},
+					{From: "set", Resp: "lost", To: "set"},
+				},
+			}},
+		}},
+		Objects: []protodef.ObjectDef{{Type: "tas", Init: "clear"}},
+		Machines: []protodef.MachineDef{{
+			Init: []string{"try0", "try1"},
+			States: []protodef.StateDef{
+				{Name: "try0", Apply: &protodef.ApplyDef{Obj: 0, Op: "tas"},
+					Next: map[string]string{"won": "dec0", "lost": "dec1"}},
+				{Name: "try1", Apply: &protodef.ApplyDef{Obj: 0, Op: "tas"},
+					Next: map[string]string{"won": "dec1", "*": "dec0"}},
+				{Name: "dec0", Decide: &d0},
+				{Name: "dec1", Decide: &d1},
+			},
+		}},
+	}
+}
+
+func TestCompileHandWritten(t *testing.T) {
+	c, err := protodef.Compile(tasDescriptor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "hand-tas" || c.Procs() != 2 || c.Outputs() != 2 {
+		t.Fatalf("compiled header wrong: %s procs=%d outputs=%d", c.Name(), c.Procs(), c.Outputs())
+	}
+	if got := c.Init(0, 0); got != "try0" {
+		t.Fatalf("Init(0,0) = %q", got)
+	}
+	a := c.Poised(0, "try0")
+	if a.Decided || a.Obj != 0 {
+		t.Fatalf("Poised(try0) = %+v", a)
+	}
+	// Responses are interned in first-appearance order: won=0, lost=1.
+	if got := c.Next(0, "try0", 0); got != "dec0" {
+		t.Fatalf("Next(try0, won) = %q", got)
+	}
+	if got := c.Next(0, "try1", 1); got != "dec0" {
+		t.Fatalf("fallback Next(try1, lost) = %q", got)
+	}
+	if d := c.Poised(0, "dec1"); !d.Decided || d.Decision != 1 {
+		t.Fatalf("Poised(dec1) = %+v", d)
+	}
+}
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*protodef.Descriptor)
+	}{
+		{"zero procs", func(d *protodef.Descriptor) { d.Procs = 0 }},
+		{"too many procs", func(d *protodef.Descriptor) { d.Procs = protodef.MaxProcs + 1 }},
+		{"unknown object type", func(d *protodef.Descriptor) { d.Objects[0].Type = "nope" }},
+		{"unknown init value", func(d *protodef.Descriptor) { d.Objects[0].Init = "nope" }},
+		{"missing machine", func(d *protodef.Descriptor) { d.Machines = nil }},
+		{"bad machine count", func(d *protodef.Descriptor) {
+			d.Machines = append(d.Machines, d.Machines[0], d.Machines[0])
+		}},
+		{"undefined init state", func(d *protodef.Descriptor) { d.Machines[0].Init[0] = "nope" }},
+		{"one init entry", func(d *protodef.Descriptor) { d.Machines[0].Init = d.Machines[0].Init[:1] }},
+		{"decision out of range", func(d *protodef.Descriptor) {
+			big := 7
+			d.Machines[0].States[2].Decide = &big
+		}},
+		{"decide and apply both set", func(d *protodef.Descriptor) {
+			zero := 0
+			d.Machines[0].States[0].Decide = &zero
+		}},
+		{"unknown op", func(d *protodef.Descriptor) { d.Machines[0].States[0].Apply.Op = "nope" }},
+		{"object index out of range", func(d *protodef.Descriptor) { d.Machines[0].States[0].Apply.Obj = 3 }},
+		{"unknown response", func(d *protodef.Descriptor) {
+			d.Machines[0].States[0].Next = map[string]string{"nope": "dec0"}
+		}},
+		{"missing response successor", func(d *protodef.Descriptor) {
+			d.Machines[0].States[0].Next = map[string]string{"won": "dec0"}
+		}},
+		{"undefined successor", func(d *protodef.Descriptor) {
+			d.Machines[0].States[0].Next["won"] = "nope"
+		}},
+		{"duplicate state", func(d *protodef.Descriptor) {
+			d.Machines[0].States = append(d.Machines[0].States, d.Machines[0].States[0])
+		}},
+		{"non-total op table", func(d *protodef.Descriptor) {
+			d.Types[0].Ops[0].Transitions = d.Types[0].Ops[0].Transitions[:1]
+		}},
+		{"empty name", func(d *protodef.Descriptor) { d.Name = "" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tasDescriptor()
+			tc.mutate(d)
+			if _, err := protodef.Compile(d); err == nil {
+				t.Fatal("invalid descriptor compiled without error")
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := protodef.Parse([]byte(`{"name":"x","procs":2,"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestStoreIdempotentByFingerprint(t *testing.T) {
+	s := protodef.NewStore(0)
+	c1, err := protodef.Compile(tasDescriptor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, existed, err := s.Register(c1)
+	if err != nil || existed {
+		t.Fatalf("first Register: fp=%s existed=%v err=%v", fp1, existed, err)
+	}
+	// A renamed but structurally identical descriptor registers to the
+	// same entry.
+	d2 := tasDescriptor()
+	d2.Name = "same-protocol-other-name"
+	for i := range d2.Machines[0].States {
+		d2.Machines[0].States[i].Name = "z" + d2.Machines[0].States[i].Name
+	}
+	d2.Machines[0].Init = []string{"ztry0", "ztry1"}
+	for _, sd := range d2.Machines[0].States {
+		for k, v := range sd.Next {
+			sd.Next[k] = "z" + v
+		}
+	}
+	c2, err := protodef.Compile(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, existed, err := s.Register(c2)
+	if err != nil || !existed {
+		t.Fatalf("second Register: existed=%v err=%v", existed, err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("renamed twin got a different fingerprint: %s vs %s", fp1, fp2)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store holds %d entries, want 1", s.Len())
+	}
+	if got, ok := s.Get(fp1); !ok || got != c1 {
+		t.Fatal("Get did not return the first registration")
+	}
+}
+
+func TestStoreLimit(t *testing.T) {
+	s := protodef.NewStore(1)
+	c, err := protodef.Compile(tasDescriptor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	// Registering the same protocol again is idempotent, not a second slot.
+	if _, existed, err := s.Register(c); err != nil || !existed {
+		t.Fatalf("idempotent re-register failed: existed=%v err=%v", existed, err)
+	}
+	other, err := registry.ParseProtocol("cas-wf:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := protodef.Describe(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := protodef.Compile(od)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Register(oc); !errors.Is(err, protodef.ErrStoreFull) {
+		t.Fatalf("expected ErrStoreFull, got %v", err)
+	}
+}
+
+func TestCompileBudgets(t *testing.T) {
+	d := tasDescriptor()
+	for i := 0; len(d.Machines[0].States) <= protodef.MaxStates; i++ {
+		v := 0
+		d.Machines[0].States = append(d.Machines[0].States,
+			protodef.StateDef{Name: fmt.Sprintf("pad%d", i), Decide: &v})
+	}
+	if _, err := protodef.Compile(d); err == nil {
+		t.Fatal("over-budget machine compiled without error")
+	}
+}

@@ -1,0 +1,88 @@
+package protodef
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// DefaultStoreLimit bounds how many distinct protocols a Store accepts
+// before Register starts rejecting new fingerprints. Registration is
+// idempotent, so re-submitting a known protocol never counts against the
+// limit.
+const DefaultStoreLimit = 256
+
+// ErrStoreFull is returned by Register when the store holds its limit of
+// distinct fingerprints and the submitted protocol is a new one.
+var ErrStoreFull = fmt.Errorf("protodef: protocol store full")
+
+// Store is a fingerprint-keyed registry of user-submitted protocols. The
+// structural fingerprint is the identity: registering two descriptors
+// that compile to behaviorally identical protocols yields one entry, and
+// callers resolve protocols by fingerprint exactly as the engine's
+// GraphCache keys its graphs. A Store is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[string]*Compiled
+}
+
+// NewStore builds an empty store admitting up to limit distinct
+// fingerprints (<= 0 selects DefaultStoreLimit).
+func NewStore(limit int) *Store {
+	if limit <= 0 {
+		limit = DefaultStoreLimit
+	}
+	return &Store{limit: limit, entries: make(map[string]*Compiled)}
+}
+
+// Register fingerprints the compiled protocol and stores it under that
+// fingerprint. It returns the fingerprint and whether the protocol was
+// already registered (in which case the previously stored compilation is
+// retained and the submitted one discarded — the fingerprint guarantees
+// they are behaviorally identical).
+func (s *Store) Register(c *Compiled) (fp string, existed bool, err error) {
+	fp, err = model.Fingerprint(c)
+	if err != nil {
+		return "", false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[fp]; ok {
+		return fp, true, nil
+	}
+	if len(s.entries) >= s.limit {
+		return "", false, ErrStoreFull
+	}
+	s.entries[fp] = c
+	return fp, false, nil
+}
+
+// Get resolves a fingerprint to its registered protocol.
+func (s *Store) Get(fp string) (*Compiled, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.entries[fp]
+	return c, ok
+}
+
+// Len reports how many distinct protocols are registered.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Fingerprints lists the registered fingerprints in sorted order.
+func (s *Store) Fingerprints() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for fp := range s.entries {
+		out = append(out, fp)
+	}
+	sort.Strings(out)
+	return out
+}

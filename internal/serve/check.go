@@ -1,13 +1,9 @@
 package serve
 
 import (
-	"context"
 	"net/http"
-	"time"
 
-	"repro/internal/engine"
 	"repro/internal/model"
-	"repro/internal/registry"
 )
 
 // DefaultCheckMaxNodes bounds one model-check item's explored state
@@ -36,7 +32,10 @@ type CheckItemRequest struct {
 type CheckRequestBody struct {
 	// Protocol is a protocol registry descriptor ("tnn-wf:3,2",
 	// "cas-rec:2", "tas-reg", ...).
-	Protocol string `json:"protocol"`
+	Protocol string `json:"protocol,omitempty"`
+	// ProtocolFingerprint, instead of Protocol, selects a protocol
+	// registered via POST /v1/protocols by its structural fingerprint.
+	ProtocolFingerprint string `json:"protocolFingerprint,omitempty"`
 	// Requests is the batch; all items run over shared exploration
 	// graphs (one per distinct input vector).
 	Requests []CheckItemRequest `json:"requests"`
@@ -84,7 +83,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	p, err := registry.ParseProtocol(req.Protocol)
+	p, label, err := s.resolveProtocol(req.Protocol, req.ProtocolFingerprint)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -107,57 +106,14 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	eng, cancel := s.requestEngine(r, s.cfg.MaxN)
 	defer cancel()
 
-	// Per-item timeouts become per-request contexts on the engine batch;
-	// the cancels must survive until the batch returns.
-	reqs := make([]engine.CheckRequest, len(req.Requests))
-	var cancels []context.CancelFunc
-	defer func() {
-		for _, c := range cancels {
-			c()
-		}
-	}()
-	for i, item := range req.Requests {
-		reqs[i] = engine.CheckRequest{
-			Inputs:       item.Inputs,
-			CrashQuota:   item.CrashQuota,
-			MaxNodes:     s.resolveCheckMaxNodes(item.MaxNodes),
-			SkipLiveness: item.SkipLiveness,
-		}
-		if item.TimeoutMs > 0 {
-			ctx, c := context.WithTimeout(r.Context(), time.Duration(item.TimeoutMs)*time.Millisecond)
-			cancels = append(cancels, c)
-			reqs[i].Ctx = ctx
-		}
-	}
-
-	items, gs, err := eng.CheckBatch(p, reqs)
+	// runCheckBatch turns per-item timeouts into per-request contexts on
+	// the engine batch; only engine-level failures (context, invalid
+	// protocol) land in err — item failures are reported per item.
+	resp, err := s.runCheckBatch(r.Context(), eng, p, label, req.Requests)
 	if err != nil {
-		// Only engine-level failures (context, invalid protocol) land
-		// here; item failures are reported per item below.
-		s.fail(w, analysisStatus(err), "check %s: %v", req.Protocol, err)
+		s.fail(w, analysisStatus(err), "check %s: %v", label, err)
 		return
 	}
-	resp := CheckResponse{Protocol: req.Protocol, Graph: gs}
-	for _, it := range items {
-		var out CheckItemResult
-		switch {
-		case it.Err != nil:
-			out.Error = it.Err.Error()
-		default:
-			out.OK = it.Result.OK()
-			out.Nodes = it.Result.Nodes
-			out.Truncated = it.Result.Truncated
-			for _, v := range it.Result.Violations {
-				out.Violations = append(out.Violations, ViolationJSON{
-					Kind: v.Kind, Trace: v.Trace.String(), Config: v.Config.String(), Detail: v.Detail,
-				})
-			}
-			s.checkItems.Add(1)
-		}
-		resp.Results = append(resp.Results, out)
-	}
 	s.checked.Add(1)
-	s.graphExpanded.Add(gs.Expanded)
-	s.graphReused.Add(gs.Reused)
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -74,6 +74,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("reprod_store_compactions_total", "On-demand store compactions served OK.",
 		lv("", float64(s.compacted.Load())))
 
+	js := s.jobsMgr.Stats()
+	gauge("reprod_jobs_queued", "Async jobs waiting to run.", float64(js.Queued))
+	gauge("reprod_jobs_running", "Async jobs currently running.", float64(js.Running))
+	counter("reprod_jobs_done_total", "Async jobs finished by terminal state.",
+		lv(`{outcome="done"}`, float64(js.Done)),
+		lv(`{outcome="failed"}`, float64(js.Failed)),
+		lv(`{outcome="canceled"}`, float64(js.Canceled)))
+	counter("reprod_jobs_rejected_total", "Async job submissions refused by the queue bound.",
+		lv("", float64(js.Rejected)))
+	gauge("reprod_protocols_registered", "Distinct user-submitted protocols registered by fingerprint.",
+		float64(s.protocols.Len()))
+
 	gauge("reprod_inflight_requests", "Requests holding an analysis slot.", float64(s.inflight.Load()))
 	gauge("reprod_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
 

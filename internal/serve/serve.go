@@ -13,6 +13,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/discern"
 	"repro/internal/engine"
+	"repro/internal/jobs"
+	"repro/internal/protodef"
 	"repro/internal/record"
 	"repro/internal/registry"
 	"repro/internal/spec"
@@ -75,6 +77,16 @@ type Config struct {
 	// for the same protocol and inputs walks warm cached graphs instead
 	// of re-expanding the state space per request.
 	GraphCacheBudget int
+	// JobWorkers bounds the async jobs running concurrently
+	// (0 = jobs.DefaultWorkers). Jobs run outside the MaxConcurrent
+	// request slots — this is their own admission control.
+	JobWorkers int
+	// JobQueue bounds the async jobs waiting to run; submissions beyond
+	// it answer 429 (0 = jobs.DefaultQueueLimit).
+	JobQueue int
+	// JobTimeout bounds one job's run when the submission names no
+	// timeout (0 = jobs.DefaultJobTimeout).
+	JobTimeout time.Duration
 }
 
 // Server is the reprod HTTP service. Construct with New.
@@ -87,6 +99,12 @@ type Server struct {
 	// every per-request engine, so state spaces expanded for one request
 	// serve all later ones.
 	graphs *engine.GraphCache
+	// jobsMgr runs the async job subsystem (POST /v1/jobs); Shutdown
+	// drains it.
+	jobsMgr *jobs.Manager
+	// protocols is the fingerprint-keyed registry of user-submitted
+	// protocols (POST /v1/protocols).
+	protocols *protodef.Store
 
 	analyzed  atomic.Uint64 // analyze requests served OK
 	batched   atomic.Uint64 // batch requests served OK
@@ -128,14 +146,36 @@ func New(cfg Config) *Server {
 	if cfg.GraphCacheBudget >= 0 {
 		s.graphs = engine.NewGraphCache(cfg.GraphCacheBudget)
 	}
+	s.jobsMgr = jobs.NewManager(jobs.Config{
+		Workers:        cfg.JobWorkers,
+		QueueLimit:     cfg.JobQueue,
+		DefaultTimeout: cfg.JobTimeout,
+	})
+	s.protocols = protodef.NewStore(0)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	s.mux.HandleFunc("POST /v1/protocols", s.handleProtocolRegister)
+	s.mux.HandleFunc("GET /v1/protocols/{fingerprint}", s.handleProtocolGet)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// Shutdown drains the async job subsystem: intake stops, queued jobs
+// cancel, running jobs' contexts fire, and every job event stream ends
+// with a terminal event — which in turn lets in-flight SSE handlers
+// return. Call it BEFORE http.Server.Shutdown (so the streams can
+// close) and before any store flush (so no job appends decisions after
+// the final journal write). Bounded by ctx like http.Server.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobsMgr.Close(ctx)
 }
 
 // ServeHTTP implements http.Handler.
@@ -146,6 +186,9 @@ type AnalyzeRequest struct {
 	// Type is a registry descriptor ("tas", "tnn:5,2",
 	// "product:tas,register:2", ...).
 	Type string `json:"type"`
+	// ProtocolFingerprint, instead of Type, selects the single object
+	// type of a protocol registered via POST /v1/protocols.
+	ProtocolFingerprint string `json:"protocolFingerprint,omitempty"`
 	// MaxN overrides the analysis bound (0 = server default; capped at
 	// the server's MaxN).
 	MaxN int `json:"maxN,omitempty"`
@@ -238,6 +281,12 @@ type StatsResponse struct {
 		Nodes   uint64  `json:"nodes"`
 		HitRate float64 `json:"hitRate"`
 	} `json:"graphCache"`
+	// Jobs reports the async job subsystem: queue and worker gauges plus
+	// lifetime terminal-state and rejection totals.
+	Jobs jobs.Stats `json:"jobs"`
+	// Protocols is the number of distinct user-submitted protocols
+	// registered by fingerprint.
+	Protocols int `json:"protocols"`
 	// Compactions counts POST /v1/compact requests served OK.
 	Compactions uint64       `json:"compactions"`
 	Store       *store.Stats `json:"store,omitempty"`
@@ -364,7 +413,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	t, err := registry.Parse(req.Type)
+	t, label, err := s.resolveAnalyzeType(req)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -384,12 +433,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	a, err := eng.Analyze(t)
 	if err != nil {
-		s.fail(w, analysisStatus(err), "analyze %s: %v", req.Type, err)
+		s.fail(w, analysisStatus(err), "analyze %s: %v", label, err)
 		return
 	}
 	s.analyzed.Add(1)
 	s.typesDone.Add(1)
-	writeJSON(w, http.StatusOK, AnalyzeResponse{Type: req.Type, Analysis: analysisJSON(a)})
+	writeJSON(w, http.StatusOK, AnalyzeResponse{Type: label, Analysis: analysisJSON(a)})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -478,6 +527,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.GraphCache.Graphs = gc.Graphs
 	resp.GraphCache.Nodes = gc.Nodes
 	resp.GraphCache.HitRate = gc.HitRate()
+	resp.Jobs = s.jobsMgr.Stats()
+	resp.Protocols = s.protocols.Len()
 	resp.Compactions = s.compacted.Load()
 	hits, misses, entries := s.cfg.Cache.Stats()
 	resp.Cache.Hits = hits
