@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/discern"
 	"repro/internal/engine"
+	"repro/internal/graphstore"
 	"repro/internal/lineariz"
 	"repro/internal/model"
 	"repro/internal/proto"
@@ -367,6 +368,65 @@ func BenchmarkGraphCacheCheckBatch(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			runBatch(b, e)
+		}
+	})
+}
+
+// BenchmarkGraphStoreWarmStart measures what graph persistence buys a
+// restarted process: a fresh engine serving a known protocol by
+// re-expanding the state space from scratch (cold — the no-store
+// restart cost) versus by importing the previously spilled graph from
+// the on-disk store and walking it without a single expansion (warm).
+// Every iteration builds a fresh cache (and, warm, a fresh store handle
+// over the same directory), so the disk load and snapshot import are
+// inside the measurement — the warm/cold ratio is the restart speedup.
+func BenchmarkGraphStoreWarmStart(b *testing.B) {
+	pr := proto.NewCASRecoverable(2)
+	reqs := []engine.CheckRequest{
+		{Inputs: []int{0, 1}},
+		{Inputs: []int{0, 1}, CrashQuota: []int{1, 1}},
+	}
+	runChecks := func(b *testing.B, e *engine.Engine) {
+		for _, req := range reqs {
+			if _, err := e.Check(pr, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	dir := b.TempDir()
+	{
+		// Populate the store once: one expansion, flushed to disk.
+		gs, err := graphstore.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gc := engine.NewGraphCache(0)
+		gc.SetStore(gs)
+		runChecks(b, engine.New(engine.WithGraphCache(gc), engine.WithParallelism(1)))
+		if err := gc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runChecks(b, engine.New(engine.WithParallelism(1)))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gs, err := graphstore.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gc := engine.NewGraphCache(0)
+			gc.SetStore(gs)
+			runChecks(b, engine.New(engine.WithGraphCache(gc), engine.WithParallelism(1)))
+			st := gc.Stats()
+			if st.Store == nil || st.Store.Loads == 0 || st.Store.Errors > 0 {
+				b.Fatalf("warm restart did not load from the store: %+v", st.Store)
+			}
 		}
 	})
 }

@@ -29,7 +29,13 @@
 // graphs live in a server-wide cache (-graph-cache-budget bounds its
 // total node count), so repeated traffic for the same protocol and
 // inputs walks warm graphs across requests — cache traffic shows up in
-// /v1/stats under "graphCache".
+// /v1/stats under "graphCache". With -graph-dir set, expanded graphs
+// additionally persist to disk: a cache miss warm-loads the previously
+// expanded graph instead of re-expanding (so a restarted server serves
+// known protocols with zero expansions), dirty graphs spill
+// asynchronously, and shutdown flushes the remainder — persistence
+// traffic shows up under "graphStore" and the reprod_graph_store_*
+// metrics.
 //
 // POST /v1/protocols accepts a user-written state-machine descriptor
 // (see internal/protodef), validates and compiles it, and registers it
@@ -131,8 +137,12 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "reprod: cache file %s (%d decisions warm-loaded)\n",
 			pc.Path(), pc.Stats().Loaded)
 	}
+	gs, err := ef.OpenGraphStore()
+	if err != nil {
+		return err
+	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Cache:            cache,
 		Store:            pc,
 		MaxN:             *maxN,
@@ -145,7 +155,12 @@ func run(args []string) error {
 		GraphCacheBudget: ef.GraphCacheBudget,
 		JobWorkers:       jf.MaxJobs,
 		JobQueue:         jf.JobQueue,
-	})
+	}
+	if gs != nil {
+		cfg.GraphStore = gs
+		fmt.Fprintf(os.Stderr, "reprod: graph dir %s (exploration graphs persist across restarts)\n", ef.GraphDir)
+	}
+	srv := serve.New(cfg)
 
 	// Periodic auto-compaction: fold the journal into a fresh snapshot on
 	// a timer. The ticker goroutine signals compactorDone when it exits;
@@ -197,6 +212,9 @@ func run(args []string) error {
 		drainCtx, cancelDrain := context.WithTimeout(context.Background(), 10*time.Second)
 		srv.Shutdown(drainCtx) // no listener left, but jobs may still be running
 		cancelDrain()
+		if ferr := srv.FlushGraphs(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "reprod: flushing graphs:", ferr)
+		}
 		if pc != nil {
 			cancelRun() // stops the auto-compactor before the store closes
 			<-compactorDone
@@ -225,6 +243,11 @@ func run(args []string) error {
 	shutErr := hs.Shutdown(shutCtx)
 	if errors.Is(shutErr, context.DeadlineExceeded) {
 		hs.Close()
+	}
+	// (4) With jobs drained and requests finished, no engine is growing a
+	// graph: spill still-dirty exploration graphs to the -graph-dir store.
+	if err := srv.FlushGraphs(); err != nil {
+		fmt.Fprintln(os.Stderr, "reprod: flushing graphs:", err)
 	}
 	ef.Summary(cache)
 	if pc != nil {

@@ -31,12 +31,21 @@ type EngineFlags struct {
 	// total interned nodes (-graph-cache-budget; 0 = engine default,
 	// negative = disable graph caching).
 	GraphCacheBudget int
+	// GraphDir persists expanded exploration graphs under this directory
+	// (-graph-dir; empty = in-memory only), so model-checking runs
+	// warm-start across processes. It needs graph caching enabled and is
+	// ignored (with a warning) when -graph-cache-budget is negative.
+	GraphDir string
 
 	// Cache is the persistent cache opened for -cache-file; it is set by
 	// OpenCache (and therefore by Engine) and nil when the flag is
 	// unset. Tools that build their engines by hand read it for
 	// WithCache and statistics.
 	Cache *repro.PersistentCache
+	// GraphStore is the exploration-graph store opened for -graph-dir;
+	// set by OpenGraphStore (and therefore by Engine), nil when the flag
+	// is unset.
+	GraphStore *repro.GraphStore
 }
 
 // AddEngineFlags registers the shared engine flags on fs and returns the
@@ -55,6 +64,8 @@ func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 		"persist the decision cache at this path (journal + snapshot), resuming prior runs' decisions")
 	fs.IntVar(&f.GraphCacheBudget, "graph-cache-budget", 0,
 		"node budget of the engine's exploration-graph cache (0 = engine default, negative = disable)")
+	fs.StringVar(&f.GraphDir, "graph-dir", "",
+		"persist expanded exploration graphs under this directory, warm-starting model checks across runs")
 	return f
 }
 
@@ -66,6 +77,25 @@ func (f *EngineFlags) Context() (context.Context, context.CancelFunc) {
 		return context.WithTimeout(context.Background(), f.Timeout)
 	}
 	return context.WithCancel(context.Background())
+}
+
+// OpenGraphStore opens the -graph-dir exploration-graph store,
+// memoizing it in f.GraphStore. With the flag unset it returns
+// (nil, nil). The store has no close; callers persist dirty graphs by
+// flushing the GraphCache it backs.
+func (f *EngineFlags) OpenGraphStore() (*repro.GraphStore, error) {
+	if f.GraphDir == "" {
+		return nil, nil
+	}
+	if f.GraphStore != nil {
+		return f.GraphStore, nil
+	}
+	gs, err := repro.OpenGraphStore(f.GraphDir)
+	if err != nil {
+		return nil, fmt.Errorf("-graph-dir: %w", err)
+	}
+	f.GraphStore = gs
+	return gs, nil
 }
 
 // OpenCache opens the -cache-file persistent cache, memoizing the store
@@ -93,24 +123,47 @@ func (f *EngineFlags) OpenCache() (*repro.PersistentCache, error) {
 // cancellation) or whose own progress rendering is the tool's voice, so
 // the engine stays quiet (the -progress writer is NOT installed; pass
 // repro.WithProgress in extra to opt in). The -cache-file persistent
-// cache is wired when set. The returned cleanup must be deferred: it
-// closes the persistent cache (flushing its journal), reporting a
-// failed flush on stderr; canceling ctx remains the caller's job.
+// cache and the -graph-dir exploration-graph store are wired when set.
+// The returned cleanup must be deferred: it flushes dirty exploration
+// graphs to the -graph-dir store and closes the persistent cache
+// (flushing its journal), reporting failures on stderr; canceling ctx
+// remains the caller's job.
 func (f *EngineFlags) EngineOn(ctx context.Context, extra ...repro.Option) (*repro.Engine, func(), error) {
 	opts := []repro.Option{
 		repro.WithContext(ctx),
 		repro.WithParallelism(f.Parallel),
 		repro.WithShardThreshold(f.ShardThreshold),
-		repro.WithGraphCacheBudget(f.GraphCacheBudget),
 	}
 	pc, err := f.OpenCache()
 	if err != nil {
 		return nil, nil, err
 	}
-	cleanup := func() {}
+	gs, err := f.OpenGraphStore()
+	if err != nil {
+		return nil, nil, err
+	}
+	var gc *repro.GraphCache
+	switch {
+	case gs != nil && f.GraphCacheBudget >= 0:
+		gc = repro.NewGraphCache(f.GraphCacheBudget)
+		gc.SetStore(gs)
+		opts = append(opts, repro.WithGraphCache(gc))
+	case gs != nil:
+		fmt.Fprintln(os.Stderr, "-graph-dir: ignored, graph caching is disabled (-graph-cache-budget < 0)")
+		fallthrough
+	default:
+		opts = append(opts, repro.WithGraphCacheBudget(f.GraphCacheBudget))
+	}
 	if pc != nil {
 		opts = append(opts, repro.WithCache(pc.Cache()))
-		cleanup = func() {
+	}
+	cleanup := func() {
+		if gc != nil {
+			if err := gc.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "graph-dir:", err)
+			}
+		}
+		if pc != nil {
 			if err := pc.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "cache-file:", err)
 			}

@@ -1,0 +1,233 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/jobs"
+	"repro/internal/model"
+	"repro/internal/protodef"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// TestIntegrationClientEndToEnd is the serve-layer jobs/protocols/SSE
+// integration contract driven exclusively through the typed client:
+// protocol registration by structural fingerprint, graph-cache reuse
+// across named and fingerprint-addressed checks, an async check job
+// followed over the resumable event stream, and coded errors decoding
+// into *APIError.
+func TestIntegrationClientEndToEnd(t *testing.T) {
+	srv := serve.New(serve.Config{MaxN: 3, Parallelism: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	ctx := context.Background()
+	c := client.New(ts.URL)
+
+	// ---- Version and revision negotiation.
+	v, err := c.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.APIRevision != serve.APIRevision || v.GoVersion == "" || v.Module == "" {
+		t.Fatalf("version = %+v, want API revision %d", v, serve.APIRevision)
+	}
+	if c.APIRevision() != serve.APIRevision {
+		t.Fatalf("client saw X-Reprod-Api %d, want %d", c.APIRevision(), serve.APIRevision)
+	}
+
+	// ---- Typed analyze, and a coded error for a bad descriptor.
+	a, err := c.Analyze(ctx, serve.AnalyzeRequest{Type: "tas"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Analysis == nil || a.Analysis.ConsensusNumber != "2" {
+		t.Fatalf("tas analysis = %+v", a.Analysis)
+	}
+	_, err = c.Analyze(ctx, serve.AnalyzeRequest{Type: "nosuchtype"})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusBadRequest || ae.Code != serve.CodeBadRequest {
+		t.Fatalf("bad analyze error = %v, want 400 %s", err, serve.CodeBadRequest)
+	}
+	if !client.IsCode(err, serve.CodeBadRequest) {
+		t.Fatalf("IsCode(%v, bad_request) = false", err)
+	}
+
+	// ---- Descriptor twin of a registry protocol registers under the
+	// registry build's exact fingerprint; re-registering is idempotent.
+	reg, err := registry.ParseProtocol("tnn-wf:3,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP, err := model.Fingerprint(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := protodef.Describe(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc.Name = "my-tnn-twin" // nominal data must not matter
+	body, err := json.Marshal(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := c.RegisterProtocol(ctx, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Fingerprint != wantFP || pr.Known {
+		t.Fatalf("register = %+v, want fresh registration under %s", pr, wantFP)
+	}
+	again, err := c.RegisterProtocol(ctx, body)
+	if err != nil || !again.Known {
+		t.Fatalf("re-register = %+v, %v; want Known=true", again, err)
+	}
+	detail, err := c.Protocol(ctx, pr.Fingerprint)
+	if err != nil || detail.Descriptor == nil {
+		t.Fatalf("protocol detail = %+v, %v", detail, err)
+	}
+
+	// ---- A named check warms the graph cache; the
+	// fingerprint-addressed twin walks the same graph.
+	items := []serve.CheckItemRequest{
+		{Inputs: []int{0, 1, 1}},
+		{Inputs: []int{0, 1, 1}, CrashQuota: []int{1, 0, 0}},
+	}
+	if _, err := c.Check(ctx, serve.CheckRequestBody{Protocol: "tnn-wf:3,2", Requests: items}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := stats.GraphCache.Misses
+	if misses == 0 {
+		t.Fatalf("named check did not populate the graph cache: %+v", stats.GraphCache)
+	}
+	res, err := c.Check(ctx, serve.CheckRequestBody{ProtocolFingerprint: pr.Fingerprint, Requests: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (The wait-free protocol is legitimately not crash-tolerant, so the
+	// crash-quota item reports violations; only per-item errors are bugs.)
+	for i, item := range res.Results {
+		if item.Error != "" {
+			t.Fatalf("check item %d = %+v", i, item)
+		}
+	}
+	if stats, err = c.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if stats.GraphCache.Hits == 0 || stats.GraphCache.Misses != misses {
+		t.Fatalf("fingerprint check did not reuse the cached graph: %+v", stats.GraphCache)
+	}
+
+	// ---- Async job followed over the event stream.
+	view, err := c.SubmitJob(ctx, serve.JobRequest{
+		Kind:  "check",
+		Check: &serve.CheckRequestBody{ProtocolFingerprint: pr.Fingerprint, Requests: items},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ID == "" || view.State.Terminal() {
+		t.Fatalf("submitted job view wrong: %+v", view)
+	}
+	var progress int
+	terminal := ""
+	lastID := int64(-1)
+	err = c.JobEvents(ctx, view.ID, func(e client.JobEvent) error {
+		if e.ID <= lastID {
+			return fmt.Errorf("event IDs not increasing: %d after %d", e.ID, lastID)
+		}
+		lastID = e.ID
+		if strings.HasPrefix(e.Kind, "job.") {
+			if e.Terminal() {
+				terminal = e.Kind
+			}
+			return nil
+		}
+		progress++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress < 1 || terminal != "job.done" {
+		t.Fatalf("event stream: %d progress events, terminal %q; want >=1 and job.done", progress, terminal)
+	}
+	done, err := c.Job(ctx, view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != jobs.StateDone || done.Result == nil {
+		t.Fatalf("finished job view wrong: %+v", done)
+	}
+
+	// ---- Streams of unknown jobs refuse with a coded 404.
+	if err := c.JobEvents(ctx, "nope", func(client.JobEvent) error { return nil }); !client.IsCode(err, serve.CodeNotFound) {
+		t.Fatalf("events of unknown job = %v, want %s", err, serve.CodeNotFound)
+	}
+}
+
+// TestClientJobEventsResume pins the reconnect contract against a
+// scripted SSE server: a stream cut mid-job resumes with the standard
+// Last-Event-ID header, and replay overlap after reconnect is
+// deduplicated — the callback sees each event exactly once, in order.
+func TestClientJobEventsResume(t *testing.T) {
+	var conns int
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/j1/events", func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		switch conns {
+		case 1:
+			if r.Header.Get("Last-Event-ID") != "" {
+				t.Errorf("first connection carried Last-Event-ID %q", r.Header.Get("Last-Event-ID"))
+			}
+			fmt.Fprint(w, "id: 0\nevent: job.running\ndata: {}\n\n")
+			fmt.Fprint(w, ": keepalive\n\n")
+			fmt.Fprint(w, "id: 1\nevent: check.done\ndata: {\"ok\":true}\n\n")
+			fl.Flush()
+			// Drop the connection without a terminal event.
+		default:
+			if got := r.Header.Get("Last-Event-ID"); got != "1" {
+				t.Errorf("reconnect Last-Event-ID = %q, want 1", got)
+			}
+			// Replay overlap: the client must skip the already-seen event 1.
+			fmt.Fprint(w, "id: 1\nevent: check.done\ndata: {\"ok\":true}\n\n")
+			fmt.Fprint(w, "id: 2\nevent: job.done\ndata: {}\n\n")
+			fl.Flush()
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var got []string
+	c := client.New(ts.URL)
+	err := c.JobEvents(context.Background(), "j1", func(e client.JobEvent) error {
+		got = append(got, fmt.Sprintf("%d:%s", e.ID, e.Kind))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0:job.running", "1:check.done", "2:job.done"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("events across reconnect = %v, want %v", got, want)
+	}
+	if conns < 2 {
+		t.Fatalf("client never reconnected (%d connections)", conns)
+	}
+}

@@ -1,0 +1,26 @@
+// Package client is the typed Go client of the reprod HTTP API
+// (internal/serve). It speaks the same exported request/response
+// structs the server does — serve.AnalyzeRequest in, serve.CheckResponse
+// out — so the wire contract is shared by construction, not duplicated.
+//
+// # Errors
+//
+// Every non-2xx reply decodes into an *APIError carrying the HTTP
+// status and the server's stable machine-readable code (see the
+// serve.Code* constants); branch with errors.As plus APIError.Code,
+// or the IsCode helper:
+//
+//	_, err := c.Check(ctx, body)
+//	if client.IsCode(err, serve.CodeQueueFull) {
+//		// back off and retry
+//	}
+//
+// # Job streams
+//
+// JobEvents follows one job's Server-Sent Events stream to its
+// terminal lifecycle event. Dropped connections reconnect
+// automatically with the standard Last-Event-ID header, so the caller
+// observes each event once, in order, across reconnects.
+//
+// The root package re-exports the client as repro.Client/repro.NewClient.
+package client

@@ -1,0 +1,121 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// JobEvent is one event of a job's SSE stream: the server-assigned
+// sequence number, the event kind ("job.running", "check.done",
+// "job.done", ...), and the kind-specific JSON payload.
+type JobEvent struct {
+	ID   int64
+	Kind string
+	Data json.RawMessage
+}
+
+// Terminal reports whether the event ends the job's lifecycle
+// ("job.done", "job.failed" or "job.canceled").
+func (e JobEvent) Terminal() bool {
+	return strings.HasPrefix(e.Kind, "job.") &&
+		jobs.State(strings.TrimPrefix(e.Kind, "job.")).Terminal()
+}
+
+// JobEvents follows GET /v1/jobs/{id}/events until the job's terminal
+// lifecycle event, calling fn for every event in order. A dropped
+// stream reconnects automatically with the Last-Event-ID header, so fn
+// sees each event exactly once across reconnects. It returns nil after
+// the terminal event, fn's error if fn fails (the stream stops), the
+// context's error when ctx fires, or an *APIError when the server
+// refuses the stream (e.g. the job aged out of history).
+func (c *Client) JobEvents(ctx context.Context, id string, fn func(JobEvent) error) error {
+	lastID := int64(-1)
+	backoff := 100 * time.Millisecond
+	for {
+		terminal, err := c.streamEvents(ctx, id, &lastID, fn)
+		if terminal || err != nil {
+			return err
+		}
+		// The stream ended without a terminal event (server drain, proxy
+		// cut, slow-subscriber drop): reconnect and resume.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// streamEvents runs one SSE connection, forwarding events to fn and
+// advancing *lastID. It reports whether a terminal event arrived; a
+// stream that just drops returns (false, nil) so the caller reconnects.
+func (c *Client) streamEvents(ctx context.Context, id string, lastID *int64, fn func(JobEvent) error) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return false, fmt.Errorf("client: job events: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *lastID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(*lastID, 10))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		return false, nil // transient transport failure: reconnect
+	}
+	defer resp.Body.Close()
+	c.noteRevision(resp)
+	if resp.StatusCode != http.StatusOK {
+		return false, decodeAPIError(resp)
+	}
+
+	var ev JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line dispatches the accumulated event; bare keepalive
+			// comments accumulate nothing.
+			if ev.Kind == "" && ev.Data == nil {
+				continue
+			}
+			if ev.ID > *lastID {
+				*lastID = ev.ID
+				if err := fn(ev); err != nil {
+					return false, err
+				}
+				if ev.Terminal() {
+					return true, nil
+				}
+			}
+			ev = JobEvent{}
+		case strings.HasPrefix(line, "id: "):
+			ev.ID, _ = strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+		case strings.HasPrefix(line, "event: "):
+			ev.Kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = json.RawMessage(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if ctx.Err() != nil {
+		return false, ctx.Err()
+	}
+	return false, nil // connection dropped mid-stream: reconnect
+}

@@ -145,6 +145,7 @@ func (e *Engine) CheckBatch(p model.Protocol, reqs []CheckRequest) ([]CheckItem,
 	}
 	for g, prev := range before {
 		agg.Add(g.Stats().Sub(prev))
+		e.graphs.Sync(g)
 	}
 	e.emit(Event{Kind: "checkbatch.done", Type: p.Name(), N: len(reqs), OK: ok,
 		Elapsed: time.Since(start),

@@ -527,6 +527,7 @@ func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error
 	if err != nil {
 		return nil, err
 	}
+	e.graphs.Sync(g)
 	e.emit(Event{Kind: "check.done", Type: p.Name(), OK: res.OK(),
 		Elapsed: time.Since(start), Detail: fmt.Sprintf("%d nodes", res.Nodes)})
 	return res, nil
@@ -558,6 +559,7 @@ func (e *Engine) Theorem13(p model.Protocol, req CheckRequest) (*model.Chain, er
 	if err != nil {
 		return chain, err
 	}
+	e.graphs.Sync(g)
 	e.emit(Event{Kind: "check.done", Type: p.Name(), OK: chain.Recording,
 		Elapsed: time.Since(start), Detail: fmt.Sprintf("%d stages", len(chain.Stages))})
 	return chain, nil

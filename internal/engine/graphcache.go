@@ -14,6 +14,16 @@ import (
 // default-sized model-checker explorations).
 const DefaultGraphCacheBudget = 4_000_000
 
+// GraphStore is the persistence backend a GraphCache can spill to and
+// warm-load from (internal/graphstore.Store implements it). Load
+// returns (nil, nil) on a clean miss; Spill persists a snapshot's
+// growth beyond what the store already holds and reports the node
+// records written. Implementations must be safe for concurrent use.
+type GraphStore interface {
+	Load(fp string, inputs []int) (*model.GraphSnapshot, error)
+	Spill(fp string, inputs []int, snap *model.GraphSnapshot) (int, error)
+}
+
 // GraphCache is a bounded LRU of live exploration graphs, keyed by
 // protocol identity plus input vector, shared by Engine.Check,
 // Engine.CheckBatch and Engine.Theorem13 — and, via WithGraphCache, by
@@ -49,14 +59,29 @@ const DefaultGraphCacheBudget = 4_000_000
 // displaces it). Eviction only forgets the cache's reference — walks
 // holding the evicted graph finish unharmed; the next Get of that key
 // rebuilds cold.
+//
+// # Persistence
+//
+// With SetStore installed, the cache is the graph store's owner: a Get
+// miss tries a warm load from disk before expanding cold, Sync (called
+// by the engine after walks) spills a dirty graph's growth
+// asynchronously — walks never block on the disk — eviction spills a
+// dirty victim before forgetting it, and Flush spills everything
+// synchronously for shutdown. A key whose load or spill errored is
+// marked store-less and served purely in memory from then on.
 type GraphCache struct {
 	mu      sync.Mutex
 	budget  uint64
 	entries map[string]*gcEntry
+	// byGraph indexes live entries by their graph, the Sync lookup.
+	byGraph map[*model.Graph]*gcEntry
 	// head is the most-recently-used entry, tail the eviction candidate.
 	head, tail *gcEntry
 
+	store GraphStore
+
 	hits, misses, evicted uint64
+	st                    GraphStoreStats
 }
 
 // gcEntry is one cached graph on the intrusive LRU list.
@@ -64,6 +89,27 @@ type gcEntry struct {
 	key        string
 	g          *model.Graph
 	prev, next *gcEntry
+
+	// fp and inputs are the graph's store identity (the two halves of
+	// key).
+	fp     string
+	inputs []int
+	// spilledNodes/spilledExpanded are the snapshot counts known durable;
+	// the entry is dirty while the live graph is ahead of them.
+	spilledNodes    uint64
+	spilledExpanded uint64
+	// spilling gates the one async spill in flight per entry.
+	spilling bool
+	// noStore marks an entry the store cannot serve (load/spill error or
+	// import validation failure): it lives purely in memory.
+	noStore bool
+}
+
+// dirty reports whether the live graph has grown past the durable
+// snapshot (lock held).
+func (e *gcEntry) dirty() bool {
+	st := e.g.Stats()
+	return st.Interned > e.spilledNodes || st.Expanded > e.spilledExpanded
 }
 
 // GraphCacheStats is a snapshot of a GraphCache's counters.
@@ -78,6 +124,27 @@ type GraphCacheStats struct {
 	// Nodes is the total interned node count across cached graphs — the
 	// quantity the budget bounds.
 	Nodes uint64 `json:"nodes"`
+	// Store holds the persistence counters; nil when no graph store is
+	// installed.
+	Store *GraphStoreStats `json:"store,omitempty"`
+}
+
+// GraphStoreStats counts the cache's traffic against its GraphStore.
+type GraphStoreStats struct {
+	// Loads counts Get misses served by a warm load from disk;
+	// LoadedNodes their total imported node records. Misses counts Get
+	// misses the store had no file for (cold expansions).
+	Loads       uint64 `json:"loads"`
+	LoadedNodes uint64 `json:"loadedNodes"`
+	Misses      uint64 `json:"misses"`
+	// Spills counts spills that wrote at least one node record;
+	// SpilledNodes their total records (appends plus in-place
+	// completions).
+	Spills       uint64 `json:"spills"`
+	SpilledNodes uint64 `json:"spilledNodes"`
+	// Errors counts load failures, import validation failures and spill
+	// failures; each marks its key store-less.
+	Errors uint64 `json:"errors"`
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any Get.
@@ -94,16 +161,28 @@ func NewGraphCache(budget int) *GraphCache {
 	if budget <= 0 {
 		budget = DefaultGraphCacheBudget
 	}
-	return &GraphCache{budget: uint64(budget), entries: make(map[string]*gcEntry)}
+	return &GraphCache{
+		budget:  uint64(budget),
+		entries: make(map[string]*gcEntry),
+		byGraph: make(map[*model.Graph]*gcEntry),
+	}
+}
+
+// SetStore installs the persistence backend. Install before serving
+// traffic; entries cached earlier never associate with the store.
+func (c *GraphCache) SetStore(s GraphStore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = s
 }
 
 // graphKey canonicalizes the (protocol identity, inputs) cache key: the
 // protocol's structural fingerprint plus the input vector. Nothing
 // nominal — in particular not Protocol.Name — enters the key.
-func graphKey(p model.Protocol, inputs []int) (string, error) {
-	fp, err := model.Fingerprint(p)
+func graphKey(p model.Protocol, inputs []int) (key, fp string, err error) {
+	fp, err = model.Fingerprint(p)
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	var b strings.Builder
 	b.WriteString(fp)
@@ -111,15 +190,24 @@ func graphKey(p model.Protocol, inputs []int) (string, error) {
 	for _, in := range inputs {
 		fmt.Fprintf(&b, "%d,", in)
 	}
-	return b.String(), nil
+	return b.String(), fp, nil
 }
 
 // Get returns the cached live graph for (p, inputs), building and caching
 // it on a miss. Construction errors (invalid protocol, wrong inputs
 // length, fingerprint budget exceeded) are returned without caching
 // anything.
+//
+// With a store installed, a miss first tries a warm load: a snapshot on
+// disk imports into the fresh graph before it is served, so the first
+// check after a restart walks previously-expanded nodes instead of
+// re-expanding them. The disk read runs under the cache lock —
+// deliberately: it doubles as load singleflight, and the read it blocks
+// concurrent Gets on is far cheaper than the re-expansion they would
+// otherwise race into. A load or import failure degrades to a cold
+// graph and marks the key store-less, never an error for the caller.
 func (c *GraphCache) Get(p model.Protocol, inputs []int) (*model.Graph, error) {
-	key, err := graphKey(p, inputs)
+	key, fp, err := graphKey(p, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -136,11 +224,126 @@ func (c *GraphCache) Get(p model.Protocol, inputs []int) (*model.Graph, error) {
 		return nil, err
 	}
 	c.misses++
-	e := &gcEntry{key: key, g: g}
+	e := &gcEntry{key: key, g: g, fp: fp, inputs: append([]int(nil), inputs...)}
+	if c.store != nil {
+		switch snap, err := c.store.Load(fp, e.inputs); {
+		case err != nil:
+			c.st.Errors++
+			e.noStore = true
+		case snap == nil:
+			c.st.Misses++
+		default:
+			if impErr := g.ImportSnapshot(snap); impErr != nil {
+				// Structurally invalid on-disk data that slipped past the
+				// container checksums: expand cold and leave the file alone.
+				c.st.Errors++
+				e.noStore = true
+			} else {
+				c.st.Loads++
+				c.st.LoadedNodes += uint64(len(snap.Nodes))
+				e.spilledNodes = uint64(len(snap.Nodes))
+				e.spilledExpanded = uint64(snap.NumExpanded())
+			}
+		}
+	}
 	c.entries[key] = e
+	c.byGraph[g] = e
 	c.pushFront(e)
 	c.enforce(e)
 	return g, nil
+}
+
+// Sync notes that walks on g just completed and schedules an
+// asynchronous spill of the graph's growth if it is dirty. It never
+// blocks on the disk and is a no-op for a nil cache, an uncached graph,
+// a clean entry, a store-less key, or an entry whose previous spill is
+// still in flight. Engines call it after Check/CheckBatch/Theorem13.
+func (c *GraphCache) Sync(g *model.Graph) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byGraph[g]
+	if !ok || c.store == nil || e.noStore || e.spilling || !e.dirty() {
+		return
+	}
+	e.spilling = true
+	go c.spill(e)
+}
+
+// spill exports e's graph and persists the delta, then updates the
+// entry's durable markers. Runs off the cache lock; the store
+// serializes concurrent spills internally.
+func (c *GraphCache) spill(e *gcEntry) {
+	snap := e.g.Export()
+	n, err := c.store.Spill(e.fp, e.inputs, snap)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.spilling = false
+	if err != nil {
+		c.st.Errors++
+		e.noStore = true
+		return
+	}
+	if n > 0 {
+		c.st.Spills++
+		c.st.SpilledNodes += uint64(n)
+	}
+	if nodes := uint64(len(snap.Nodes)); nodes > e.spilledNodes {
+		e.spilledNodes = nodes
+	}
+	if exp := uint64(snap.NumExpanded()); exp > e.spilledExpanded {
+		e.spilledExpanded = exp
+	}
+}
+
+// Flush synchronously spills every dirty entry — the shutdown path,
+// called after request and job traffic has drained. It returns the
+// first spill error; keys that already failed are skipped.
+func (c *GraphCache) Flush() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	if c.store == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	var dirty []*gcEntry
+	for _, e := range c.entries {
+		if !e.noStore && e.dirty() {
+			dirty = append(dirty, e)
+		}
+	}
+	c.mu.Unlock()
+
+	var first error
+	for _, e := range dirty {
+		snap := e.g.Export()
+		n, err := c.store.Spill(e.fp, e.inputs, snap)
+		c.mu.Lock()
+		if err != nil {
+			c.st.Errors++
+			e.noStore = true
+			if first == nil {
+				first = err
+			}
+		} else {
+			if n > 0 {
+				c.st.Spills++
+				c.st.SpilledNodes += uint64(n)
+			}
+			if nodes := uint64(len(snap.Nodes)); nodes > e.spilledNodes {
+				e.spilledNodes = nodes
+			}
+			if exp := uint64(snap.NumExpanded()); exp > e.spilledExpanded {
+				e.spilledExpanded = exp
+			}
+		}
+		c.mu.Unlock()
+	}
+	return first
 }
 
 // Stats snapshots the cache's counters.
@@ -151,6 +354,10 @@ func (c *GraphCache) Stats() GraphCacheStats {
 	for _, e := range c.entries {
 		st.Nodes += e.g.Stats().Interned
 	}
+	if c.store != nil {
+		s := c.st
+		st.Store = &s
+	}
 	return st
 }
 
@@ -160,11 +367,14 @@ func (c *GraphCache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[string]*gcEntry)
+	c.byGraph = make(map[*model.Graph]*gcEntry)
 	c.head, c.tail = nil, nil
 }
 
 // enforce evicts least-recently-used entries (never keep) until the live
-// node total fits the budget. Called with the lock held.
+// node total fits the budget, spilling a dirty victim's growth to the
+// store first so eviction never discards expansions a restart could
+// have reused. Called with the lock held.
 func (c *GraphCache) enforce(keep *gcEntry) {
 	for len(c.entries) > 1 {
 		var total uint64
@@ -178,8 +388,16 @@ func (c *GraphCache) enforce(keep *gcEntry) {
 		if victim == nil || victim == keep {
 			return
 		}
+		if c.store != nil && !victim.noStore && !victim.spilling && victim.dirty() {
+			// Fire-and-forget: the goroutine keeps the evicted graph alive
+			// exactly as an in-flight walk would, and the store serializes
+			// it against every other spill.
+			victim.spilling = true
+			go c.spill(victim)
+		}
 		c.unlink(victim)
 		delete(c.entries, victim.key)
+		delete(c.byGraph, victim.g)
 		c.evicted++
 	}
 }

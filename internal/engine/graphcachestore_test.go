@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/graphstore"
+	"repro/internal/model"
+	"repro/internal/proto"
+)
+
+// TestGraphCacheWarmRestart is the persistence acceptance criterion at
+// the engine layer: a second process (fresh cache, fresh store over the
+// same directory) serves a previously-checked protocol with zero new
+// node expansions and byte-identical results.
+func TestGraphCacheWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	p := proto.NewCASRecoverable(2)
+	reqs := []CheckRequest{
+		{Inputs: []int{0, 1}},
+		{Inputs: []int{0, 1}, CrashQuota: []int{1, 1}},
+	}
+
+	// First life: expand, then flush on "shutdown".
+	s1, err := graphstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewGraphCache(0)
+	c1.SetStore(s1)
+	e1 := New(WithGraphCache(c1))
+	var want []batchObservable
+	for _, req := range reqs {
+		r, err := e1.Check(p, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, observe(r))
+	}
+	if err := c1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st1 := c1.Stats()
+	if st1.Store == nil || st1.Store.Spills == 0 || st1.Store.SpilledNodes == 0 {
+		t.Fatalf("first life spilled nothing: %+v", st1.Store)
+	}
+
+	// Second life: the same directory through fresh everything.
+	s2, err := graphstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewGraphCache(0)
+	c2.SetStore(s2)
+	e2 := New(WithGraphCache(c2))
+	g, err := c2.Get(p, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.Stats()
+	if before.Expanded == 0 {
+		t.Fatal("warm load imported no expansions")
+	}
+	for i, req := range reqs {
+		r, err := e2.Check(p, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := observe(r); !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("restarted check %d diverged:\n got %+v\nwant %+v", i, got, want[i])
+		}
+	}
+	if after := g.Stats(); after.Expanded != before.Expanded {
+		t.Fatalf("restarted checks expanded %d new nodes, want 0", after.Expanded-before.Expanded)
+	}
+	st2 := c2.Stats()
+	if st2.Store == nil || st2.Store.Loads != 1 || st2.Store.LoadedNodes == 0 {
+		t.Fatalf("second life did not warm-load: %+v", st2.Store)
+	}
+}
+
+// TestGraphCacheSyncSpillsAsync: Sync alone (no Flush) persists a dirty
+// graph, and a clean graph re-Synced spills nothing new.
+func TestGraphCacheSyncSpillsAsync(t *testing.T) {
+	dir := t.TempDir()
+	s, err := graphstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGraphCache(0)
+	c.SetStore(s)
+	e := New(WithGraphCache(c))
+	p := proto.NewCASWaitFree(2)
+	if _, err := e.Check(p, CheckRequest{Inputs: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// The spill is asynchronous; wait for its counters.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := c.Stats(); st.Store != nil && st.Store.Spills > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("async spill never landed: %+v", c.Stats().Store)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	spilled := c.Stats().Store.SpilledNodes
+	// Warm repeat: nothing new to spill.
+	if _, err := e.Check(p, CheckRequest{Inputs: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Store.SpilledNodes != spilled {
+		t.Fatalf("clean graph spilled %d more nodes", st.Store.SpilledNodes-spilled)
+	}
+}
+
+// TestGraphCacheEvictionSpills: evicting a dirty graph persists it, so
+// the next Get of that key warm-loads instead of re-expanding.
+func TestGraphCacheEvictionSpills(t *testing.T) {
+	dir := t.TempDir()
+	s, err := graphstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGraphCache(1) // one-node budget: every new graph evicts the last
+	c.SetStore(s)
+	e := New(WithGraphCache(c))
+	pA := proto.NewCASWaitFree(2)
+	pB := proto.NewTASConsensus()
+	if _, err := e.Check(pA, CheckRequest{Inputs: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Checking B evicts A (budget 1); the eviction must spill A.
+	if _, err := e.Check(pB, CheckRequest{Inputs: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var gotA bool
+	for !gotA {
+		st := c.Stats()
+		gotA = st.Store != nil && st.Store.SpilledNodes > 0
+		if time.Now().After(deadline) {
+			t.Fatalf("evicted graph never spilled: %+v", st.Store)
+		}
+		if !gotA {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Drain in-flight spills (A's eviction spill and B's sync spill can
+	// interleave); then a fresh Get of A must warm-load.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitForSpilled(t, c, pA)
+	g, err := c.Get(pA, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Expanded == 0 {
+		t.Fatalf("re-Get of the evicted graph expanded cold: %+v", g.Stats())
+	}
+}
+
+// waitForSpilled waits until the store can serve p's graph, bounding
+// the async eviction spill the test depends on.
+func waitForSpilled(t *testing.T, c *GraphCache, p model.Protocol) {
+	t.Helper()
+	fp, err := model.Fingerprint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		store := c.store
+		c.mu.Unlock()
+		snap, err := store.Load(fp, []int{0, 1})
+		if err == nil && snap != nil && snap.NumExpanded() > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("store never received the evicted graph")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,40 @@
+// Package graphstore persists expanded exploration graphs
+// (internal/model.Graph) across process restarts, so a restarted reprod
+// serves warm /v1/check traffic without re-expanding state spaces it
+// already paid for.
+//
+// # Layout and identity
+//
+// A store owns one directory. Each (structural fingerprint, input
+// vector) key — the same key engine.GraphCache uses — maps to one file,
+// written as a checksummed binary header followed by append-only pages.
+// Every page carries its own CRC-32C and holds a batch of fixed-width
+// node records (128-bit node fingerprint, dictionary-indexed
+// configuration, packed output-history/decision vectors, successor
+// indices) plus the local-state dictionary entries the batch introduces.
+// Node records refer to other nodes by intern-order position, and pages
+// only ever append nodes or complete previously-unexpanded ones, so the
+// file is a monotone log of model.GraphSnapshot growth.
+//
+// # Crash safety
+//
+// Load is a sequential scan with internal/store's corruption tolerance:
+// it stops at the first torn or checksum-failing page and returns the
+// good prefix, which is always a valid snapshot (pages apply
+// all-or-nothing, so no successor reference can dangle). The next spill
+// truncates the file to that good prefix before appending. A file whose
+// header is torn loads as empty and is rewritten; a file with an alien
+// header or a newer format version is refused outright — never
+// truncated or overwritten. Records that pass the container checksums
+// are verified once more on import (model.Graph.ImportSnapshot
+// recomputes each node fingerprint), so a corrupted file degrades to a
+// partial warm load or a clean re-expansion, never a wrong graph.
+//
+// # Concurrency and ownership
+//
+// A Store serializes all file access behind one mutex; Load and Spill
+// may be called from any goroutine. The intended owner is
+// engine.GraphCache, which loads on cache miss and spills snapshot
+// deltas asynchronously after walks complete — walks never block on the
+// disk. The store assumes it is the directory's only writer.
+package graphstore

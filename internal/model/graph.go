@@ -38,6 +38,12 @@ type Graph struct {
 
 	mu    sync.Mutex
 	nodes map[nodeFP][]*gnode
+	// order lists the canonical nodes in intern order. It is the
+	// deterministic spine of Export/ImportSnapshot: successor references
+	// in a snapshot are positions in this list, and an imported graph
+	// preserves the list exactly, so export -> import -> export
+	// round-trips byte-identically.
+	order []*gnode
 
 	// scratch pools per-expansion decision/output buffers and frontier
 	// pools per-walk BFS queues, so steady-state walks over a warm graph
@@ -323,6 +329,7 @@ func (g *Graph) intern(cfg Config, outs []int8, outsOwned bool, decided []int8) 
 	}
 	nd := &gnode{cfg: cfg, outs: outs, decided: append([]int8(nil), decided...)}
 	g.nodes[fp] = append(bucket, nd)
+	g.order = append(g.order, nd)
 	g.mu.Unlock()
 	g.interned.Add(1)
 	return nd

@@ -1,0 +1,300 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// GraphSnapshot is a self-contained, deterministic copy of a Graph's
+// interned node table, the unit of exchange between a live Graph and the
+// on-disk graph store (internal/graphstore). Node references are
+// positions in Nodes; local-state strings are interned once in States and
+// referenced by index, so records are fixed-width given the protocol's
+// process and object counts.
+//
+// The snapshot preserves the graph's intern order exactly, which makes
+// the round trip Export -> ImportSnapshot -> Export byte-stable: the
+// second export reproduces the first snapshot verbatim (plus any nodes
+// interned in between, appended after the preserved prefix).
+type GraphSnapshot struct {
+	// Procs and Objects are the protocol dimensions every node record is
+	// sized by.
+	Procs   int
+	Objects int
+	// Inputs is the input vector the graph is built for.
+	Inputs []int
+	// States is the local-state string dictionary, in first-use order
+	// over Nodes.
+	States []string
+	// Nodes is the interned node table in intern order.
+	Nodes []SnapshotNode
+}
+
+// SnapshotNode is one canonical graph node in exchange form. All index
+// slices have length Procs (StepSucc, CrashSucc, States, Outs, Decided)
+// or Objects (Vals).
+type SnapshotNode struct {
+	// FPHi, FPLo are the node's 128-bit index fingerprint — stored so a
+	// loader can verify a record's integrity independently of the
+	// container's checksums (ImportSnapshot recomputes and compares).
+	FPHi, FPLo uint64
+	// States[p] indexes the snapshot's state dictionary.
+	States []uint32
+	// Vals are the shared-object values.
+	Vals []int32
+	// Outs and Decided are the node's output history and precomputed
+	// decision vector (-1 = undecided).
+	Outs    []int8
+	Decided []int8
+	// Done reports whether the node's expansion is included. Unexpanded
+	// nodes import with no successors and expand lazily on first walk.
+	Done bool
+	// StepSucc[p] is the step successor via process p as a position in
+	// Nodes, or -1 (decided process, or node not Done). CrashSucc[p] is
+	// the crash successor of process p, or -1 (initial state, or node
+	// not Done).
+	StepSucc  []int32
+	CrashSucc []int32
+}
+
+// NumExpanded counts the snapshot's Done nodes.
+func (s *GraphSnapshot) NumExpanded() int {
+	n := 0
+	for i := range s.Nodes {
+		if s.Nodes[i].Done {
+			n++
+		}
+	}
+	return n
+}
+
+// Export snapshots the graph's interned node table. It is safe to call
+// concurrently with walks: the node list is pinned under the graph lock,
+// and a node whose expansion raced the snapshot (some successor interned
+// after the pin) is exported unexpanded, so the snapshot is always
+// internally consistent. Because interning only appends, a later Export
+// reproduces an earlier one as its prefix — the contract the append-only
+// graph store's delta spilling relies on.
+func (g *Graph) Export() *GraphSnapshot {
+	g.mu.Lock()
+	nodes := make([]*gnode, len(g.order))
+	copy(nodes, g.order)
+	g.mu.Unlock()
+
+	index := make(map[*gnode]int32, len(nodes))
+	for i, nd := range nodes {
+		index[nd] = int32(i)
+	}
+	n := g.pr.Procs()
+	snap := &GraphSnapshot{
+		Procs:   n,
+		Objects: len(g.pr.Objects()),
+		Inputs:  g.Inputs(),
+		Nodes:   make([]SnapshotNode, len(nodes)),
+	}
+	dict := make(map[string]uint32)
+	stateID := func(s string) uint32 {
+		if id, ok := dict[s]; ok {
+			return id
+		}
+		id := uint32(len(snap.States))
+		dict[s] = id
+		snap.States = append(snap.States, s)
+		return id
+	}
+
+	for i, nd := range nodes {
+		rec := &snap.Nodes[i]
+		fp := fingerprintOf(nd.cfg, nd.outs)
+		rec.FPHi, rec.FPLo = fp.hi, fp.lo
+		rec.States = make([]uint32, n)
+		for p, s := range nd.cfg.States {
+			rec.States[p] = stateID(s)
+		}
+		rec.Vals = make([]int32, len(nd.cfg.Vals))
+		for j, v := range nd.cfg.Vals {
+			rec.Vals[j] = int32(v)
+		}
+		rec.Outs = append([]int8(nil), nd.outs...)
+		rec.Decided = append([]int8(nil), nd.decided...)
+		rec.StepSucc = fillInt32(n, -1)
+		rec.CrashSucc = fillInt32(n, -1)
+		if !nd.done.Load() {
+			continue
+		}
+		// The done flag is an acquire on the expansion set. Successors
+		// interned after the pin are not in the index; exporting such a
+		// node unexpanded keeps every reference internal.
+		ok := true
+		for j, sg := range nd.stepSucc {
+			idx, in := index[sg]
+			if !in {
+				ok = false
+				break
+			}
+			rec.StepSucc[nd.stepP[j]] = idx
+		}
+		if ok {
+			for p, cg := range nd.crashSucc {
+				if cg == nil {
+					continue
+				}
+				idx, in := index[cg]
+				if !in {
+					ok = false
+					break
+				}
+				rec.CrashSucc[p] = idx
+			}
+		}
+		if !ok {
+			rec.StepSucc = fillInt32(n, -1)
+			rec.CrashSucc = fillInt32(n, -1)
+			continue
+		}
+		rec.Done = true
+	}
+	return snap
+}
+
+func fillInt32(n int, v int32) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// ImportSnapshot populates an empty graph from a snapshot, rebuilding the
+// interned node table (and each Done node's expansion) without running a
+// single protocol transition. The graph must be freshly built by NewGraph
+// for the same protocol shape and input vector; importing into a graph
+// that already interned nodes is an error.
+//
+// Every structural property of the snapshot is validated — dimensions,
+// dictionary and successor references, object-value ranges, duplicate
+// node identities — and each node's 128-bit fingerprint is recomputed
+// from its configuration and output history and compared against the
+// stored one, so a corrupted snapshot (even one that slipped past the
+// container's checksums) is rejected as a whole rather than imported as
+// a wrong graph. Callers degrade to a cold (re-expanding) graph on
+// error; they never get a graph that walks differently from a fresh
+// expansion.
+func (g *Graph) ImportSnapshot(snap *GraphSnapshot) error {
+	n := g.pr.Procs()
+	objs := g.pr.Objects()
+	if snap.Procs != n || snap.Objects != len(objs) {
+		return fmt.Errorf("model: snapshot shape %d procs/%d objects, graph has %d/%d",
+			snap.Procs, snap.Objects, n, len(objs))
+	}
+	if len(snap.Inputs) != len(g.inputs) {
+		return fmt.Errorf("model: snapshot has %d inputs, graph %d", len(snap.Inputs), len(g.inputs))
+	}
+	for p, in := range snap.Inputs {
+		if in != g.inputs[p] {
+			return fmt.Errorf("model: snapshot built for inputs %v, graph for %v", snap.Inputs, g.inputs)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.order) != 0 {
+		return fmt.Errorf("model: import into a graph with %d interned nodes", len(g.order))
+	}
+
+	total := len(snap.Nodes)
+	built := make([]*gnode, total)
+	nodes := make(map[nodeFP][]*gnode, total)
+	for i := range snap.Nodes {
+		rec := &snap.Nodes[i]
+		if len(rec.States) != n || len(rec.Outs) != n || len(rec.Decided) != n ||
+			len(rec.StepSucc) != n || len(rec.CrashSucc) != n || len(rec.Vals) != len(objs) {
+			return fmt.Errorf("model: snapshot node %d has wrong field lengths", i)
+		}
+		cfg := Config{States: make([]string, n), Vals: make([]spec.Value, len(objs))}
+		for p, id := range rec.States {
+			if int(id) >= len(snap.States) {
+				return fmt.Errorf("model: snapshot node %d references state %d of %d", i, id, len(snap.States))
+			}
+			cfg.States[p] = snap.States[id]
+		}
+		for j, v := range rec.Vals {
+			if v < 0 || int(v) >= objs[j].Type.NumValues() {
+				return fmt.Errorf("model: snapshot node %d object %d value %d out of range", i, j, v)
+			}
+			cfg.Vals[j] = spec.Value(v)
+		}
+		for p := 0; p < n; p++ {
+			if rec.Outs[p] < -1 || rec.Decided[p] < -1 {
+				return fmt.Errorf("model: snapshot node %d has negative output/decision", i)
+			}
+		}
+		fp := fingerprintOf(cfg, rec.Outs)
+		if fp.hi != rec.FPHi || fp.lo != rec.FPLo {
+			return fmt.Errorf("model: snapshot node %d fingerprint mismatch (corrupt record)", i)
+		}
+		for _, nd := range nodes[fp] {
+			if nd.eq(cfg, rec.Outs) {
+				return fmt.Errorf("model: snapshot node %d duplicates an earlier node", i)
+			}
+		}
+		nd := &gnode{
+			cfg:     cfg,
+			outs:    append([]int8(nil), rec.Outs...),
+			decided: append([]int8(nil), rec.Decided...),
+		}
+		built[i] = nd
+		nodes[fp] = append(nodes[fp], nd)
+	}
+
+	// Second pass: wire the expansions. References may point anywhere in
+	// the table (a node interned early can be expanded late), which is
+	// why wiring waits until every node exists.
+	for i := range snap.Nodes {
+		rec := &snap.Nodes[i]
+		if !rec.Done {
+			continue
+		}
+		nd := built[i]
+		for p := 0; p < n; p++ {
+			si := rec.StepSucc[p]
+			if si >= 0 && int(si) >= total {
+				return fmt.Errorf("model: snapshot node %d step successor %d of %d", i, si, total)
+			}
+			if rec.Decided[p] >= 0 {
+				if si >= 0 {
+					return fmt.Errorf("model: snapshot node %d has a step successor for decided process %d", i, p)
+				}
+				continue
+			}
+			if si < 0 {
+				return fmt.Errorf("model: snapshot node %d done but missing step successor for process %d", i, p)
+			}
+			nd.stepSucc = append(nd.stepSucc, built[si])
+			nd.stepP = append(nd.stepP, p)
+		}
+		nd.crashSucc = make([]*gnode, n)
+		for p := 0; p < n; p++ {
+			ci := rec.CrashSucc[p]
+			if int(ci) >= total {
+				return fmt.Errorf("model: snapshot node %d crash successor %d of %d", i, ci, total)
+			}
+			inInit := nd.cfg.States[p] == g.pr.Init(p, g.inputs[p])
+			switch {
+			case ci < 0 && !inInit:
+				return fmt.Errorf("model: snapshot node %d done but missing crash successor for process %d", i, p)
+			case ci >= 0 && inInit:
+				return fmt.Errorf("model: snapshot node %d has a crash successor for initial-state process %d", i, p)
+			case ci >= 0:
+				nd.crashSucc[p] = built[ci]
+			}
+		}
+		nd.done.Store(true)
+	}
+
+	g.order = built
+	g.nodes = nodes
+	g.interned.Store(uint64(total))
+	g.expanded.Store(uint64(snap.NumExpanded()))
+	return nil
+}

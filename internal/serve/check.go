@@ -80,7 +80,7 @@ func (s *Server) resolveCheckMaxNodes(reqMax int) int {
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	var req CheckRequestBody
 	if err := decodeBody(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.failBody(w, err)
 		return
 	}
 	p, label, err := s.resolveProtocol(req.Protocol, req.ProtocolFingerprint)

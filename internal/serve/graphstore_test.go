@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/graphstore"
+)
+
+// TestIntegrationGraphStoreWarmRestart is the persistence acceptance
+// criterion end to end: a server restarted over the same -graph-dir
+// serves a previously-checked protocol's /v1/check with ZERO new node
+// expansions (the response's graph.expanded is the batch's expansion
+// delta) and byte-identical results.
+func TestIntegrationGraphStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"protocol":"cas-rec:2","requests":[{"inputs":[0,1]},{"inputs":[0,1],"crashQuota":[1,1]}]}`
+
+	// First life: expand, then flush on shutdown.
+	gs1, err := graphstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(Config{MaxN: 3, GraphStore: gs1})
+	code, cold := post(t, srv1, "/v1/check", body)
+	if code != http.StatusOK {
+		t.Fatalf("cold check = %d %s", code, cold)
+	}
+	var coldResp CheckResponse
+	if err := json.Unmarshal(cold, &coldResp); err != nil {
+		t.Fatal(err)
+	}
+	if coldResp.Graph.Expanded == 0 {
+		t.Fatalf("cold check expanded nothing: %+v", coldResp.Graph)
+	}
+	if err := srv1.FlushGraphs(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: a fresh server over the same directory.
+	gs2, err := graphstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(Config{MaxN: 3, GraphStore: gs2})
+
+	// The revision header rides on every /v1 response.
+	req := httptest.NewRequest(http.MethodPost, "/v1/check", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv2.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Reprod-Api"); got != strconv.Itoa(APIRevision) {
+		t.Errorf("X-Reprod-Api = %q, want %d", got, APIRevision)
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm check = %d %s", rec.Code, rec.Body.Bytes())
+	}
+	var warmResp CheckResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &warmResp); err != nil {
+		t.Fatal(err)
+	}
+	if warmResp.Graph.Expanded != 0 {
+		t.Fatalf("restarted server expanded %d nodes for a stored graph, want 0", warmResp.Graph.Expanded)
+	}
+	if !reflect.DeepEqual(warmResp.Results, coldResp.Results) {
+		t.Fatalf("warm results diverged:\n got %+v\nwant %+v", warmResp.Results, coldResp.Results)
+	}
+
+	// The warm load is visible in stats and metrics.
+	_, statsBody := get(t, srv2, "/v1/stats")
+	var stats StatsResponse
+	if err := json.Unmarshal(statsBody, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.GraphStore == nil || stats.GraphStore.Loads != 1 || stats.GraphStore.LoadedNodes == 0 {
+		t.Fatalf("stats graphStore = %+v, want 1 load", stats.GraphStore)
+	}
+	_, metrics := get(t, srv2, "/metrics")
+	for _, m := range []string{
+		"reprod_graph_store_loads_total 1",
+		`reprod_graph_store_nodes_total{direction="loaded"}`,
+		"reprod_graph_store_errors_total 0",
+	} {
+		if !bytes.Contains(metrics, []byte(m)) {
+			t.Errorf("metrics missing %q", m)
+		}
+	}
+}
+
+// TestVersionEndpoint pins the GET /v1/version contract.
+func TestVersionEndpoint(t *testing.T) {
+	s := New(Config{})
+	code, body := get(t, s, "/v1/version")
+	if code != http.StatusOK {
+		t.Fatalf("version = %d %s", code, body)
+	}
+	var v VersionResponse
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.APIRevision != APIRevision || v.GoVersion == "" || v.Module == "" {
+		t.Fatalf("version = %+v", v)
+	}
+}

@@ -121,7 +121,7 @@ func (s *Server) jobEngine(ctx context.Context, j *jobs.Job, maxN int) *engine.E
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.failBody(w, err)
 		return
 	}
 	spec, err := s.jobSpec(req)
@@ -135,7 +135,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, jobs.ErrClosed):
-		s.fail(w, http.StatusServiceUnavailable, "%v", err)
+		s.failCode(w, http.StatusServiceUnavailable, CodeShuttingDown, "%v", err)
 		return
 	case err != nil:
 		s.fail(w, http.StatusInternalServerError, "%v", err)

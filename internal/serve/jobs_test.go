@@ -269,8 +269,8 @@ func TestJobQueueFullAnswers429(t *testing.T) {
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("over-queue submit = %d %s, want 429", code, body)
 	}
-	if !bytes.Contains(body, []byte(`"error"`)) {
-		t.Fatalf("429 body has no error: %s", body)
+	if !bytes.Contains(body, []byte(`"code": "`+CodeQueueFull+`"`)) {
+		t.Fatalf("429 body has no %s code: %s", CodeQueueFull, body)
 	}
 	st := srv.jobsMgr.Stats()
 	if st.Rejected != 1 || st.Queued != 1 || st.Running != 1 {

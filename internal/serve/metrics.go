@@ -71,6 +71,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		lv("", float64(gc.Evicted)))
 	gauge("reprod_graph_cache_graphs", "Exploration graphs currently cached.", float64(gc.Graphs))
 	gauge("reprod_graph_cache_nodes", "Interned nodes across cached exploration graphs.", float64(gc.Nodes))
+	if gc.Store != nil {
+		counter("reprod_graph_store_loads_total", "Graph-cache misses served warm from the on-disk graph store.",
+			lv("", float64(gc.Store.Loads)))
+		counter("reprod_graph_store_misses_total", "Graph-store lookups that found no stored graph.",
+			lv("", float64(gc.Store.Misses)))
+		counter("reprod_graph_store_spills_total", "Dirty exploration graphs spilled to the graph store.",
+			lv("", float64(gc.Store.Spills)))
+		counter("reprod_graph_store_nodes_total", "Exploration-graph nodes moved through the graph store by direction.",
+			lv(`{direction="loaded"}`, float64(gc.Store.LoadedNodes)),
+			lv(`{direction="spilled"}`, float64(gc.Store.SpilledNodes)))
+		counter("reprod_graph_store_errors_total", "Graph-store I/O failures (each degrades one key to in-memory operation).",
+			lv("", float64(gc.Store.Errors)))
+	}
 	counter("reprod_store_compactions_total", "On-demand store compactions served OK.",
 		lv("", float64(s.compacted.Load())))
 

@@ -41,7 +41,7 @@ type ProtocolDetail struct {
 func (s *Server) handleProtocolRegister(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "reading body: %v", err)
+		s.failBody(w, err)
 		return
 	}
 	c, err := protodef.Parse(body)

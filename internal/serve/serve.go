@@ -77,6 +77,13 @@ type Config struct {
 	// for the same protocol and inputs walks warm cached graphs instead
 	// of re-expanding the state space per request.
 	GraphCacheBudget int
+	// GraphStore, when non-nil, backs the graph cache with an on-disk
+	// store (graphstore.Open): cache misses try a disk load before
+	// expanding, and expanded graphs spill back asynchronously, so a
+	// restarted server serves previously-explored protocols warm. It is
+	// ignored when graph caching is disabled (GraphCacheBudget < 0).
+	// The owning process calls FlushGraphs at shutdown.
+	GraphStore engine.GraphStore
 	// JobWorkers bounds the async jobs running concurrently
 	// (0 = jobs.DefaultWorkers). Jobs run outside the MaxConcurrent
 	// request slots — this is their own admission control.
@@ -145,6 +152,9 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), sem: make(chan struct{}, cfg.MaxConcurrent), start: time.Now()}
 	if cfg.GraphCacheBudget >= 0 {
 		s.graphs = engine.NewGraphCache(cfg.GraphCacheBudget)
+		if cfg.GraphStore != nil {
+			s.graphs.SetStore(cfg.GraphStore)
+		}
 	}
 	s.jobsMgr = jobs.NewManager(jobs.Config{
 		Workers:        cfg.JobWorkers,
@@ -163,6 +173,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -178,8 +189,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.jobsMgr.Close(ctx)
 }
 
+// FlushGraphs synchronously spills every dirty cached exploration graph
+// to the configured graph store. Call it AFTER Shutdown and the HTTP
+// drain (so no job or request is still growing a graph mid-export) and
+// before the process exits. A no-op without a graph cache or store.
+func (s *Server) FlushGraphs() error {
+	if s.graphs == nil {
+		return nil
+	}
+	return s.graphs.Flush()
+}
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	stampAPIRevision(w, r)
+	s.mux.ServeHTTP(w, r)
+}
 
 // AnalyzeRequest is the body of POST /v1/analyze.
 type AnalyzeRequest struct {
@@ -281,6 +306,12 @@ type StatsResponse struct {
 		Nodes   uint64  `json:"nodes"`
 		HitRate float64 `json:"hitRate"`
 	} `json:"graphCache"`
+	// GraphStore reports the graph cache's on-disk persistence layer
+	// (absent when no graph store is configured): warm loads served on
+	// cache misses, nodes imported from and spilled to disk, and store
+	// I/O errors (each of which degrades only that key to in-memory
+	// operation, never a request).
+	GraphStore *engine.GraphStoreStats `json:"graphStore,omitempty"`
 	// Jobs reports the async job subsystem: queue and worker gauges plus
 	// lifetime terminal-state and rejection totals.
 	Jobs jobs.Stats `json:"jobs"`
@@ -292,9 +323,59 @@ type StatsResponse struct {
 	Store       *store.Stats `json:"store,omitempty"`
 }
 
-// errorResponse is the uniform error body.
+// Stable machine-readable error codes, the `code` field of every error
+// envelope. Clients branch on these, never on the human-readable
+// message: codes are API surface (frozen per API revision), messages
+// are not.
+const (
+	// CodeBadRequest: the request is malformed or references something
+	// invalid (bad body, unknown descriptor, out-of-range bound,
+	// misconfigured endpoint).
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: the named resource (job, registered protocol) does
+	// not exist.
+	CodeNotFound = "not_found"
+	// CodeQueueFull: admission control rejected or cut the request —
+	// the job queue is full, or no analysis slot freed in time.
+	CodeQueueFull = "queue_full"
+	// CodeShuttingDown: the server is draining; retry against another
+	// instance.
+	CodeShuttingDown = "shutting_down"
+	// CodeTimeout: the request's analysis deadline fired, or the client
+	// went away mid-analysis.
+	CodeTimeout = "timeout"
+	// CodeTooLarge: the request body or the stored artifact exceeds a
+	// size limit.
+	CodeTooLarge = "too_large"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// errorResponse is the uniform error body: a stable machine-readable
+// code plus a human-readable message.
 type errorResponse struct {
+	Code  string `json:"code"`
 	Error string `json:"error"`
+}
+
+// codeForStatus derives the error code a status implies. The two
+// ambiguous statuses are overridden at their call sites: 503 defaults
+// to queue_full (the no-free-slot answer) and is shutting_down only on
+// the drain path, via failCode.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest, http.StatusConflict:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return CodeQueueFull
+	case http.StatusRequestEntityTooLarge, http.StatusInsufficientStorage:
+		return CodeTooLarge
+	case http.StatusGatewayTimeout, statusClientClosedRequest:
+		return CodeTimeout
+	}
+	return CodeInternal
 }
 
 // writeJSON writes one JSON response body.
@@ -306,10 +387,28 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	enc.Encode(body)
 }
 
-// fail answers with a JSON error and counts it.
+// fail answers with a coded JSON error and counts it; the code is
+// derived from the status (failCode overrides it where one status
+// serves two conditions).
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.failCode(w, status, codeForStatus(status), format, args...)
+}
+
+// failCode is fail with an explicit machine-readable code.
+func (s *Server) failCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	s.failed.Add(1)
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorResponse{Code: code, Error: fmt.Sprintf(format, args...)})
+}
+
+// failBody answers a request-body decode failure: an over-limit body is
+// 413 too_large, anything else 400 bad_request.
+func (s *Server) failBody(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		return
+	}
+	s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 }
 
 // decodeBody parses a bounded JSON request body, rejecting unknown
@@ -410,7 +509,7 @@ const statusClientClosedRequest = 499
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.failBody(w, err)
 		return
 	}
 	t, label, err := s.resolveAnalyzeType(req)
@@ -444,7 +543,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.failBody(w, err)
 		return
 	}
 	if len(req.Types) == 0 {
@@ -527,6 +626,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.GraphCache.Graphs = gc.Graphs
 	resp.GraphCache.Nodes = gc.Nodes
 	resp.GraphCache.HitRate = gc.HitRate()
+	resp.GraphStore = gc.Store
 	resp.Jobs = s.jobsMgr.Stats()
 	resp.Protocols = s.protocols.Len()
 	resp.Compactions = s.compacted.Load()

@@ -76,8 +76,12 @@ func TestAnalyzeErrors(t *testing.T) {
 		if code != tc.want {
 			t.Errorf("POST %s %s = %d %s, want %d", tc.path, tc.body, code, body, tc.want)
 		}
-		if !bytes.Contains(body, []byte(`"error"`)) {
-			t.Errorf("POST %s %s: no error body: %s", tc.path, tc.body, body)
+		var er struct {
+			Code  string `json:"code"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &er); err != nil || er.Code != CodeBadRequest || er.Error == "" {
+			t.Errorf("POST %s %s: want a %q error envelope, got %s", tc.path, tc.body, CodeBadRequest, body)
 		}
 	}
 	// Wrong method routes to 405 via the pattern mux.

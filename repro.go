@@ -51,9 +51,11 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/discern"
 	"repro/internal/engine"
+	"repro/internal/graphstore"
 	"repro/internal/model"
 	"repro/internal/record"
 	"repro/internal/spec"
@@ -117,6 +119,30 @@ type (
 	// /v1/stats and /metrics).
 	GraphCacheStats = engine.GraphCacheStats
 )
+
+// HTTP client API types, re-exported from internal/client.
+type (
+	// Client is the typed client of the reprod HTTP service (cmd/reprod
+	// -serve): typed methods for /v1/analyze, /v1/check, /v1/protocols
+	// and /v1/jobs (including resumable job event streams), decoding the
+	// service's coded error envelopes into *APIError values.
+	Client = client.Client
+	// ClientOption configures NewClient (see client.WithHTTPClient).
+	ClientOption = client.Option
+	// APIError is a decoded non-2xx server reply: HTTP status, stable
+	// machine-readable code, human-readable message.
+	APIError = client.APIError
+	// JobEvent is one event of a job's resumable event stream.
+	JobEvent = client.JobEvent
+)
+
+// NewClient builds a typed client for the reprod server at baseURL.
+func NewClient(baseURL string, opts ...ClientOption) *Client { return client.New(baseURL, opts...) }
+
+// IsAPICode reports whether err is an *APIError carrying the given
+// stable error code (one of the serve.Code* constants, e.g.
+// "queue_full").
+func IsAPICode(err error, code string) bool { return client.IsCode(err, code) }
 
 // The two level properties appearing in progress events.
 const (
@@ -188,6 +214,28 @@ func WithGraphCacheBudget(nodes int) Option { return engine.WithGraphCacheBudget
 // NewGraphCache returns an empty exploration-graph cache for
 // WithGraphCache (budget <= 0 selects DefaultGraphCacheBudget).
 func NewGraphCache(budget int) *GraphCache { return engine.NewGraphCache(budget) }
+
+// GraphStore is a crash-safe on-disk store of expanded exploration
+// graphs (see internal/graphstore for the format). Install it on a
+// GraphCache with SetStore: cache misses then warm-load previously
+// expanded graphs instead of re-expanding, and expanded graphs spill
+// back asynchronously. Call GraphCache.Flush before exit to persist
+// still-dirty graphs.
+type GraphStore = graphstore.Store
+
+// OpenGraphStore opens (creating if absent) the exploration-graph store
+// rooted at dir:
+//
+//	gs, err := repro.OpenGraphStore("graphs")
+//	gc := repro.NewGraphCache(0)
+//	gc.SetStore(gs)
+//	eng := repro.New(repro.WithGraphCache(gc))
+//	defer gc.Flush()
+//
+// One file per protocol-fingerprint + inputs key; corrupted file tails
+// (torn writes, bit flips) are detected by per-page checksums and the
+// intact prefix is served. One process at a time may own a directory.
+func OpenGraphStore(dir string) (*GraphStore, error) { return graphstore.Open(dir) }
 
 // DefaultGraphCacheBudget is the node budget WithGraphCacheBudget(0)
 // resolves to.
