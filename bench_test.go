@@ -372,6 +372,36 @@ func BenchmarkGraphCacheCheckBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineCheckWarm pins the allocation cost of the warm Check
+// hot path — a single request walking an already-expanded cached graph,
+// the steady state of repeated /v1/check traffic. The instrumented
+// variant runs the identical workload with engine metrics histograms
+// attached; CI's alloc gate compares both against the baseline, so a
+// change that makes observability allocate on the warm path fails the
+// build rather than landing silently.
+func BenchmarkEngineCheckWarm(b *testing.B) {
+	pr := proto.NewCASWaitFree(2)
+	req := engine.CheckRequest{Inputs: []int{0, 1}}
+	run := func(b *testing.B, e *engine.Engine) {
+		if _, err := e.Check(pr, req); err != nil { // prime the graph cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Check(pr, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) {
+		run(b, engine.New(engine.WithParallelism(1)))
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		run(b, engine.New(engine.WithParallelism(1), engine.WithMetrics(engine.NewMetrics())))
+	})
+}
+
 // BenchmarkGraphStoreWarmStart measures what graph persistence buys a
 // restarted process: a fresh engine serving a known protocol by
 // re-expanding the state space from scratch (cold — the no-store

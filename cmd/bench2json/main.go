@@ -48,6 +48,11 @@ type Benchmark struct {
 	Runs []Run `json:"runs"`
 	// MinNsPerOp is the minimum ns/op across runs, the gate statistic.
 	MinNsPerOp float64 `json:"min_ns_per_op"`
+	// MinAllocsPerOp is the minimum allocs/op across runs, present when
+	// the benchmark reports allocations (b.ReportAllocs / -benchmem). A
+	// pointer so documents from before the alloc gate — which lack the
+	// field — stay distinguishable from a measured zero.
+	MinAllocsPerOp *float64 `json:"min_allocs_per_op,omitempty"`
 }
 
 // Document is the converted bench output.
@@ -69,6 +74,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	out := fs.String("o", "", "write JSON here instead of stdout (convert mode)")
 	baseline := fs.String("baseline", "", "baseline JSON document; switches to gate mode")
 	tolerance := fs.Float64("tolerance", 1.5, "gate mode: fail when current min ns/op exceeds baseline times this factor")
+	allocTolerance := fs.Float64("alloc-tolerance", 1.1, "gate mode: fail when current min allocs/op exceeds baseline times this factor (plus 2 allocs absolute slack)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,7 +82,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if fs.NArg() != 1 {
 			return fmt.Errorf("gate mode needs exactly one current JSON document, got %d args", fs.NArg())
 		}
-		return gate(*baseline, fs.Arg(0), *tolerance, stdout)
+		return gate(*baseline, fs.Arg(0), *tolerance, *allocTolerance, stdout)
 	}
 
 	in := stdin
@@ -170,6 +176,15 @@ func Parse(r io.Reader) (*Document, error) {
 				b.MinNsPerOp = v
 			}
 		}
+		for _, r := range b.Runs {
+			v, ok := r.Metrics["allocs/op"]
+			if !ok {
+				continue
+			}
+			if b.MinAllocsPerOp == nil || v < *b.MinAllocsPerOp {
+				b.MinAllocsPerOp = &v
+			}
+		}
 	}
 	return doc, nil
 }
@@ -191,7 +206,7 @@ func splitProcs(raw string) (string, int) {
 // gate compares current against baseline and errors on regressions. Only
 // benchmarks present in both documents are compared, so adding or
 // removing benchmarks never trips the gate.
-func gate(baselinePath, currentPath string, tolerance float64, w io.Writer) error {
+func gate(baselinePath, currentPath string, tolerance, allocTolerance float64, w io.Writer) error {
 	base, err := load(baselinePath)
 	if err != nil {
 		return err
@@ -217,6 +232,10 @@ func gate(baselinePath, currentPath string, tolerance float64, w io.Writer) erro
 		baseBy[b.Name] = b
 	}
 	var regressions []string
+	// Allocation counts are a property of the code, not the hardware, so
+	// the alloc gate stays armed even when a CPU mismatch demotes the
+	// ns/op gate to advisory. Collected separately for that reason.
+	var allocRegressions []string
 	compared := 0
 	for _, c := range cur.Benchmarks {
 		b, ok := baseBy[c.Name]
@@ -230,13 +249,33 @@ func gate(baselinePath, currentPath string, tolerance float64, w io.Writer) erro
 				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx tolerance)",
 					c.Name, c.MinNsPerOp, b.MinNsPerOp, ratio, tolerance))
 		}
+		// The alloc comparison needs both sides measured: a benchmark that
+		// gained or lost ReportAllocs between runs is skipped, never failed.
+		// The 2-alloc absolute slack keeps the ratio check meaningful near
+		// zero (0 -> 1 alloc is an infinite ratio but rarely a regression
+		// worth failing a build over; 0 -> 3 is).
+		if b.MinAllocsPerOp != nil && c.MinAllocsPerOp != nil {
+			ba, ca := *b.MinAllocsPerOp, *c.MinAllocsPerOp
+			if ca > ba*allocTolerance && ca-ba > 2 {
+				allocRegressions = append(allocRegressions,
+					fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (tolerance %.2fx + 2)",
+						c.Name, ca, ba, allocTolerance))
+			}
+		}
 	}
 	sort.Strings(regressions)
+	sort.Strings(allocRegressions)
 	for _, r := range regressions {
 		fmt.Fprintln(w, "REGRESSION", r)
 	}
-	fmt.Fprintf(w, "perf gate: %d benchmarks compared, %d regressions (tolerance %.2fx)\n",
-		compared, len(regressions), tolerance)
+	for _, r := range allocRegressions {
+		fmt.Fprintln(w, "ALLOC REGRESSION", r)
+	}
+	fmt.Fprintf(w, "perf gate: %d benchmarks compared, %d time regressions, %d alloc regressions (tolerance %.2fx, alloc %.2fx)\n",
+		compared, len(regressions), len(allocRegressions), tolerance, allocTolerance)
+	if len(allocRegressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed on allocations", len(allocRegressions))
+	}
 	if len(regressions) > 0 && !advisory {
 		return fmt.Errorf("%d benchmark(s) regressed", len(regressions))
 	}

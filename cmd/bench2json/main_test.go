@@ -61,7 +61,7 @@ func TestGate(t *testing.T) {
 	if err := run([]string{"-baseline", base, "-tolerance", "1.5", base}, nil, &out); err != nil {
 		t.Fatalf("identical docs must pass the gate: %v (%s)", err, out.String())
 	}
-	if !strings.Contains(out.String(), "3 benchmarks compared, 0 regressions") {
+	if !strings.Contains(out.String(), "3 benchmarks compared, 0 time regressions, 0 alloc regressions") {
 		t.Errorf("unexpected gate summary: %s", out.String())
 	}
 
@@ -119,5 +119,100 @@ func TestGate(t *testing.T) {
 	if !strings.Contains(out.String(), "advisory") ||
 		!strings.Contains(out.String(), "REGRESSION") {
 		t.Errorf("advisory mode must still report the regression: %s", out.String())
+	}
+}
+
+// allocSample is -benchmem output: ns/op plus B/op and allocs/op.
+const allocSample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngineCheckWarm/bare-8         	    5000	    240000 ns/op	     512 B/op	      10 allocs/op
+BenchmarkEngineCheckWarm/bare-8         	    5000	    238000 ns/op	     520 B/op	      12 allocs/op
+BenchmarkEngineCheckWarm/instrumented-8 	    5000	    241000 ns/op	     512 B/op	      10 allocs/op
+PASS
+`
+
+func TestParseAllocs(t *testing.T) {
+	doc, err := Parse(strings.NewReader(allocSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.MinAllocsPerOp == nil || *b.MinAllocsPerOp != 10 {
+		t.Errorf("min allocs/op not aggregated: %+v", b.MinAllocsPerOp)
+	}
+	// Benchmarks without -benchmem leave the field nil (and absent from
+	// the JSON), the old document shape.
+	noAlloc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noAlloc.Benchmarks[0].MinAllocsPerOp != nil {
+		t.Errorf("alloc stat invented for a benchmark that reported none")
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, text string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := run([]string{"-o", path}, strings.NewReader(text), io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", allocSample)
+
+	// Identical: passes.
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, base}, nil, &out); err != nil {
+		t.Fatalf("identical docs must pass: %v (%s)", err, out.String())
+	}
+
+	// +1 alloc is within the 2-alloc absolute slack even though the
+	// ratio (11/10 = 1.1x) sits at the tolerance boundary.
+	oneUp := strings.Replace(allocSample, "      10 allocs/op\nBenchmarkEngineCheckWarm/bare", "      11 allocs/op\nBenchmarkEngineCheckWarm/bare", 1)
+	curOne := write("one.json", oneUp)
+	out.Reset()
+	if err := run([]string{"-baseline", base, curOne}, nil, &out); err != nil {
+		t.Fatalf("+1 alloc must pass the slack: %v (%s)", err, out.String())
+	}
+
+	// 10 -> 20 allocs on the warm path: fail and name the benchmark.
+	regressed := strings.ReplaceAll(allocSample, "      10 allocs/op", "      20 allocs/op")
+	regressed = strings.Replace(regressed, "      12 allocs/op", "      22 allocs/op", 1)
+	cur := write("cur.json", regressed)
+	out.Reset()
+	err := run([]string{"-baseline", base, cur}, nil, &out)
+	if err == nil {
+		t.Fatalf("2x alloc regression must fail the gate: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOC REGRESSION BenchmarkEngineCheckWarm/bare") {
+		t.Errorf("alloc regression not named: %s", out.String())
+	}
+
+	// The same alloc regression on a different CPU: the ns/op gate is
+	// advisory, but allocation counts are hardware-independent, so the
+	// alloc gate stays armed.
+	otherCPU := strings.Replace(regressed, "cpu: Intel(R) Xeon(R) Processor @ 2.70GHz",
+		"cpu: AMD EPYC 7B13", 1)
+	curOther := write("othercpu.json", otherCPU)
+	out.Reset()
+	if err := run([]string{"-baseline", base, curOther}, nil, &out); err == nil {
+		t.Fatalf("alloc gate must stay strict across CPUs: %s", out.String())
+	}
+
+	// A baseline from before the alloc gate (no alloc stats at all)
+	// never trips it: nothing to compare against.
+	oldBase := write("oldbase.json", strings.ReplaceAll(strings.ReplaceAll(allocSample,
+		"	     512 B/op	      10 allocs/op", ""), "	     520 B/op	      12 allocs/op", ""))
+	out.Reset()
+	if err := run([]string{"-baseline", oldBase, cur}, nil, &out); err != nil {
+		t.Fatalf("nil-alloc baseline must not trip the alloc gate: %v (%s)", err, out.String())
 	}
 }

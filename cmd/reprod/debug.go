@@ -1,0 +1,54 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// testHookDebugServing, when non-nil, observes the debug listener's
+// bound address (tests grab the ephemeral port through it).
+var testHookDebugServing func(addr string)
+
+// debugMux builds the private -debug-addr surface: the full
+// net/http/pprof suite plus the Prometheus exposition and a health
+// probe. The handlers are registered explicitly on a private mux — not
+// http.DefaultServeMux — so nothing here leaks onto the public API
+// listener, and nothing a third-party import registers globally leaks
+// here.
+func debugMux(srv *serve.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", srv.MetricsHandler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	return mux
+}
+
+// startDebugServer binds the -debug-addr listener and serves the debug
+// mux on it. Profile endpoints stream for minutes, so the server sets
+// no write timeout; it is shut down alongside the public server.
+func startDebugServer(addr string, srv *serve.Server) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{
+		Handler:           debugMux(srv),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if testHookDebugServing != nil {
+		testHookDebugServing(ln.Addr().String())
+	}
+	go hs.Serve(ln)
+	return hs, nil
+}

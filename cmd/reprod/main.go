@@ -59,6 +59,16 @@
 // for an in-flight compaction before the final flush), and
 // POST /v1/compact does the same on demand.
 //
+// Observability: every request is traced end to end. The server logs
+// one structured JSON line per request to stderr (level via -log-level)
+// carrying the request's X-Request-Id — client-supplied or generated,
+// echoed on the response header and in error envelopes. Requests slower
+// than -slow-request log a warn line with per-stage engine timings
+// attached. Latency histograms per endpoint and per engine graph phase
+// are exported on /metrics. With -debug-addr set, a private listener
+// additionally serves the net/http/pprof suite and /metrics off the
+// public mux (see the README's Observability section).
+//
 // The shared engine flags apply: -parallel sizes each request's worker
 // pool, -shard-threshold tunes single-level sharding, -cache-file
 // persists the decision cache (journal + snapshot), -timeout bounds the
@@ -81,6 +91,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -109,6 +120,7 @@ func run(args []string) error {
 		"fold the -cache-file journal into a fresh snapshot at this interval (0 = only on demand via POST /v1/compact)")
 	ef := cli.AddEngineFlags(fs)
 	jf := cli.AddJobFlags(fs)
+	of := cli.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,6 +131,13 @@ func run(args []string) error {
 		return fmt.Errorf("need -max-n >= 2, got %d", *maxN)
 	}
 	if err := jf.Validate(); err != nil {
+		return err
+	}
+	if err := of.Validate(); err != nil {
+		return err
+	}
+	logLevel, err := of.Level()
+	if err != nil {
 		return err
 	}
 
@@ -155,6 +174,8 @@ func run(args []string) error {
 		GraphCacheBudget: ef.GraphCacheBudget,
 		JobWorkers:       jf.MaxJobs,
 		JobQueue:         jf.JobQueue,
+		Logger:           obs.NewLogger(os.Stderr, logLevel),
+		SlowRequest:      of.SlowRequest,
 	}
 	if gs != nil {
 		cfg.GraphStore = gs
@@ -190,6 +211,22 @@ func run(args []string) error {
 	hs := &http.Server{
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// The optional private debug listener: pprof + /metrics, off the
+	// public mux. Closed last — profiling a hung drain is exactly when
+	// it is needed.
+	var dhs *http.Server
+	if of.DebugAddr != "" {
+		dhs, err = startDebugServer(of.DebugAddr, srv)
+		if err != nil {
+			if pc != nil {
+				pc.Close()
+			}
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "reprod: debug listener (pprof, metrics) on %s\n", of.DebugAddr)
+		defer dhs.Close()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -106,7 +106,7 @@ func TestServeAndShutdown(t *testing.T) {
 		if _, err := io.Copy(&metrics, resp.Body); err != nil {
 			t.Fatal(err)
 		}
-		if !strings.Contains(metrics.String(), `reprod_requests_total{endpoint="check"} 1`) {
+		if !strings.Contains(metrics.String(), `reprod_requests_total{endpoint="check",code="2xx"} 1`) {
 			t.Errorf("metrics missing check counter:\n%s", metrics.String())
 		}
 	})
@@ -213,5 +213,54 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
+	}
+}
+
+// TestDebugListener runs the server with -debug-addr and checks the
+// private surface: pprof index and profile endpoints answer, /metrics
+// serves the exposition — and none of it is reachable on the public
+// listener.
+func TestDebugListener(t *testing.T) {
+	dbgc := make(chan string, 1)
+	testHookDebugServing = func(addr string) { dbgc <- addr }
+	defer func() { testHookDebugServing = nil }()
+
+	err := serveFor(t, []string{"-max-n", "2", "-debug-addr", "127.0.0.1:0"}, 2*time.Second,
+		func(base string) {
+			var dbg string
+			select {
+			case addr := <-dbgc:
+				dbg = "http://" + addr
+			case <-time.After(5 * time.Second):
+				t.Fatal("debug listener never came up")
+			}
+			for path, want := range map[string]string{
+				"/debug/pprof/":        "goroutine",
+				"/debug/pprof/cmdline": "reprod",
+				"/metrics":             "reprod_uptime_seconds",
+				"/healthz":             "ok",
+			} {
+				resp, err := http.Get(dbg + path)
+				if err != nil {
+					t.Fatalf("debug %s: %v", path, err)
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), want) {
+					t.Errorf("debug %s = %d, body missing %q", path, resp.StatusCode, want)
+				}
+			}
+			// pprof must stay off the public listener.
+			resp, err := http.Get(base + "/debug/pprof/")
+			if err != nil {
+				t.Fatalf("public pprof probe: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Errorf("public /debug/pprof/ = %d, want 404", resp.StatusCode)
+			}
+		})
+	if err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }

@@ -1,0 +1,60 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"time"
+)
+
+// ObsFlags is the parsed observability flag set of a serving tool.
+type ObsFlags struct {
+	// SlowRequest is the latency threshold above which a request logs a
+	// warn-level line carrying its per-stage engine trace
+	// (-slow-request; 0 disables).
+	SlowRequest time.Duration
+	// DebugAddr, when non-empty, is the private listener serving
+	// net/http/pprof and /metrics off the public mux (-debug-addr).
+	DebugAddr string
+	// LogLevel is the minimum level of the structured log (-log-level:
+	// debug, info, warn, error).
+	LogLevel string
+}
+
+// AddObsFlags registers the shared observability flags on fs and returns
+// the struct the parsed values land in. Callers must Validate after
+// parsing.
+func AddObsFlags(fs *flag.FlagSet) *ObsFlags {
+	f := &ObsFlags{}
+	fs.DurationVar(&f.SlowRequest, "slow-request", time.Second,
+		"log a warn line with per-stage engine timings for requests slower than this (0 = off)")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "",
+		"serve net/http/pprof and /metrics on this private address (empty = off)")
+	fs.StringVar(&f.LogLevel, "log-level", "info",
+		"structured-log level: debug, info, warn, error")
+	return f
+}
+
+// Validate rejects a negative threshold and an unknown log level.
+func (f *ObsFlags) Validate() error {
+	if f.SlowRequest < 0 {
+		return fmt.Errorf("need -slow-request >= 0, got %v", f.SlowRequest)
+	}
+	_, err := f.Level()
+	return err
+}
+
+// Level parses -log-level into a slog.Level.
+func (f *ObsFlags) Level() (slog.Level, error) {
+	switch f.LogLevel {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (valid: debug, info, warn, error)", f.LogLevel)
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -51,6 +52,16 @@ func New(baseURL string, opts ...Option) *Client {
 // call). Compare against serve.APIRevision to detect a newer server.
 func (c *Client) APIRevision() int { return int(c.apiRevision.Load()) }
 
+// WithRequestID returns a context that makes every client call under it
+// send the given ID as X-Request-Id, so one caller-chosen ID names the
+// request in the caller's logs, the server's access log and any error
+// envelope. It is obs.WithRequestID re-exported so client users need no
+// obs import. Invalid IDs (empty, over 128 chars, characters outside
+// [A-Za-z0-9._:/+-]) are not sent; the server then assigns its own.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
+
 // APIError is a decoded non-2xx server reply.
 type APIError struct {
 	// StatusCode is the HTTP status.
@@ -61,13 +72,21 @@ type APIError struct {
 	Code string
 	// Message is the human-readable error.
 	Message string
+	// RequestID is the server-echoed X-Request-Id of the failed request
+	// (empty when the reply carried none) — quote it in bug reports so
+	// the failure can be found in the server's logs.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
-	if e.Code == "" {
-		return fmt.Sprintf("server: %d: %s", e.StatusCode, e.Message)
+	msg := fmt.Sprintf("server: %d: %s", e.StatusCode, e.Message)
+	if e.Code != "" {
+		msg = fmt.Sprintf("server: %d %s: %s", e.StatusCode, e.Code, e.Message)
 	}
-	return fmt.Sprintf("server: %d %s: %s", e.StatusCode, e.Code, e.Message)
+	if e.RequestID != "" {
+		msg += " (request " + e.RequestID + ")"
+	}
+	return msg
 }
 
 // IsCode reports whether err is an *APIError carrying the given stable
@@ -98,6 +117,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	setRequestID(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -126,18 +146,33 @@ func (c *Client) noteRevision(resp *http.Response) {
 	}
 }
 
+// setRequestID propagates a caller-set request ID (WithRequestID) onto
+// the outgoing request's X-Request-Id header.
+func setRequestID(req *http.Request) {
+	if id := obs.RequestIDFrom(req.Context()); obs.ValidRequestID(id) {
+		req.Header.Set(obs.HeaderRequestID, id)
+	}
+}
+
 // decodeAPIError turns a non-2xx reply into an *APIError, degrading
-// gracefully when the body is not a coded envelope.
+// gracefully when the body is not a coded envelope. The request ID is
+// taken from the echo header, falling back to the envelope's requestId
+// field (a proxy may strip headers but forward the body).
 func decodeAPIError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	rid := resp.Header.Get(obs.HeaderRequestID)
 	var envelope struct {
-		Code  string `json:"code"`
-		Error string `json:"error"`
+		Code      string `json:"code"`
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
 	}
 	if err := json.Unmarshal(raw, &envelope); err == nil && envelope.Error != "" {
-		return &APIError{StatusCode: resp.StatusCode, Code: envelope.Code, Message: envelope.Error}
+		if rid == "" {
+			rid = envelope.RequestID
+		}
+		return &APIError{StatusCode: resp.StatusCode, Code: envelope.Code, Message: envelope.Error, RequestID: rid}
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw)), RequestID: rid}
 }
 
 // Analyze runs POST /v1/analyze: one type's hierarchy analysis.

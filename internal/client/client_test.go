@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/client"
@@ -229,5 +230,65 @@ func TestClientJobEventsResume(t *testing.T) {
 	}
 	if conns < 2 {
 		t.Fatalf("client never reconnected (%d connections)", conns)
+	}
+}
+
+// TestRequestIDPropagation pins the client half of the request-identity
+// contract: a caller-set ID travels out as X-Request-Id (invalid ones
+// do not), and a failing call surfaces the server-echoed ID on
+// *APIError — from the echo header, or from the envelope body when a
+// proxy strips headers.
+func TestRequestIDPropagation(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	srv := serve.New(serve.Config{MaxN: 2})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get("X-Request-Id"))
+		mu.Unlock()
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	c := client.New(ts.URL)
+
+	ctx := client.WithRequestID(context.Background(), "cli-42")
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Analyze(ctx, serve.AnalyzeRequest{Type: "nosuchtype"})
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.RequestID != "cli-42" {
+		t.Fatalf("APIError.RequestID = %q, want the caller's ID", ae.RequestID)
+	}
+	if !strings.Contains(ae.Error(), "cli-42") {
+		t.Fatalf("error string hides the request ID: %s", ae.Error())
+	}
+	// An invalid ID must not be sent; the server assigns one instead.
+	if _, err := c.Stats(client.WithRequestID(context.Background(), "bad id")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 || seen[0] != "cli-42" || seen[1] != "cli-42" || seen[2] != "" {
+		t.Fatalf("X-Request-Id headers sent = %q", seen)
+	}
+}
+
+// TestAPIErrorRequestIDFromBody covers the header-stripped fallback.
+func TestAPIErrorRequestIDFromBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"code":"bad_request","error":"nope","requestId":"body-7"}`)
+	}))
+	defer ts.Close()
+	_, err := client.New(ts.URL).Stats(context.Background())
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.RequestID != "body-7" {
+		t.Fatalf("err = %v, want requestId body-7 from the envelope body", err)
 	}
 }

@@ -68,6 +68,7 @@ func (c *Client) streamEvents(ctx context.Context, id string, lastID *int64, fn 
 		return false, fmt.Errorf("client: job events: %w", err)
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	setRequestID(req)
 	if *lastID >= 0 {
 		req.Header.Set("Last-Event-ID", strconv.FormatInt(*lastID, 10))
 	}

@@ -73,6 +73,7 @@ func (e *Engine) CheckBatch(p model.Protocol, reqs []CheckRequest) ([]CheckItem,
 		return nil, agg, err
 	}
 	start := time.Now()
+	e.emit(Event{Kind: "checkbatch.start", Type: p.Name(), N: len(reqs)})
 	items := make([]CheckItem, len(reqs))
 
 	// Group requests by input vector; each group shares one graph (served
@@ -107,6 +108,7 @@ func (e *Engine) CheckBatch(p model.Protocol, reqs []CheckRequest) ([]CheckItem,
 		req := reqs[i]
 		ctx, stop := e.requestCtx(req.Ctx)
 		defer stop()
+		itemBefore := g.Stats()
 		itemStart := time.Now()
 		res, err := g.Check(model.CheckOpts{
 			Ctx:          ctx,
@@ -119,6 +121,9 @@ func (e *Engine) CheckBatch(p model.Protocol, reqs []CheckRequest) ([]CheckItem,
 			items[i].Err = err
 			return nil // per-item failure must not starve the batch
 		}
+		// Cold/warm attribution can blur when concurrent items share one
+		// graph (see Metrics); durations stay exact.
+		e.metrics.observeWalk(g.Stats().Sub(itemBefore).Expanded > 0, time.Since(itemStart))
 		items[i].Result = res
 		e.emit(Event{Kind: "check.done", Type: p.Name(), N: i, OK: res.OK(),
 			Elapsed: time.Since(itemStart), Detail: fmt.Sprintf("%d nodes", res.Nodes)})

@@ -34,6 +34,18 @@
 // reference and finish unharmed. A negative budget disables caching and
 // restores fresh-graph-per-call behavior.
 //
+// # Observability
+//
+// Check, CheckBatch and Theorem13 bracket their work with
+// ".start"/".done" progress events, so a consumer sees spans, not just
+// outcomes — the reprod service forwards them onto job SSE streams and
+// into per-request slow-request traces. WithMetrics installs a shared
+// Metrics collector of lock-free latency histograms (internal/obs)
+// split by phase: graph resolution, cold walks that expanded state
+// space, and warm walks that reused it. Observation costs two atomic
+// adds per walk and allocates nothing, so instrumented and bare engines
+// have the same hot path.
+//
 // # Byte-stability guarantees
 //
 // Sharded and serial level checks return identical results, including

@@ -33,7 +33,11 @@ const (
 // consumer that only writes to a terminal needs no extra locking).
 type Event struct {
 	// Kind is "analyze.start", "level.done", "shard.done",
-	// "analyze.done", "check.done", "checkbatch.done", or "chain.stage".
+	// "analyze.done", "check.start", "check.done", "checkbatch.start",
+	// "checkbatch.done", "chain.start", or "chain.stage". The ".start"
+	// kinds are span-begin markers paired with the matching ".done"
+	// event, letting a consumer (job SSE streams, the slow-request
+	// trace) see where a request's time went.
 	Kind string
 	// Type is the analyzed type's name (analyze/level events) or the
 	// protocol's name (check/chain/checkbatch events).
@@ -70,6 +74,7 @@ type Engine struct {
 	maxN           int
 	budget         int
 	shardThreshold int
+	metrics        *Metrics
 	// active counts the level checks currently executing, the basis of
 	// the idle-worker estimate that sizes auto-sharding.
 	active atomic.Int32
@@ -207,10 +212,18 @@ func (e *Engine) GraphCacheStats() GraphCacheStats {
 // the cached live graph, or a fresh one-shot graph when caching is
 // disabled.
 func (e *Engine) graphFor(p model.Protocol, inputs []int) (*model.Graph, error) {
+	start := time.Now()
+	var g *model.Graph
+	var err error
 	if e.graphs != nil {
-		return e.graphs.Get(p, inputs)
+		g, err = e.graphs.Get(p, inputs)
+	} else {
+		g, err = model.NewGraph(p, inputs)
 	}
-	return model.NewGraph(p, inputs)
+	if err == nil {
+		e.metrics.observeResolve(time.Since(start))
+	}
+	return g, err
 }
 
 // emit serializes progress emissions.
@@ -511,12 +524,15 @@ func (e *Engine) maxNodes(req CheckRequest) int {
 // expansion across them within a single call as well.
 func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error) {
 	start := time.Now()
+	e.emit(Event{Kind: "check.start", Type: p.Name()})
 	ctx, stop := e.requestCtx(req.Ctx)
 	defer stop()
 	g, err := e.graphFor(p, req.Inputs)
 	if err != nil {
 		return nil, err
 	}
+	before := g.Stats()
+	walkStart := time.Now()
 	res, err := g.Check(model.CheckOpts{
 		Ctx:          ctx,
 		Inputs:       req.Inputs,
@@ -527,6 +543,7 @@ func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error
 	if err != nil {
 		return nil, err
 	}
+	e.metrics.observeWalk(g.Stats().Sub(before).Expanded > 0, time.Since(walkStart))
 	e.graphs.Sync(g)
 	e.emit(Event{Kind: "check.done", Type: p.Name(), OK: res.OK(),
 		Elapsed: time.Since(start), Detail: fmt.Sprintf("%d nodes", res.Nodes)})
@@ -541,12 +558,15 @@ func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error
 // and inputs) reuses them again.
 func (e *Engine) Theorem13(p model.Protocol, req CheckRequest) (*model.Chain, error) {
 	start := time.Now()
+	e.emit(Event{Kind: "chain.start", Type: p.Name()})
 	ctx, stop := e.requestCtx(req.Ctx)
 	defer stop()
 	g, err := e.graphFor(p, req.Inputs)
 	if err != nil {
 		return nil, err
 	}
+	before := g.Stats()
+	walkStart := time.Now()
 	chain, err := model.Theorem13ChainOpts(p, req.Inputs, req.CrashQuota, model.ChainOpts{
 		Ctx:      ctx,
 		MaxNodes: e.maxNodes(req),
@@ -559,6 +579,7 @@ func (e *Engine) Theorem13(p model.Protocol, req CheckRequest) (*model.Chain, er
 	if err != nil {
 		return chain, err
 	}
+	e.metrics.observeWalk(g.Stats().Sub(before).Expanded > 0, time.Since(walkStart))
 	e.graphs.Sync(g)
 	e.emit(Event{Kind: "check.done", Type: p.Name(), OK: chain.Recording,
 		Elapsed: time.Since(start), Detail: fmt.Sprintf("%d stages", len(chain.Stages))})

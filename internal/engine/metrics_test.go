@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// TestMetricsAndSpanEvents pins the observability contract of the check
+// paths: every Check brackets itself with check.start/check.done, the
+// Metrics collector attributes the cold first walk to GraphExpand and
+// the warm repeat to GraphWalk, and graph resolution is observed per
+// call.
+func TestMetricsAndSpanEvents(t *testing.T) {
+	m := NewMetrics()
+	var mu sync.Mutex
+	var kinds []string
+	eng := New(WithMetrics(m), WithProgress(func(ev Event) {
+		mu.Lock()
+		kinds = append(kinds, ev.Kind)
+		mu.Unlock()
+	}))
+	if eng.Metrics() != m {
+		t.Fatal("Metrics accessor lost the collector")
+	}
+	p := proto.NewCASRecoverable(2)
+	req := CheckRequest{Inputs: []int{0, 1}, CrashQuota: []int{1, 1}}
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Check(p, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"check.start", "check.done", "check.start", "check.done"}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if got := m.GraphResolve.Snapshot().Count; got != 2 {
+		t.Errorf("GraphResolve count = %d, want 2", got)
+	}
+	if got := m.GraphExpand.Snapshot().Count; got != 1 {
+		t.Errorf("GraphExpand count = %d, want 1 (cold first walk)", got)
+	}
+	if got := m.GraphWalk.Snapshot().Count; got != 1 {
+		t.Errorf("GraphWalk count = %d, want 1 (warm repeat)", got)
+	}
+
+	kinds = nil
+	if _, err := eng.Theorem13(p, req); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) < 2 || kinds[0] != "chain.start" || kinds[len(kinds)-1] != "check.done" {
+		t.Errorf("Theorem13 kinds = %v, want chain.start ... check.done", kinds)
+	}
+
+	kinds = nil
+	if _, _, err := eng.CheckBatch(p, []CheckRequest{req, req}); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) < 2 || kinds[0] != "checkbatch.start" || kinds[len(kinds)-1] != "checkbatch.done" {
+		t.Errorf("CheckBatch kinds = %v, want checkbatch.start ... checkbatch.done", kinds)
+	}
+}
+
+// TestNilMetricsSafe proves an uninstrumented engine (the default)
+// takes the same code path without panicking on the nil collector.
+func TestNilMetricsSafe(t *testing.T) {
+	var m *Metrics
+	m.observeResolve(0)
+	m.observeWalk(true, 0)
+	partial := &Metrics{}
+	partial.observeResolve(0)
+	partial.observeWalk(false, 0)
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bounds are
+// log-spaced powers of two microseconds: bound i is 1µs·2^i, so the
+// finite range spans 1µs to ~17.9 minutes (2^30 µs ≈ 1074 s); slower
+// observations land in the +Inf overflow bucket. The spacing gives
+// every histogram — sub-millisecond engine stages and multi-second
+// HTTP requests alike — about 10 buckets per three decades with zero
+// float math on the observe path.
+const NumBuckets = 31
+
+// bucketBounds are the shared upper bounds in seconds, identical for
+// every Histogram so exposition label sets are stable.
+var bucketBounds = func() [NumBuckets]float64 {
+	var b [NumBuckets]float64
+	for i := range b {
+		b[i] = float64(uint64(1)<<i) / 1e6
+	}
+	return b
+}()
+
+// BucketBounds returns the shared upper bounds (in seconds) of the
+// finite buckets, smallest first. The returned slice is a copy.
+func BucketBounds() []float64 {
+	b := make([]float64, NumBuckets)
+	copy(b, bucketBounds[:])
+	return b
+}
+
+// Histogram is a lock-free latency histogram over the package's fixed
+// log-spaced buckets. The zero value is ready to use; all methods are
+// safe for concurrent use. Observe performs two atomic adds and no
+// allocation, cheap enough for per-walk engine hot paths.
+type Histogram struct {
+	// counts[i] is the number of observations in bucket i (NOT
+	// cumulative); counts[NumBuckets] is the +Inf overflow bucket.
+	counts [NumBuckets + 1]atomic.Uint64
+	// sumNanos accumulates total observed duration. An int64 of
+	// nanoseconds overflows after ~292 years of accumulated latency —
+	// beyond any process lifetime.
+	sumNanos atomic.Int64
+}
+
+// bucketIndex returns the index of the smallest bound >= d, or
+// NumBuckets for the overflow bucket. Bound i is 1µs·2^i, so the index
+// is the bit length of the ceiling-microsecond value minus one... which
+// bits.Len64(us-1) computes directly: us=1 → 0, us=2 → 1, us=3 → 2.
+func bucketIndex(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 1000 { // includes zero and negative clock anomalies
+		return 0
+	}
+	us := uint64(ns+999) / 1000
+	idx := bits.Len64(us - 1)
+	if idx >= NumBuckets {
+		return NumBuckets
+	}
+	return idx
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketIndex(d)].Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+}
+
+// Snapshot is a point-in-time view of a Histogram, in the cumulative
+// form Prometheus histogram series use.
+type Snapshot struct {
+	// Cumulative[i] counts observations <= BucketBounds()[i];
+	// Cumulative[NumBuckets] is the +Inf bucket and always equals Count.
+	Cumulative [NumBuckets + 1]uint64
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the total observed time in seconds.
+	Sum float64
+}
+
+// Snapshot captures the histogram. The bucket/count invariant
+// (+Inf == Count, buckets monotone) holds within one snapshot even
+// under concurrent Observe calls, because Count is derived from the
+// same per-bucket loads; Sum may lag observations that raced the
+// snapshot.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	var running uint64
+	for i := 0; i <= NumBuckets; i++ {
+		running += h.counts[i].Load()
+		s.Cumulative[i] = running
+	}
+	s.Count = running
+	s.Sum = float64(h.sumNanos.Load()) / 1e9
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in seconds by linear
+// interpolation inside the containing bucket. Observations in the +Inf
+// bucket report the largest finite bound. Returns 0 for an empty
+// histogram.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	for i := 0; i <= NumBuckets; i++ {
+		if float64(s.Cumulative[i]) >= rank {
+			if i >= NumBuckets {
+				return bucketBounds[NumBuckets-1]
+			}
+			lower := 0.0
+			prev := uint64(0)
+			if i > 0 {
+				lower = bucketBounds[i-1]
+				prev = s.Cumulative[i-1]
+			}
+			width := bucketBounds[i] - lower
+			inBucket := float64(s.Cumulative[i] - prev)
+			if inBucket == 0 {
+				return bucketBounds[i]
+			}
+			frac := (rank - float64(prev)) / inBucket
+			return lower + width*frac
+		}
+	}
+	return bucketBounds[NumBuckets-1]
+}
+
+// Mean returns the average observation in seconds (0 when empty).
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndex pins the bucket boundaries: bound i is 1µs·2^i with
+// <= semantics, sub-microsecond (and garbage negative) durations land
+// in bucket 0, and beyond-range durations land in the overflow bucket.
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + time.Nanosecond, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},         // 1024µs bound is index 10
+		{time.Second, 20},              // ~1.05s bound is index 20
+		{17 * time.Minute, 30},         // inside the largest finite bucket
+		{18 * time.Minute, NumBuckets}, // past 2^30 µs: overflow
+		{24 * time.Hour, NumBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// The <=-bound semantics must agree with the exported bounds.
+	bounds := BucketBounds()
+	for i, b := range bounds {
+		d := time.Duration(b * 1e9)
+		if got := bucketIndex(d); got != i {
+			t.Errorf("bound %d (%v): bucketIndex = %d, want %d", i, d, got, i)
+		}
+	}
+}
+
+// TestHistogramSnapshotInvariants drives concurrent observers and
+// checks the Prometheus invariants on every snapshot taken while they
+// run: cumulative buckets are monotone and the +Inf bucket equals the
+// count.
+func TestHistogramSnapshotInvariants(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := time.Duration(g+1) * 37 * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(d)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		s := h.Snapshot()
+		for j := 1; j <= NumBuckets; j++ {
+			if s.Cumulative[j] < s.Cumulative[j-1] {
+				t.Fatalf("snapshot %d: bucket %d (%d) < bucket %d (%d)",
+					i, j, s.Cumulative[j], j-1, s.Cumulative[j-1])
+			}
+		}
+		if s.Cumulative[NumBuckets] != s.Count {
+			t.Fatalf("snapshot %d: +Inf bucket %d != count %d", i, s.Cumulative[NumBuckets], s.Count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHistogramQuantile checks the interpolation against a known
+// distribution.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := (Snapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// 90 fast observations, 10 slow ones: p50 must sit in the fast
+	// bucket, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if p50 := s.Quantile(0.5); p50 <= 0 || p50 > 16e-6 {
+		t.Errorf("p50 = %v, want in the (8µs,16µs] bucket", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 64e-3 || p99 > 131e-3 {
+		t.Errorf("p99 = %v, want in the slow bucket", p99)
+	}
+	if mean := s.Mean(); math.Abs(mean-(90*10e-6+10*80e-3)/100) > 1e-9 {
+		t.Errorf("mean = %v", mean)
+	}
+	// Overflow observations report the largest finite bound.
+	var o Histogram
+	o.Observe(time.Hour)
+	if q := o.Snapshot().Quantile(0.5); q != BucketBounds()[NumBuckets-1] {
+		t.Errorf("overflow quantile = %v, want last bound", q)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// contextHandler decorates a slog.Handler with attributes derived from
+// the Log call's context: currently the request ID. It is what makes
+// `logger.InfoContext(ctx, ...)` carry request_id without every call
+// site threading it by hand.
+type contextHandler struct {
+	inner slog.Handler
+}
+
+func (h contextHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h contextHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := RequestIDFrom(ctx); id != "" {
+		r.AddAttrs(slog.String("request_id", id))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h contextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return contextHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h contextHandler) WithGroup(name string) slog.Handler {
+	return contextHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the structured JSON logger the service logs with:
+// one JSON object per line on w, RFC3339Nano timestamps (slog's JSON
+// default), and the context's request ID injected as request_id on
+// every record logged through a request-scoped context.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(contextHandler{inner: slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})})
+}
+
+// nopHandler is a handler that is never enabled, so records are not
+// even formatted. (slog.DiscardHandler needs Go 1.24; this module
+// supports 1.23.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NopLogger returns a logger that drops everything without formatting
+// it — the default when no logger is configured, so library code can
+// log unconditionally instead of nil-checking.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

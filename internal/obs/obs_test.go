@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("two generated IDs collide: %q", a)
+	}
+	if len(a) != 16 || !ValidRequestID(a) {
+		t.Fatalf("generated ID %q not a valid 16-hex token", a)
+	}
+	for id, want := range map[string]bool{
+		"abc-123":                true,
+		"trace/7:retry+1":        true,
+		"":                       false,
+		"has space":              false,
+		"newline\nhere":          false,
+		strings.Repeat("x", 129): false,
+		strings.Repeat("x", 128): true,
+	} {
+		if got := ValidRequestID(id); got != want {
+			t.Errorf("ValidRequestID(%q) = %v, want %v", id, got, want)
+		}
+	}
+	ctx := WithRequestID(context.Background(), "rid-1")
+	if got := RequestIDFrom(ctx); got != "rid-1" {
+		t.Fatalf("RequestIDFrom = %q", got)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("RequestIDFrom(empty) = %q", got)
+	}
+}
+
+// TestLoggerInjectsRequestID proves the context handler stamps
+// request_id on records logged under a request-scoped context — the
+// mechanism that makes one grep reconstruct a request.
+func TestLoggerInjectsRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, slog.LevelInfo)
+	ctx := WithRequestID(context.Background(), "rid-xyz")
+	lg.InfoContext(ctx, "http.access", slog.String("endpoint", "check"))
+	lg.With(slog.String("component", "serve")).InfoContext(ctx, "derived")
+	lg.InfoContext(context.Background(), "no-rid")
+	lg.DebugContext(ctx, "below-level")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	for i, want := range []string{"rid-xyz", "rid-xyz", ""} {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(lines[i]), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		got, _ := rec["request_id"].(string)
+		if got != want {
+			t.Errorf("line %d request_id = %q, want %q (%s)", i, got, want, lines[i])
+		}
+	}
+	if !strings.Contains(lines[1], `"component":"serve"`) {
+		t.Errorf("WithAttrs lost on wrapped handler: %s", lines[1])
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	lg := NopLogger()
+	if lg.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+	lg.Error("must not panic")
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace()
+	tr.Add("check.start", "tnn-wf", 0)
+	tr.Add("check.done", "17 nodes", 3*time.Millisecond)
+	spans, dropped := tr.Spans()
+	if len(spans) != 2 || dropped != 0 {
+		t.Fatalf("spans = %d dropped = %d", len(spans), dropped)
+	}
+	if spans[1].Name != "check.done" || spans[1].Elapsed != 3*time.Millisecond {
+		t.Fatalf("span wrong: %+v", spans[1])
+	}
+	s := tr.String()
+	for _, want := range []string{"check.start(tnn-wf)", "check.done(17 nodes)=3ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace %q missing %q", s, want)
+		}
+	}
+	// The cap degrades to counting, never unbounded growth.
+	for i := 0; i < maxTraceSpans+10; i++ {
+		tr.Add("level.done", "", time.Microsecond)
+	}
+	spans, dropped = tr.Spans()
+	if len(spans) != maxTraceSpans || dropped != 12 {
+		t.Fatalf("after overflow: %d spans, %d dropped", len(spans), dropped)
+	}
+	if !strings.Contains(tr.String(), "+12 dropped") {
+		t.Errorf("dropped count not rendered: %q", tr.String())
+	}
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace lost on context")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("phantom trace")
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxTraceSpans bounds the spans one Trace retains; later spans are
+// counted, not stored, so a pathological emitter cannot grow a request's
+// memory without bound.
+const maxTraceSpans = 64
+
+// Span is one timed stage of a request: an engine progress event
+// (level check, graph walk, chain stage) rendered as where-time-went
+// evidence.
+type Span struct {
+	// Name is the stage kind ("check.done", "level.done", ...).
+	Name string
+	// Detail carries stage-specific context (type name, node counts).
+	Detail string
+	// Elapsed is the stage's wall-clock cost (zero for begin markers).
+	Elapsed time.Duration
+	// At is the span's offset from the trace's start.
+	At time.Duration
+}
+
+// Trace is a bounded per-request span recorder. The HTTP middleware
+// installs one on the request context; the request's engine streams its
+// progress events into it; the slow-request log dumps it. Safe for
+// concurrent use.
+type Trace struct {
+	start time.Time
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped int
+}
+
+// NewTrace starts an empty trace; offsets are measured from now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// Add records one span.
+func (t *Trace) Add(name, detail string, elapsed time.Duration) {
+	at := time.Since(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxTraceSpans {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, Span{Name: name, Detail: detail, Elapsed: elapsed, At: at})
+}
+
+// Spans returns a copy of the recorded spans in arrival order, plus the
+// count of spans dropped past the retention cap.
+func (t *Trace) Spans() ([]Span, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out, t.dropped
+}
+
+// String renders the trace as one compact where-time-went line:
+// "name(detail)=elapsed@offset; ...", with a "+N dropped" suffix when
+// the cap was hit. Begin markers (zero elapsed) render without the
+// duration.
+func (t *Trace) String() string {
+	spans, dropped := t.Spans()
+	var b strings.Builder
+	for i, s := range spans {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(s.Name)
+		if s.Detail != "" {
+			fmt.Fprintf(&b, "(%s)", s.Detail)
+		}
+		if s.Elapsed > 0 {
+			fmt.Fprintf(&b, "=%s", s.Elapsed.Round(10*time.Microsecond))
+		}
+		fmt.Fprintf(&b, "@%s", s.At.Round(10*time.Microsecond))
+	}
+	if dropped > 0 {
+		fmt.Fprintf(&b, " (+%d dropped)", dropped)
+	}
+	return b.String()
+}
+
+// WithTrace returns a context carrying the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the context's trace, or nil when none is installed.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}

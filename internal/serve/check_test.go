@@ -160,7 +160,9 @@ func TestCheckStatsAndMetrics(t *testing.T) {
 	}
 	text := string(body)
 	for _, want := range []string{
-		`reprod_requests_total{endpoint="check"} 1`,
+		`reprod_requests_total{endpoint="check",code="2xx"} 1`,
+		`reprod_http_request_duration_seconds_count{endpoint="check"} 1`,
+		`reprod_engine_graph_duration_seconds_count{phase="resolve"}`,
 		`reprod_graph_expansions_total{outcome="expanded"}`,
 		`reprod_graph_expansions_total{outcome="reused"}`,
 		`# TYPE reprod_cache_requests_total counter`,

@@ -104,6 +104,7 @@ func (s *Server) jobEngine(ctx context.Context, j *jobs.Job, maxN int) *engine.E
 		engine.WithParallelism(s.cfg.Parallelism),
 		engine.WithShardThreshold(s.cfg.ShardThreshold),
 		engine.WithMaxN(maxN),
+		engine.WithMetrics(s.engMetrics),
 		engine.WithProgress(func(ev engine.Event) { j.Publish(ev.Kind, progressJSON(ev)) }),
 	}
 	if s.graphs != nil {

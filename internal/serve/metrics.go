@@ -3,17 +3,43 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
+// writeHistogram emits one histogram series in exposition form:
+// cumulative _bucket samples (le bounds shared by every obs.Histogram,
+// so label sets are byte-stable), the +Inf bucket, _sum and _count.
+// labels ("" or `endpoint="check"`) is merged into every sample's label
+// set.
+func writeHistogram(b *strings.Builder, name, labels string, snap obs.Snapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, bound := range obs.BucketBounds() {
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, strconv.FormatFloat(bound, 'g', -1, 64), snap.Cumulative[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, snap.Count)
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %g\n%s_count %d\n", name, snap.Sum, name, snap.Count)
+		return
+	}
+	fmt.Fprintf(b, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, snap.Sum, name, labels, snap.Count)
+}
+
 // handleMetrics serves the server's counters in Prometheus text
-// exposition format (version 0.0.4) on GET /metrics: request counters by
-// endpoint, decision-cache and shared-graph reuse, store sizes and
-// uptime. The same numbers appear as JSON on /v1/stats; this endpoint
-// exists so a scraper needs no translation layer.
+// exposition format (version 0.0.4) on GET /metrics: request totals and
+// latency histograms per endpoint (fed by the instrument middleware, so
+// every endpoint and every status is covered), engine-side graph-phase
+// histograms, decision-cache and shared-graph reuse, job and store
+// state, and uptime. Scalars also appear as JSON on /v1/stats; this
+// endpoint exists so a scraper needs no translation layer.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	counter := func(name, help string, pairs ...struct {
@@ -38,12 +64,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}{labels, v}
 	}
 
-	counter("reprod_requests_total", "Requests served OK by endpoint.",
-		lv(`{endpoint="analyze"}`, float64(s.analyzed.Load())),
-		lv(`{endpoint="batch"}`, float64(s.batched.Load())),
-		lv(`{endpoint="check"}`, float64(s.checked.Load())))
+	// Requests by endpoint and status class, from the middleware: every
+	// route is counted, success or failure. Endpoint order is the
+	// registration order; only observed (endpoint, class) pairs emit.
+	var reqPairs []struct {
+		labels string
+		value  float64
+	}
+	for _, name := range s.endpointOrder {
+		es := s.endpoints[name]
+		for c, class := range statusClasses {
+			n := es.byClass[c].Load()
+			if n == 0 {
+				continue
+			}
+			reqPairs = append(reqPairs,
+				lv(fmt.Sprintf(`{endpoint=%q,code=%q}`, name, class), float64(n)))
+		}
+	}
+	counter("reprod_requests_total", "Requests served by endpoint and status class.", reqPairs...)
 	counter("reprod_requests_failed_total", "Requests answered with an error status.",
 		lv("", float64(s.failed.Load())))
+
+	// Per-endpoint latency histograms (endpoints that served traffic).
+	const durName = "reprod_http_request_duration_seconds"
+	fmt.Fprintf(&b, "# HELP %s Request latency by endpoint.\n# TYPE %s histogram\n", durName, durName)
+	for _, name := range s.endpointOrder {
+		snap := s.endpoints[name].latency.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		writeHistogram(&b, durName, fmt.Sprintf("endpoint=%q", name), snap)
+	}
+
+	// Engine-side graph-phase histograms, aggregated across every
+	// per-request and per-job engine: resolve = graph cache resolution
+	// (hit, warm disk load, or shell build), expand = walks that grew
+	// the state space, walk = fully warm walks.
+	const engName = "reprod_engine_graph_duration_seconds"
+	fmt.Fprintf(&b, "# HELP %s Engine graph time by phase (resolve, expand, walk).\n# TYPE %s histogram\n", engName, engName)
+	for _, ph := range []struct {
+		phase string
+		h     *obs.Histogram
+	}{
+		{"resolve", s.engMetrics.GraphResolve},
+		{"expand", s.engMetrics.GraphExpand},
+		{"walk", s.engMetrics.GraphWalk},
+	} {
+		writeHistogram(&b, engName, fmt.Sprintf("phase=%q", ph.phase), ph.h.Snapshot())
+	}
+
 	counter("reprod_types_analyzed_total", "Type analyses completed across analyze and batch.",
 		lv("", float64(s.typesDone.Load())))
 	counter("reprod_check_items_total", "Model-check items completed across check batches.",
@@ -114,4 +184,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprint(w, b.String())
+}
+
+// MetricsHandler exposes the /metrics exposition as a standalone
+// handler, for mounting on a private debug listener (cmd/reprod's
+// -debug-addr) alongside pprof.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(s.handleMetrics)
 }

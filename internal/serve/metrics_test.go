@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expoSample is one parsed exposition sample line.
+type expoSample struct {
+	name   string // full series name, e.g. reprod_http_request_duration_seconds_bucket
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition parses Prometheus text format 0.0.4 strictly enough
+// to catch the mistakes hand-rolled emitters make: HELP/TYPE must
+// precede a family's first sample, TYPE must be a known type, samples
+// must parse, label syntax must be well-formed.
+func parseExposition(t *testing.T, text string) (types map[string]string, samples []expoSample) {
+	t.Helper()
+	types = make(map[string]string)
+	helped := make(map[string]bool)
+	// family resolves a series name to its metric family: histogram
+	// series use the family name + _bucket/_sum/_count.
+	family := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			helped[parts[0]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, parts[1])
+			}
+			if !helped[parts[0]] {
+				t.Fatalf("line %d: TYPE before HELP for %s", ln+1, parts[0])
+			}
+			types[parts[0]] = parts[1]
+		case strings.HasPrefix(line, "#"):
+			// comment
+		case strings.TrimSpace(line) == "":
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		default:
+			s := parseSample(t, ln+1, line)
+			fam := family(s.name)
+			if !helped[fam] || types[fam] == "" {
+				t.Fatalf("line %d: sample %s before HELP/TYPE of family %s", ln+1, s.name, fam)
+			}
+			samples = append(samples, s)
+		}
+	}
+	return types, samples
+}
+
+func parseSample(t *testing.T, ln int, line string) expoSample {
+	t.Helper()
+	s := expoSample{labels: make(map[string]string)}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.name = line[:i]
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			t.Fatalf("line %d: unterminated label set: %q", ln, line)
+		}
+		for _, pair := range strings.Split(line[i+1:j], ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				t.Fatalf("line %d: malformed label %q", ln, pair)
+			}
+			unq, err := strconv.Unquote(v)
+			if err != nil {
+				t.Fatalf("line %d: label value not quoted: %q", ln, pair)
+			}
+			s.labels[k] = unq
+		}
+		rest = line[j+1:]
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("line %d: malformed sample: %q", ln, line)
+		}
+		s.name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		t.Fatalf("line %d: unparseable sample value: %q", ln, line)
+	}
+	s.value = v
+	return s
+}
+
+// labelsKey canonicalizes a label set minus `le` for grouping one
+// histogram's series.
+func labelsKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, labels[k])
+	}
+	return b.String()
+}
+
+// TestMetricsExpositionWellFormed drives real traffic through the
+// server, then parses /metrics and checks the format invariants a
+// Prometheus scraper relies on: HELP and TYPE precede every family's
+// samples, histogram buckets are cumulative (monotone non-decreasing in
+// le order), every histogram's +Inf bucket equals its _count, and _sum
+// is consistent with the observations.
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	s := New(Config{MaxN: 2})
+	if code, body := post(t, s, "/v1/check", `{"protocol":"cas-wf:2","requests":[{"inputs":[0,1]}]}`); code != http.StatusOK {
+		t.Fatalf("check = %d %s", code, body)
+	}
+	if code, _ := post(t, s, "/v1/analyze", `{"type":"tas"}`); code != http.StatusOK {
+		t.Fatal("analyze failed")
+	}
+	if code, _ := post(t, s, "/v1/analyze", `{"type":"garbage"}`); code != http.StatusBadRequest {
+		t.Fatal("bad analyze not rejected")
+	}
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+
+	types, samples := parseExposition(t, string(body))
+
+	// The failing request must be counted too (middleware counting).
+	var saw4xx bool
+	for _, smp := range samples {
+		if smp.name == "reprod_requests_total" &&
+			smp.labels["endpoint"] == "analyze" && smp.labels["code"] == "4xx" && smp.value == 1 {
+			saw4xx = true
+		}
+	}
+	if !saw4xx {
+		t.Error("reprod_requests_total missing the 4xx analyze sample")
+	}
+
+	// Histogram invariants, per family and label set.
+	type histo struct {
+		buckets []expoSample // in emission order
+		sum     float64
+		count   float64
+		hasInf  bool
+		inf     float64
+	}
+	histos := make(map[string]*histo)
+	hkey := func(fam string, labels map[string]string) string { return fam + "|" + labelsKey(labels) }
+	get := func(k string) *histo {
+		if histos[k] == nil {
+			histos[k] = &histo{}
+		}
+		return histos[k]
+	}
+	nHist := 0
+	for _, smp := range samples {
+		switch {
+		case strings.HasSuffix(smp.name, "_bucket") && types[strings.TrimSuffix(smp.name, "_bucket")] == "histogram":
+			h := get(hkey(strings.TrimSuffix(smp.name, "_bucket"), smp.labels))
+			if smp.labels["le"] == "+Inf" {
+				h.hasInf, h.inf = true, smp.value
+			} else {
+				if _, err := strconv.ParseFloat(smp.labels["le"], 64); err != nil {
+					t.Fatalf("unparseable le bound %q", smp.labels["le"])
+				}
+				h.buckets = append(h.buckets, smp)
+			}
+		case strings.HasSuffix(smp.name, "_sum") && types[strings.TrimSuffix(smp.name, "_sum")] == "histogram":
+			get(hkey(strings.TrimSuffix(smp.name, "_sum"), smp.labels)).sum = smp.value
+		case strings.HasSuffix(smp.name, "_count") && types[strings.TrimSuffix(smp.name, "_count")] == "histogram":
+			get(hkey(strings.TrimSuffix(smp.name, "_count"), smp.labels)).count = smp.value
+		}
+	}
+	for key, h := range histos {
+		nHist++
+		if !h.hasInf {
+			t.Errorf("%s: no +Inf bucket", key)
+			continue
+		}
+		if h.inf != h.count {
+			t.Errorf("%s: +Inf bucket %g != _count %g", key, h.inf, h.count)
+		}
+		prevLe := math.Inf(-1)
+		prevV := -1.0
+		for _, b := range h.buckets {
+			le, _ := strconv.ParseFloat(b.labels["le"], 64)
+			if le <= prevLe {
+				t.Errorf("%s: le bounds not increasing: %g after %g", key, le, prevLe)
+			}
+			if b.value < prevV {
+				t.Errorf("%s: cumulative bucket decreased: %g after %g", key, b.value, prevV)
+			}
+			if b.value > h.inf {
+				t.Errorf("%s: bucket %g exceeds +Inf %g", key, b.value, h.inf)
+			}
+			prevLe, prevV = le, b.value
+		}
+		if h.count > 0 && h.sum <= 0 {
+			t.Errorf("%s: %g observations but sum %g", key, h.count, h.sum)
+		}
+	}
+	// The request-duration histogram (several endpoints) and the three
+	// engine graph phases must all be present.
+	if nHist < 5 {
+		t.Errorf("only %d histogram series parsed, want request + engine histograms", nHist)
+	}
+}

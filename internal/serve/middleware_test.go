@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// syncBuf is a concurrency-safe log sink: the middleware logs from
+// handler goroutines while the test reads.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// logLines decodes every complete JSON log line currently in the buffer.
+func (s *syncBuf) logLines(t *testing.T) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(s.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line not JSON: %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// findLog returns the first log record with the given msg and matching
+// fields, or nil.
+func findLog(recs []map[string]any, msg string, fields map[string]string) map[string]any {
+	for _, rec := range recs {
+		if rec["msg"] != msg {
+			continue
+		}
+		ok := true
+		for k, v := range fields {
+			if got, _ := rec[k].(string); got != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return rec
+		}
+	}
+	return nil
+}
+
+// TestIntegrationObservability is the end-to-end trace of one request
+// through the observability layer, and what CI runs race-enabled: a
+// /v1/check with a caller-chosen X-Request-Id produces (1) an echoed
+// response header, (2) one structured access-log line carrying the same
+// ID, (3) a slow-request warn line whose trace shows per-stage engine
+// timings, (4) a latency observation in the endpoint's histogram on
+// /metrics and /v1/stats, and (5) the same ID inside a coded error
+// envelope on a failing request. Job SSE streams expose the engine's
+// span begin/end events with elapsed timings.
+func TestIntegrationObservability(t *testing.T) {
+	var logs syncBuf
+	srv := New(Config{
+		MaxN:        3,
+		Parallelism: 2,
+		Logger:      obs.NewLogger(&logs, slog.LevelInfo),
+		SlowRequest: time.Nanosecond, // everything is slow: exercise the trace dump
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	// ---- One traced check request.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/check",
+		strings.NewReader(`{"protocol":"cas-wf:2","requests":[{"inputs":[0,1]},{"inputs":[0,1]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.HeaderRequestID, "obs-itest-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.HeaderRequestID); got != "obs-itest-1" {
+		t.Fatalf("echoed request ID = %q, want the caller's", got)
+	}
+
+	// ---- The access log and the slow-request trace carry the ID. The
+	// access line is written after the response is sent; poll briefly.
+	var access, slow map[string]any
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		recs := logs.logLines(t)
+		access = findLog(recs, "http.access", map[string]string{"request_id": "obs-itest-1"})
+		slow = findLog(recs, "http.slow", map[string]string{"request_id": "obs-itest-1"})
+		if access != nil && slow != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if access == nil {
+		t.Fatalf("no access-log line for the request:\n%s", logs.String())
+	}
+	if access["endpoint"] != "check" || access["method"] != "POST" || access["status"] != float64(200) {
+		t.Errorf("access line fields wrong: %v", access)
+	}
+	if slow == nil {
+		t.Fatalf("no slow-request line despite 1ns threshold:\n%s", logs.String())
+	}
+	trace, _ := slow["trace"].(string)
+	for _, stage := range []string{"checkbatch.start", "check.done", "checkbatch.done"} {
+		if !strings.Contains(trace, stage) {
+			t.Errorf("slow trace missing stage %q: %q", stage, trace)
+		}
+	}
+
+	// ---- The latency landed in the endpoint histogram and /v1/stats.
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	if !strings.Contains(string(body), `reprod_http_request_duration_seconds_count{endpoint="check"} 1`) {
+		t.Fatalf("check latency not in histogram:\n%s", body)
+	}
+	code, body = get(t, srv, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if ls, ok := stats.Latency["check"]; !ok || ls.Count != 1 || ls.P99 <= 0 {
+		t.Fatalf("stats latency summary wrong: %+v", stats.Latency)
+	}
+
+	// ---- Errors carry the ID in the envelope.
+	req, err = http.NewRequest(http.MethodPost, ts.URL+"/v1/check", strings.NewReader(`{"protocol":"nope","requests":[{"inputs":[0,1]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.HeaderRequestID, "obs-itest-2")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope errorResponse
+	err = json.NewDecoder(resp.Body).Decode(&envelope)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || envelope.Code != CodeBadRequest {
+		t.Fatalf("bad check = %d %+v", resp.StatusCode, envelope)
+	}
+	if envelope.RequestID != "obs-itest-2" {
+		t.Fatalf("error envelope requestId = %q, want the caller's", envelope.RequestID)
+	}
+
+	// ---- A request without an ID gets a generated one.
+	code, _ = post(t, srv, "/v1/check", `{"protocol":"cas-wf:2","requests":[{"inputs":[0,1]}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("check = %d", code)
+	}
+
+	// ---- Job SSE streams show per-stage engine timings.
+	codeSubmit, respBody := httpPost(t, ts.URL+"/v1/jobs",
+		`{"kind":"check","check":{"protocol":"cas-wf:2","requests":[{"inputs":[0,1]}]}}`)
+	if codeSubmit != http.StatusAccepted {
+		t.Fatalf("job submit = %d %s", codeSubmit, respBody)
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(respBody, &view); err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	events := readSSE(t, bufio.NewReader(sresp.Body))
+	var sawStart, sawTimed bool
+	for _, ev := range events {
+		if ev.Event == "checkbatch.start" {
+			sawStart = true
+		}
+		if ev.Event == "checkbatch.done" && strings.Contains(ev.Data, "elapsedMs") {
+			sawTimed = true
+		}
+	}
+	if !sawStart || !sawTimed {
+		t.Fatalf("SSE stream missing span events (start=%v timed=%v): %+v", sawStart, sawTimed, events)
+	}
+}
+
+// TestMiddlewarePanicRecovery pins the panic path: a panicking handler
+// answers a coded 500 envelope carrying the request ID, the panic is
+// logged with a stack, and the failure is counted against the endpoint.
+func TestMiddlewarePanicRecovery(t *testing.T) {
+	var logs syncBuf
+	s := New(Config{Logger: obs.NewLogger(&logs, slog.LevelInfo)})
+	es := &endpointStats{}
+	h := s.instrument("boom", es, func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var envelope errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+		t.Fatalf("panic reply not a JSON envelope: %q", rec.Body.String())
+	}
+	if envelope.Code != CodeInternal || envelope.RequestID == "" {
+		t.Fatalf("envelope = %+v, want internal + request ID", envelope)
+	}
+	if es.byClass[5].Load() != 1 {
+		t.Errorf("5xx class not counted: %d", es.byClass[5].Load())
+	}
+	recs := logs.logLines(t)
+	pl := findLog(recs, "http.panic", nil)
+	if pl == nil {
+		t.Fatalf("no http.panic log line:\n%s", logs.String())
+	}
+	if stack, _ := pl["stack"].(string); !strings.Contains(stack, "middleware_test") {
+		t.Errorf("panic log has no useful stack: %v", pl)
+	}
+}
+
+// TestRequestIDGeneration covers the middleware's identity decisions:
+// absent and invalid client IDs are replaced by generated ones, valid
+// ones are kept.
+func TestRequestIDGeneration(t *testing.T) {
+	s := New(Config{})
+	for _, c := range []struct {
+		sent     string
+		wantKept bool
+	}{
+		{"", false},
+		{"bad id with spaces", false},
+		{strings.Repeat("x", 200), false},
+		{"good-id_1:2/3", true},
+	} {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		if c.sent != "" {
+			req.Header.Set(obs.HeaderRequestID, c.sent)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		got := rec.Header().Get(obs.HeaderRequestID)
+		if c.wantKept && got != c.sent {
+			t.Errorf("valid ID %q replaced by %q", c.sent, got)
+		}
+		if !c.wantKept && (got == c.sent || !obs.ValidRequestID(got)) {
+			t.Errorf("sent %q, got echo %q — want a generated valid ID", c.sent, got)
+		}
+	}
+}

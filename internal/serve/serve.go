@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/discern"
 	"repro/internal/engine"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/protodef"
 	"repro/internal/record"
 	"repro/internal/registry"
@@ -94,6 +96,16 @@ type Config struct {
 	// JobTimeout bounds one job's run when the submission names no
 	// timeout (0 = jobs.DefaultJobTimeout).
 	JobTimeout time.Duration
+	// Logger receives the server's structured logs: one access-log line
+	// per request, slow-request traces, panic reports. Log calls carry
+	// the request context, so a logger built with obs.NewLogger stamps
+	// every line with the request ID. nil discards all logs (the
+	// pre-observability behavior, and what most tests want).
+	Logger *slog.Logger
+	// SlowRequest is the latency threshold above which a request logs a
+	// warn-level line with its per-stage engine trace attached. 0
+	// disables the slow-request log.
+	SlowRequest time.Duration
 }
 
 // Server is the reprod HTTP service. Construct with New.
@@ -112,6 +124,17 @@ type Server struct {
 	// protocols is the fingerprint-keyed registry of user-submitted
 	// protocols (POST /v1/protocols).
 	protocols *protodef.Store
+	// logger is Config.Logger or a nop logger, never nil.
+	logger *slog.Logger
+	// engMetrics collects engine-side latency histograms (graph
+	// resolution, cold expansion, warm walks) across every per-request
+	// and per-job engine.
+	engMetrics *engine.Metrics
+	// endpoints maps endpoint name to its middleware instrumentation;
+	// read-only after New.
+	endpoints map[string]*endpointStats
+	// endpointOrder fixes the exposition order of endpoint series.
+	endpointOrder []string
 
 	analyzed  atomic.Uint64 // analyze requests served OK
 	batched   atomic.Uint64 // batch requests served OK
@@ -162,20 +185,48 @@ func New(cfg Config) *Server {
 		DefaultTimeout: cfg.JobTimeout,
 	})
 	s.protocols = protodef.NewStore(0)
-	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
-	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
-	s.mux.HandleFunc("POST /v1/protocols", s.handleProtocolRegister)
-	s.mux.HandleFunc("GET /v1/protocols/{fingerprint}", s.handleProtocolGet)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = obs.NopLogger()
+	}
+	s.engMetrics = engine.NewMetrics()
+
+	// Every route goes through the instrument middleware, so ALL
+	// endpoints — including stats, version, metrics and health — are
+	// request-ID-stamped, access-logged, latency-histogrammed and
+	// counted in reprod_requests_total by status class. Routes sharing an
+	// endpoint name share one stats bucket. The long-lived SSE stream
+	// gets its own bucket so its connection lifetimes do not skew the
+	// jobs CRUD latency histogram.
+	s.endpoints = make(map[string]*endpointStats)
+	for _, rt := range []struct {
+		pattern  string
+		endpoint string
+		h        http.HandlerFunc
+	}{
+		{"POST /v1/analyze", "analyze", s.handleAnalyze},
+		{"POST /v1/batch", "batch", s.handleBatch},
+		{"POST /v1/check", "check", s.handleCheck},
+		{"POST /v1/compact", "compact", s.handleCompact},
+		{"POST /v1/protocols", "protocols", s.handleProtocolRegister},
+		{"GET /v1/protocols/{fingerprint}", "protocols", s.handleProtocolGet},
+		{"POST /v1/jobs", "jobs", s.handleJobSubmit},
+		{"GET /v1/jobs/{id}", "jobs", s.handleJobGet},
+		{"DELETE /v1/jobs/{id}", "jobs", s.handleJobCancel},
+		{"GET /v1/jobs/{id}/events", "jobs.events", s.handleJobEvents},
+		{"GET /v1/stats", "stats", s.handleStats},
+		{"GET /v1/version", "version", s.handleVersion},
+		{"GET /metrics", "metrics", s.handleMetrics},
+		{"GET /healthz", "healthz", s.handleHealthz},
+	} {
+		es := s.endpoints[rt.endpoint]
+		if es == nil {
+			es = &endpointStats{}
+			s.endpoints[rt.endpoint] = es
+			s.endpointOrder = append(s.endpointOrder, rt.endpoint)
+		}
+		s.mux.HandleFunc(rt.pattern, s.instrument(rt.endpoint, es, rt.h))
+	}
 	return s
 }
 
@@ -321,6 +372,20 @@ type StatsResponse struct {
 	// Compactions counts POST /v1/compact requests served OK.
 	Compactions uint64       `json:"compactions"`
 	Store       *store.Stats `json:"store,omitempty"`
+	// Latency summarizes the middleware's per-endpoint latency
+	// histograms (endpoints that served at least one request). The same
+	// distributions are exported in full bucket form as
+	// reprod_http_request_duration_seconds on /metrics.
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
+}
+
+// LatencySummary condenses one latency histogram for /v1/stats. The
+// quantiles are bucket-interpolated estimates, in seconds.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"meanSeconds"`
+	P50   float64 `json:"p50Seconds"`
+	P99   float64 `json:"p99Seconds"`
 }
 
 // Stable machine-readable error codes, the `code` field of every error
@@ -352,10 +417,14 @@ const (
 )
 
 // errorResponse is the uniform error body: a stable machine-readable
-// code plus a human-readable message.
+// code plus a human-readable message, stamped with the request ID so a
+// client error report can be joined against the server's access log.
 type errorResponse struct {
 	Code  string `json:"code"`
 	Error string `json:"error"`
+	// RequestID echoes the request's X-Request-Id (absent on error
+	// paths outside the instrumented mux).
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // codeForStatus derives the error code a status implies. The two
@@ -394,10 +463,16 @@ func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...
 	s.failCode(w, status, codeForStatus(status), format, args...)
 }
 
-// failCode is fail with an explicit machine-readable code.
+// failCode is fail with an explicit machine-readable code. The request
+// ID comes from the response header the middleware stamped before the
+// handler ran.
 func (s *Server) failCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	s.failed.Add(1)
-	writeJSON(w, status, errorResponse{Code: code, Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorResponse{
+		Code:      code,
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(obs.HeaderRequestID),
+	})
 }
 
 // failBody answers a request-body decode failure: an over-limit body is
@@ -458,11 +533,17 @@ func (s *Server) requestEngine(r *http.Request, maxN int) (*engine.Engine, conte
 		engine.WithParallelism(s.cfg.Parallelism),
 		engine.WithShardThreshold(s.cfg.ShardThreshold),
 		engine.WithMaxN(maxN),
+		engine.WithMetrics(s.engMetrics),
 	}
 	if s.graphs != nil {
 		opts = append(opts, engine.WithGraphCache(s.graphs))
 	} else {
 		opts = append(opts, engine.WithGraphCacheBudget(-1))
+	}
+	// Stream the engine's stage events into the request's trace, so the
+	// slow-request log can say where the time went.
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		opts = append(opts, engine.WithProgress(traceProgress(tr)))
 	}
 	return engine.New(opts...), cancel
 }
@@ -640,6 +721,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
 		resp.Store = &st
+	}
+	for name, es := range s.endpoints {
+		snap := es.latency.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		if resp.Latency == nil {
+			resp.Latency = make(map[string]LatencySummary)
+		}
+		resp.Latency[name] = LatencySummary{
+			Count: snap.Count,
+			Mean:  snap.Mean(),
+			P50:   snap.Quantile(0.5),
+			P99:   snap.Quantile(0.99),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
