@@ -9,6 +9,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/algo"
 	"repro/internal/core"
+	"repro/internal/decider"
 	"repro/internal/discern"
 	"repro/internal/engine"
 	"repro/internal/graphstore"
@@ -284,6 +285,41 @@ func BenchmarkEngineAnalyzeParallel(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkBitsetLevelCheck compares the level-decider backends head to
+// head on the hard negative instance: a full n=6 sweep over Tnn(5,2)
+// (consensus number 5, so every operation assignment is checked and no
+// witness short-circuits the enumeration), serial, both properties. The
+// search/bitset ratio is backend=bitset's headline number; allocs/op
+// (via -benchmem in CI) pins the bitset backend's scratch pooling — the
+// packed-word sweep must not allocate per assignment.
+func BenchmarkBitsetLevelCheck(b *testing.B) {
+	ft := types.Tnn(5, 2)
+	const n = 6
+	ctx := context.Background()
+	for _, name := range []string{"search", "bitset"} {
+		d, err := decider.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("discern/backend="+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := d.IsNDiscerning(ctx, ft, n)
+				if err != nil || ok {
+					b.Fatalf("tnn(5,2) must not be 6-discerning: ok=%v err=%v", ok, err)
+				}
+			}
+		})
+		b.Run("record/backend="+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := d.IsNRecording(ctx, ft, n)
+				if err != nil || ok {
+					b.Fatalf("tnn(5,2) must not be 6-recording: ok=%v err=%v", ok, err)
+				}
+			}
+		})
 	}
 }
 

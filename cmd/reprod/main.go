@@ -86,6 +86,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"syscall"
 	"time"
 
@@ -133,6 +135,12 @@ func run(args []string) error {
 	if err := jf.Validate(); err != nil {
 		return err
 	}
+	// Validate -backend at startup: a typo should stop the server from
+	// coming up, not answer invalid_argument on every request.
+	if ef.Backend != "" && !slices.Contains(repro.Backends(), ef.Backend) {
+		return fmt.Errorf("-backend: unknown backend %q (valid: %s)",
+			ef.Backend, strings.Join(repro.Backends(), ", "))
+	}
 	if err := of.Validate(); err != nil {
 		return err
 	}
@@ -167,6 +175,7 @@ func run(args []string) error {
 		MaxN:             *maxN,
 		Parallelism:      ef.Parallel,
 		ShardThreshold:   ef.ShardThreshold,
+		DefaultBackend:   ef.Backend,
 		RequestTimeout:   *reqTimeout,
 		MaxConcurrent:    *maxConc,
 		BatchLimit:       *batchLimit,

@@ -1,0 +1,119 @@
+package decider
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/discern"
+	"repro/internal/record"
+	"repro/internal/spec"
+)
+
+// Default is the backend Get resolves the empty name to.
+const Default = "search"
+
+// Decider is one level-decider backend: an implementation of the two
+// level checks plus their sharded variants. Implementations must be
+// stateless or internally synchronized (one Decider value serves every
+// engine in the process) and must reproduce the canonical results
+// described in the package comment.
+type Decider interface {
+	// Name returns the backend's registry name.
+	Name() string
+	// IsNDiscerning decides whether t is n-discerning (n >= 2; panics
+	// for n < 2, like discern.IsNDiscerningCtx), returning a witness on
+	// a positive decision. The search is abandoned with ctx.Err() when
+	// ctx is done.
+	IsNDiscerning(ctx context.Context, t *spec.FiniteType, n int) (bool, *discern.Witness, error)
+	// IsNRecording is IsNDiscerning for the recording property.
+	IsNRecording(ctx context.Context, t *spec.FiniteType, n int) (bool, *record.Witness, error)
+	// ShardedIsNDiscerning is IsNDiscerning with the assignment
+	// enumeration split across shards concurrent workers (clamped to 1
+	// from below), returning exactly the serial result. onShard, when
+	// non-nil, receives one report per finished shard from that shard's
+	// worker goroutine.
+	ShardedIsNDiscerning(ctx context.Context, t *spec.FiniteType, n, shards int, onShard func(discern.ShardReport)) (bool, *discern.Witness, error)
+	// ShardedIsNRecording is ShardedIsNDiscerning for the recording
+	// property.
+	ShardedIsNRecording(ctx context.Context, t *spec.FiniteType, n, shards int, onShard func(record.ShardReport)) (bool, *record.Witness, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Decider)
+)
+
+// Register adds a backend under its Name. It panics on an empty name or
+// a duplicate registration — backends are wired at init, and a silent
+// overwrite would let two packages fight over a name.
+func Register(d Decider) {
+	name := d.Name()
+	if name == "" {
+		panic("decider: Register with empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("decider: backend %q registered twice", name))
+	}
+	registry[name] = d
+}
+
+// Get resolves a backend name. The empty string selects Default, so
+// callers that never heard of backends keep the search decider. An
+// unknown name errors with the list of registered backends.
+func Get(name string) (Decider, error) {
+	if name == "" {
+		name = Default
+	}
+	registryMu.RLock()
+	d, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("decider: unknown backend %q (valid: %s)", name, strings.Join(Names(), ", "))
+	}
+	return d, nil
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(searchDecider{})
+	Register(newBitsetDecider())
+}
+
+// searchDecider is the "search" backend: the recursive-search deciders
+// the repository grew up on, unchanged. It is the canonical semantics
+// every other backend is differentially tested against.
+type searchDecider struct{}
+
+func (searchDecider) Name() string { return "search" }
+
+func (searchDecider) IsNDiscerning(ctx context.Context, t *spec.FiniteType, n int) (bool, *discern.Witness, error) {
+	return discern.IsNDiscerningCtx(ctx, t, n, discern.Options{})
+}
+
+func (searchDecider) IsNRecording(ctx context.Context, t *spec.FiniteType, n int) (bool, *record.Witness, error) {
+	return record.IsNRecordingCtx(ctx, t, n, record.Options{})
+}
+
+func (searchDecider) ShardedIsNDiscerning(ctx context.Context, t *spec.FiniteType, n, shards int, onShard func(discern.ShardReport)) (bool, *discern.Witness, error) {
+	return discern.ShardedIsNDiscerning(ctx, t, n, shards, discern.ShardOptions{OnShard: onShard})
+}
+
+func (searchDecider) ShardedIsNRecording(ctx context.Context, t *spec.FiniteType, n, shards int, onShard func(record.ShardReport)) (bool, *record.Witness, error) {
+	return record.ShardedIsNRecording(ctx, t, n, shards, record.ShardOptions{OnShard: onShard})
+}

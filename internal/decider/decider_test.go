@@ -1,0 +1,163 @@
+package decider
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+func TestGetResolvesNames(t *testing.T) {
+	d, err := Get("")
+	if err != nil {
+		t.Fatalf("Get(\"\"): %v", err)
+	}
+	if d.Name() != Default {
+		t.Fatalf("Get(\"\") resolved to %q, want %q", d.Name(), Default)
+	}
+	for _, name := range []string{"search", "bitset"} {
+		d, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if d.Name() != name {
+			t.Fatalf("Get(%q).Name() = %q", name, d.Name())
+		}
+	}
+	if _, err := Get("no-such-backend"); err == nil {
+		t.Fatal("Get of unknown backend succeeded")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	got := Names()
+	want := []string{"bitset", "search"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(searchDecider{})
+}
+
+func TestBitsetRejectsLargeN(t *testing.T) {
+	d, err := Get("bitset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = d.IsNDiscerning(context.Background(), types.Register(2), BitsetMaxN+1)
+	if err == nil {
+		t.Fatalf("bitset accepted n=%d", BitsetMaxN+1)
+	}
+}
+
+func TestBitsetPanicsBelowTwo(t *testing.T) {
+	d, err := Get("bitset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=1 did not panic")
+		}
+	}()
+	d.IsNDiscerning(context.Background(), types.Register(2), 1)
+}
+
+// zoo is the cross-backend equivalence corpus: a spread of object types
+// whose level structure the repository already knows from the search
+// backend's own tests.
+func zoo() map[string]*spec.FiniteType {
+	return map[string]*spec.FiniteType{
+		"register2":   types.Register(2),
+		"tas":         types.TestAndSet(),
+		"swap2":       types.Swap(2),
+		"fa3":         types.FetchAdd(3),
+		"cas2":        types.CompareAndSwap(2),
+		"sticky":      types.StickyBit(),
+		"counter3":    types.Counter(3),
+		"maxreg3":     types.MaxRegister(3),
+		"queue2":      types.Queue(2),
+		"stack2":      types.Stack(2),
+		"trivial":     types.Trivial(),
+		"tnn32":       types.Tnn(3, 2),
+		"tnn42":       types.Tnn(4, 2),
+		"swapXsticky": types.Product(types.Swap(2), types.StickyBit()),
+	}
+}
+
+// TestBitsetMatchesSearch asserts the byte-identity contract directly on
+// the zoo: same decision and DeepEqual witnesses for both properties,
+// serial and sharded.
+func TestBitsetMatchesSearch(t *testing.T) {
+	ctx := context.Background()
+	search, _ := Get("search")
+	bitset, _ := Get("bitset")
+	for name, ft := range zoo() {
+		for n := 2; n <= 4; n++ {
+			t.Run(fmt.Sprintf("%s/n=%d", name, n), func(t *testing.T) {
+				sOK, sDW, err := search.IsNDiscerning(ctx, ft, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bOK, bDW, err := bitset.IsNDiscerning(ctx, ft, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sOK != bOK || !reflect.DeepEqual(sDW, bDW) {
+					t.Errorf("discerning diverged: search=(%v,%v) bitset=(%v,%v)", sOK, sDW, bOK, bDW)
+				}
+				sOK2, sRW, err := search.IsNRecording(ctx, ft, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bOK2, bRW, err := bitset.IsNRecording(ctx, ft, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sOK2 != bOK2 || !reflect.DeepEqual(sRW, bRW) {
+					t.Errorf("recording diverged: search=(%v,%v) bitset=(%v,%v)", sOK2, sRW, bOK2, bRW)
+				}
+				for _, shards := range []int{2, 7} {
+					_, dw, err := bitset.ShardedIsNDiscerning(ctx, ft, n, shards, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(dw, bDW) {
+						t.Errorf("bitset sharded(%d) discern witness %v != serial %v", shards, dw, bDW)
+					}
+					_, rw, err := bitset.ShardedIsNRecording(ctx, ft, n, shards, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(rw, bRW) {
+						t.Errorf("bitset sharded(%d) record witness %v != serial %v", shards, rw, bRW)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBitsetHonorsCancellation mirrors the search deciders' contract:
+// a canceled context aborts the sweep with ctx.Err().
+func TestBitsetHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, _ := Get("bitset")
+	if _, _, err := d.IsNDiscerning(ctx, types.Tnn(4, 2), 4); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, _, err := d.IsNRecording(ctx, types.Tnn(4, 2), 4); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,182 @@
+package difftest
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/protodef"
+	"repro/internal/protogen"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// diffShards covers degenerate (serial re-entry), even, and uneven
+// shard splits in every differential run.
+var diffShards = []int{1, 2, 7}
+
+// TestDifferentialRandomProtocols is the main oracle sweep: 200 seeded
+// protocols, every object type, n = 2..4, all shard counts — any
+// divergence between backends, any invalid witness, and any
+// serial-vs-sharded mismatch fails with the seed in the message.
+// Run with -race in CI: the sharded variants exercise the bitset
+// backend's scratch pooling across worker goroutines.
+func TestDifferentialRandomProtocols(t *testing.T) {
+	ctx := context.Background()
+	for seed := uint64(0); seed < 200; seed++ {
+		a := protogen.Generate(seed)
+		for ti, ft := range a.Types() {
+			for n := 2; n <= 4; n++ {
+				if err := Check(ctx, ft, n, diffShards); err != nil {
+					t.Fatalf("seed %d type %d (%s) n=%d: %v", seed, ti, ft.Name(), n, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialRegistryTypes runs the oracle over curated registry
+// types too — the shapes the paper actually talks about, which random
+// tables only approximate.
+func TestDifferentialRegistryTypes(t *testing.T) {
+	ctx := context.Background()
+	for _, ft := range []*spec.FiniteType{
+		types.Register(2),
+		types.TestAndSet(),
+		types.Swap(2),
+		types.FetchAdd(3),
+		types.CompareAndSwap(2),
+		types.StickyBit(),
+		types.Queue(2),
+		types.Tnn(3, 2),
+	} {
+		for n := 2; n <= 4; n++ {
+			if err := Check(ctx, ft, n, diffShards); err != nil {
+				t.Fatalf("%s n=%d: %v", ft.Name(), n, err)
+			}
+		}
+	}
+}
+
+// TestDifferentialEngineCheck drives generated protocols through the
+// full engine on both backends — analyses over the generated types and
+// model checks under the artifact's inputs and crash quota — and
+// compares outcomes. Model-check walks run no level decider, so this
+// guards the backend plumbing (engine construction, caches, request
+// validation) rather than the decision math.
+func TestDifferentialEngineCheck(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		a := protogen.Generate(seed)
+		search := engine.New(engine.WithBackend("search"), engine.WithCache(engine.NewCache()))
+		bitset := engine.New(engine.WithBackend("bitset"), engine.WithCache(engine.NewCache()))
+		for _, ft := range a.Types() {
+			sa, err := search.AnalyzeTo(ft, 3)
+			if err != nil {
+				t.Fatalf("seed %d: search analyze: %v", seed, err)
+			}
+			ba, err := bitset.AnalyzeTo(ft, 3)
+			if err != nil {
+				t.Fatalf("seed %d: bitset analyze: %v", seed, err)
+			}
+			if !reflect.DeepEqual(sa, ba) {
+				t.Fatalf("seed %d type %s: analyses diverged:\nsearch: %+v\nbitset: %+v",
+					seed, ft.Name(), sa, ba)
+			}
+		}
+		req := engine.CheckRequest{Inputs: a.Inputs, CrashQuota: a.CrashQuota, MaxNodes: 200_000}
+		rs, err := search.Check(a.Compiled, req)
+		if err != nil {
+			t.Fatalf("seed %d: search check: %v", seed, err)
+		}
+		rb, err := bitset.Check(a.Compiled, req)
+		if err != nil {
+			t.Fatalf("seed %d: bitset check: %v", seed, err)
+		}
+		if rs.OK() != rb.OK() || rs.Nodes != rb.Nodes || len(rs.Violations) != len(rb.Violations) {
+			t.Fatalf("seed %d: check diverged: search ok=%v nodes=%d viol=%d, bitset ok=%v nodes=%d viol=%d",
+				seed, rs.OK(), rs.Nodes, len(rs.Violations), rb.OK(), rb.Nodes, len(rb.Violations))
+		}
+	}
+}
+
+// TestGoldenCorpus replays the committed corpus under testdata/protogen
+// by name: each descriptor is compiled as stored (never regenerated
+// from its seed) and pushed through the oracle and a cross-backend
+// model check. Regenerate with `go run ./internal/decider/difftest/gen`
+// after a deliberate generator change.
+func TestGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "protogen", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 20 {
+		t.Fatalf("golden corpus has %d entries, want >= 20 (run go run ./internal/decider/difftest/gen)", len(files))
+	}
+	ctx := context.Background()
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var e CorpusEntry
+			if err := json.Unmarshal(data, &e); err != nil {
+				t.Fatal(err)
+			}
+			c, err := protodef.Compile(e.Descriptor)
+			if err != nil {
+				t.Fatalf("committed descriptor no longer compiles: %v", err)
+			}
+			seen := make(map[string]bool)
+			for _, o := range c.Objects() {
+				if seen[o.Type.Name()] {
+					continue
+				}
+				seen[o.Type.Name()] = true
+				for n := 2; n <= 3; n++ {
+					if err := Check(ctx, o.Type, n, diffShards); err != nil {
+						t.Fatalf("type %s n=%d: %v", o.Type.Name(), n, err)
+					}
+				}
+			}
+			search := engine.New(engine.WithBackend("search"), engine.WithCache(engine.NewCache()))
+			bitset := engine.New(engine.WithBackend("bitset"), engine.WithCache(engine.NewCache()))
+			req := engine.CheckRequest{Inputs: e.Inputs, CrashQuota: e.CrashQuota, MaxNodes: 200_000}
+			rs, err := search.Check(c, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := bitset.Check(c, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.OK() != rb.OK() || rs.Nodes != rb.Nodes {
+				t.Fatalf("check diverged: search ok=%v nodes=%d, bitset ok=%v nodes=%d",
+					rs.OK(), rs.Nodes, rb.OK(), rb.Nodes)
+			}
+		})
+	}
+}
+
+// FuzzDifferential hands the generator seed (and n) to the fuzzer: any
+// input that makes the backends disagree, or produces an invalid
+// witness, is a crash the fuzzer minimizes to a seed.
+func FuzzDifferential(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed, uint8(seed))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, rawN uint8) {
+		n := 2 + int(rawN%3)
+		a := protogen.Generate(seed)
+		for _, ft := range a.Types() {
+			if err := Check(context.Background(), ft, n, []int{1, 3}); err != nil {
+				t.Fatalf("seed %d n=%d: %v", seed, n, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,24 @@
+// Package difftest is the differential oracle for level-decider
+// backends: it runs every registered backend (internal/decider) over
+// the same type and cross-checks the results, and it verifies positive
+// witnesses against the property definitions with its own brute-force
+// enumerator — code deliberately independent of both the recursive
+// search and the bitset sweep, so a shared bug cannot vouch for itself.
+//
+// Check is the harness entry point. For one (type, n) it asserts, over
+// all backends and all requested shard counts:
+//
+//   - every backend's decision agrees with every other's;
+//   - witnesses are byte-identical across backends and across
+//     serial-vs-sharded runs of one backend (the contract documented in
+//     internal/decider);
+//   - every positive witness independently verifies (VerifyDiscern,
+//     VerifyRecord).
+//
+// The harness is driven three ways: a seeded sweep over protocols from
+// internal/protogen (hundreds of seeds, n in 2..4, shard counts 1, 2
+// and 7, race-enabled in CI), a golden corpus of committed descriptors
+// under testdata/protogen replayed by name (regenerate with
+// `go run ./internal/decider/difftest/gen`), and a native fuzz target
+// (FuzzDifferential) that lets the fuzzer drive the seed space.
+package difftest

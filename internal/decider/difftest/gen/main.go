@@ -1,0 +1,49 @@
+// Command gen regenerates the golden corpus under
+// internal/decider/difftest/testdata/protogen: 25 protogen artifacts
+// serialized as difftest.CorpusEntry JSON, one file per seed. Run it
+// from the repository root after a deliberate generator change and
+// commit the diff — the golden test replays the committed bytes, so an
+// accidental generator drift shows up as a corpus diff, not a silent
+// rewrite.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/decider/difftest"
+	"repro/internal/protogen"
+)
+
+func main() {
+	dir := flag.String("dir", filepath.Join("internal", "decider", "difftest", "testdata", "protogen"),
+		"output directory for the corpus files")
+	count := flag.Uint64("count", 25, "number of seeds to emit (seeds 0..count-1)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for seed := uint64(0); seed < *count; seed++ {
+		a := protogen.Generate(seed)
+		e := difftest.CorpusEntry{
+			Seed:       a.Seed,
+			Inputs:     a.Inputs,
+			CrashQuota: a.CrashQuota,
+			Descriptor: a.Descriptor,
+		}
+		data, err := json.MarshalIndent(&e, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := filepath.Join(*dir, fmt.Sprintf("gen-%04d.json", seed))
+		if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d corpus entries to %s\n", *count, *dir)
+}

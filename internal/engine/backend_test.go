@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestWithBackendSelectsDecider(t *testing.T) {
+	e := New()
+	if got := e.Backend(); got != "search" {
+		t.Fatalf("default backend = %q, want search", got)
+	}
+	e = New(WithBackend("bitset"))
+	if got := e.Backend(); got != "bitset" {
+		t.Fatalf("backend = %q, want bitset", got)
+	}
+}
+
+func TestBackendsListed(t *testing.T) {
+	want := []string{"bitset", "search"}
+	if got := Backends(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Backends() = %v, want %v", got, want)
+	}
+}
+
+func TestUnknownBackendFailsLevelCheck(t *testing.T) {
+	e := New(WithBackend("no-such-backend"))
+	if got := e.Backend(); got != "no-such-backend" {
+		t.Fatalf("Backend() = %q (unresolved names pass through)", got)
+	}
+	if _, err := e.Analyze(types.TestAndSet()); err == nil {
+		t.Fatal("Analyze with unknown backend succeeded")
+	}
+	if _, _, err := e.Discerning(types.TestAndSet(), 2); err == nil {
+		t.Fatal("Discerning with unknown backend succeeded")
+	}
+}
+
+// TestBackendsAgreeOnAnalyses drives both backends through the full
+// engine path (pooled levels, auto-sharding, private caches) and
+// compares the complete analyses.
+func TestBackendsAgreeOnAnalyses(t *testing.T) {
+	search := New(WithBackend("search"), WithCache(NewCache()))
+	bitset := New(WithBackend("bitset"), WithCache(NewCache()))
+	for _, tt := range []string{"tnn:3,2", "swap:2", "queue:2", "tas"} {
+		st, err := search.Resolve(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := search.AnalyzeTo(st, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := bitset.AnalyzeTo(st, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sa, ba) {
+			t.Errorf("%s: analyses diverged:\nsearch: %+v\nbitset: %+v", tt, sa, ba)
+		}
+	}
+}
+
+func TestDeciderRunsCounted(t *testing.T) {
+	m := NewMetrics()
+	e := New(WithBackend("bitset"), WithMetrics(m), WithCache(NewCache()))
+	if _, _, err := e.Discerning(types.TestAndSet(), 2); err != nil {
+		t.Fatal(err)
+	}
+	runs := m.DeciderRuns()
+	if runs["bitset"] != 1 {
+		t.Fatalf("DeciderRuns = %v, want bitset:1", runs)
+	}
+	// A cache hit runs no backend and must not count.
+	if _, _, err := e.Discerning(types.TestAndSet(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if runs := m.DeciderRuns(); runs["bitset"] != 1 {
+		t.Fatalf("DeciderRuns after cache hit = %v, want bitset:1", runs)
+	}
+}
+
+func TestCheckRequestBackendValidated(t *testing.T) {
+	e := New()
+	p, err := e.ResolveProtocol("tas-reg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []int{0, 1}
+	if _, err := e.Check(p, CheckRequest{Inputs: inputs, Backend: "no-such-backend"}); err == nil {
+		t.Fatal("Check with unknown backend succeeded")
+	}
+	if _, err := e.Theorem13(p, CheckRequest{Inputs: inputs, Backend: "no-such-backend"}); err == nil {
+		t.Fatal("Theorem13 with unknown backend succeeded")
+	}
+	items, _, err := e.CheckBatch(p, []CheckRequest{
+		{Inputs: inputs, Backend: "no-such-backend"},
+		{Inputs: inputs, Backend: "bitset"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Err == nil {
+		t.Fatal("batch item with unknown backend succeeded")
+	}
+	if items[1].Err != nil || !items[1].OK() {
+		t.Fatalf("batch item with valid backend failed: %+v", items[1])
+	}
+	// A valid override on Check passes through.
+	if _, err := e.Check(p, CheckRequest{Inputs: inputs, Backend: "bitset", Ctx: context.Background()}); err != nil {
+		t.Fatal(err)
+	}
+}

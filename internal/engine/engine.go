@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/decider"
 	"repro/internal/discern"
 	"repro/internal/model"
 	"repro/internal/pool"
@@ -75,6 +76,9 @@ type Engine struct {
 	budget         int
 	shardThreshold int
 	metrics        *Metrics
+	backendName    string
+	dec            decider.Decider
+	decErr         error
 	// active counts the level checks currently executing, the basis of
 	// the idle-worker estimate that sizes auto-sharding.
 	active atomic.Int32
@@ -165,6 +169,21 @@ func WithShardThreshold(assignments int) Option {
 	return func(e *Engine) { e.shardThreshold = assignments }
 }
 
+// WithBackend selects the level-decider backend by registry name (see
+// internal/decider): "" or "search" is the recursive-search decider the
+// engine always had, "bitset" the semi-symbolic frontier-sweep decider.
+// Every backend returns byte-identical results, so engines with
+// different backends may safely share one decision cache. An unknown
+// name surfaces as an error from the first level check (option
+// application has no error channel); validate eagerly with
+// decider.Get when the name is untrusted.
+func WithBackend(name string) Option {
+	return func(e *Engine) { e.backendName = name }
+}
+
+// Backends lists the registered level-decider backend names, sorted.
+func Backends() []string { return decider.Names() }
+
 // New constructs an Engine from the given options.
 func New(opts ...Option) *Engine {
 	e := &Engine{
@@ -184,6 +203,7 @@ func New(opts ...Option) *Engine {
 	if e.graphs == nil && e.graphBudget >= 0 {
 		e.graphs = NewGraphCache(e.graphBudget)
 	}
+	e.dec, e.decErr = decider.Get(e.backendName)
 	// An out-of-range maxN is reported by Analyze/AnalyzeAll, not here:
 	// option application has no error channel.
 	return e
@@ -191,6 +211,16 @@ func New(opts ...Option) *Engine {
 
 // MaxN returns the engine's configured analysis limit.
 func (e *Engine) MaxN() int { return e.maxN }
+
+// Backend returns the resolved level-decider backend name (the default
+// when WithBackend was not used, or the unresolved name verbatim when
+// it did not resolve — the error surfaces from the first level check).
+func (e *Engine) Backend() string {
+	if e.dec != nil {
+		return e.dec.Name()
+	}
+	return e.backendName
+}
 
 // Cache returns the engine's decision cache (for stats and sharing).
 func (e *Engine) Cache() *Cache { return e.cache }
@@ -289,9 +319,15 @@ func (e *Engine) shardProgress(j levelJob) func(discern.ShardReport) {
 // idle — are sharded across the pool (see WithShardThreshold).
 func (e *Engine) run(j levelJob) error {
 	start := time.Now()
+	if e.decErr != nil {
+		return e.decErr
+	}
 	e.active.Add(1)
 	defer e.active.Add(-1)
 	key := propKey{fp: j.fp, prop: j.prop, n: j.n}
+	// The cache key carries no backend: every backend returns identical
+	// results (the contract internal/decider/difftest enforces), so a
+	// decision computed by one is served to all.
 	res, cached, err := e.cache.do(e.ctx, key, func() (propResult, error) {
 		var r propResult
 		var err error
@@ -299,23 +335,24 @@ func (e *Engine) run(j levelJob) error {
 		switch j.prop {
 		case Discerning:
 			if shards > 1 {
-				r.ok, r.dw, err = discern.ShardedIsNDiscerning(e.ctx, j.t, j.n, shards,
-					discern.ShardOptions{OnShard: e.shardProgress(j)})
+				r.ok, r.dw, err = e.dec.ShardedIsNDiscerning(e.ctx, j.t, j.n, shards, e.shardProgress(j))
 			} else {
-				r.ok, r.dw, err = discern.IsNDiscerningCtx(e.ctx, j.t, j.n, discern.Options{})
+				r.ok, r.dw, err = e.dec.IsNDiscerning(e.ctx, j.t, j.n)
 			}
 		case Recording:
 			if shards > 1 {
-				r.ok, r.rw, err = record.ShardedIsNRecording(e.ctx, j.t, j.n, shards,
-					record.ShardOptions{OnShard: e.shardProgress(j)})
+				r.ok, r.rw, err = e.dec.ShardedIsNRecording(e.ctx, j.t, j.n, shards, e.shardProgress(j))
 			} else {
-				r.ok, r.rw, err = record.IsNRecordingCtx(e.ctx, j.t, j.n, record.Options{})
+				r.ok, r.rw, err = e.dec.IsNRecording(e.ctx, j.t, j.n)
 			}
 		}
 		return r, err
 	})
 	if err != nil {
 		return err
+	}
+	if !cached {
+		e.metrics.observeDecide(e.dec.Name())
 	}
 	// Witnesses are served as deep copies: their Teams/Ops slices are
 	// exported, and the cached originals outlive any one call (the
@@ -501,6 +538,14 @@ type CheckRequest struct {
 	MaxNodes int
 	// SkipLiveness disables the recoverable wait-freedom (cycle) check.
 	SkipLiveness bool
+	// Backend optionally overrides the engine's level-decider backend
+	// for this request ("" keeps the engine's). Unknown names fail the
+	// request up front with the decider registry's error, so a wire
+	// request carrying a bad backend is rejected at the engine boundary
+	// rather than deep inside a run. Model-checking walks themselves run
+	// no level decider; the override binds the backend any level
+	// decisions made on behalf of this request would use.
+	Backend string
 	// Ctx, when non-nil, cancels this request independently of the
 	// engine context; the run stops as soon as either is done. Inside
 	// CheckBatch this is the per-request cancellation handle — one
@@ -516,6 +561,19 @@ func (e *Engine) maxNodes(req CheckRequest) int {
 	return e.budget
 }
 
+// checkBackend validates a request's backend override against the
+// registry (and surfaces the engine's own unresolved backend, if any).
+func (e *Engine) checkBackend(req CheckRequest) error {
+	if e.decErr != nil {
+		return e.decErr
+	}
+	if req.Backend == "" {
+		return nil
+	}
+	_, err := decider.Get(req.Backend)
+	return err
+}
+
 // Check model-checks a consensus protocol under the engine's context and
 // state budget (plus the request's own context, when set). The walk runs
 // on the engine's cached exploration graph for (p, inputs): a repeat
@@ -523,6 +581,9 @@ func (e *Engine) maxNodes(req CheckRequest) int {
 // requests against one protocol, CheckBatch amortizes the state-space
 // expansion across them within a single call as well.
 func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error) {
+	if err := e.checkBackend(req); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	e.emit(Event{Kind: "check.start", Type: p.Name()})
 	ctx, stop := e.requestCtx(req.Ctx)
@@ -557,6 +618,9 @@ func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error
 // spaces once — and a repeated chain (or a Check of the same protocol
 // and inputs) reuses them again.
 func (e *Engine) Theorem13(p model.Protocol, req CheckRequest) (*model.Chain, error) {
+	if err := e.checkBackend(req); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	e.emit(Event{Kind: "chain.start", Type: p.Name()})
 	ctx, stop := e.requestCtx(req.Ctx)

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graphstore"
+	"repro/internal/model"
+	"repro/internal/proto"
+)
+
+// slowStore wraps a GraphStore and delays every Spill, widening the
+// window in which an eviction (enforce) races the asynchronous delta
+// spill a Sync fired for the same entry.
+type slowStore struct {
+	inner GraphStore
+	delay time.Duration
+}
+
+func (s *slowStore) Load(fp string, inputs []int) (*model.GraphSnapshot, error) {
+	return s.inner.Load(fp, inputs)
+}
+
+func (s *slowStore) Spill(fp string, inputs []int, snap *model.GraphSnapshot) (int, error) {
+	time.Sleep(s.delay)
+	return s.inner.Spill(fp, inputs, snap)
+}
+
+// TestGraphCacheEvictionRacesSpill hammers a one-node-budget cache (so
+// every Get evicts the least-recently-used graph) through a store whose
+// spills are artificially slow: each Sync leaves a spill in flight that
+// the next eviction then races. The guarantees under test, with -race
+// in CI: no lost updates — after the dust settles the store holds every
+// graph's complete expansion, so a fresh cache warm-loads each key and
+// re-walks it with zero new expansions — and GraphStoreStats.Errors
+// stays 0 throughout.
+func TestGraphCacheEvictionRacesSpill(t *testing.T) {
+	dir := t.TempDir()
+	raw, err := graphstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGraphCache(1)
+	c.SetStore(&slowStore{inner: raw, delay: 2 * time.Millisecond})
+
+	type key struct {
+		p      model.Protocol
+		inputs []int
+	}
+	var keys []key
+	for _, p := range []model.Protocol{proto.NewCASRecoverable(2), proto.NewCASWaitFree(2)} {
+		for _, inputs := range [][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+			keys = append(keys, key{p, inputs})
+		}
+	}
+
+	// Expected full expansion size per key, from an isolated graph.
+	want := make([]uint64, len(keys))
+	for i, k := range keys {
+		g, err := model.NewGraph(k.p, k.inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Check(model.CheckOpts{Inputs: k.inputs}); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = g.Stats().Interned
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i := range keys {
+					// Stagger workers so Get/Sync/evict interleave
+					// differently in each goroutine.
+					kk := keys[(i+w)%len(keys)]
+					g, err := c.Get(kk.p, kk.inputs)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if _, err := g.Check(model.CheckOpts{Inputs: kk.inputs}); err != nil {
+						errs <- err
+						return
+					}
+					c.Sync(g)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every key's complete expansion must land on disk: in-flight spills
+	// export the full graph, so waiting on the raw store's contents is
+	// the lost-update check.
+	fps := make([]string, len(keys))
+	for i, k := range keys {
+		if fps[i], err = model.Fingerprint(k.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for i, k := range keys {
+		for {
+			snap, err := raw.Load(fps[i], k.inputs)
+			if err != nil {
+				t.Fatalf("key %d: load: %v", i, err)
+			}
+			if snap != nil && uint64(len(snap.Nodes)) == want[i] {
+				break
+			}
+			if time.Now().After(deadline) {
+				got := 0
+				if snap != nil {
+					got = len(snap.Nodes)
+				}
+				t.Fatalf("key %d: store has %d of %d nodes after racing spills (lost update)",
+					i, got, want[i])
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	if st := c.Stats(); st.Store == nil || st.Store.Errors != 0 {
+		t.Fatalf("store errors after eviction/spill races: %+v", st.Store)
+	}
+	if st := c.Stats(); st.Evicted == 0 {
+		t.Fatal("budget never forced an eviction; the race was not exercised")
+	}
+
+	// A fresh cache over the same directory must warm-load every key
+	// completely: zero new expansions on a full re-walk.
+	raw2, err := graphstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewGraphCache(0)
+	c2.SetStore(raw2)
+	for i, k := range keys {
+		g, err := c2.Get(k.p, k.inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := g.Stats()
+		if _, err := g.Check(model.CheckOpts{Inputs: k.inputs}); err != nil {
+			t.Fatal(err)
+		}
+		if after := g.Stats(); after.Expanded != before.Expanded {
+			t.Fatalf("key %d: warm re-walk expanded %d new nodes, want 0 (spill lost data)",
+				i, after.Expanded-before.Expanded)
+		}
+	}
+	if st := c2.Stats(); st.Store == nil || st.Store.Errors != 0 {
+		t.Fatalf("fresh cache hit store errors: %+v", st.Store)
+	}
+}

@@ -1,0 +1,57 @@
+package protodef_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/protodef"
+	"repro/internal/protogen"
+)
+
+// FuzzProtodefCompile feeds arbitrary bytes to the descriptor pipeline.
+// The compiler must never panic on untrusted input (it is the body of
+// POST /v1/protocols), and any input it accepts must survive the
+// package's round-trip law: the canonical export (Describe) recompiles
+// to a fingerprint-equal protocol. Seeds are generated descriptors plus
+// a few malformed shapes; run longer with
+// go test -run=^$ -fuzz=FuzzProtodefCompile ./internal/protodef.
+func FuzzProtodefCompile(f *testing.F) {
+	for seed := uint64(0); seed < 6; seed++ {
+		data, err := json.Marshal(protogen.Generate(seed).Descriptor)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"name":"x","procs":1,"types":[{"name":"t","values":["a"],"ops":[{"name":"o","transitions":[{"from":"a","resp":"r","to":"a"}]}]}],"objects":[{"type":"t","init":"a"}],"machines":[{"init":["s","s"],"states":[{"name":"s","decide":0}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := protodef.Parse(data)
+		if err != nil {
+			return // rejected input; the only requirement is no panic
+		}
+		want, err := model.Fingerprint(c)
+		if err != nil {
+			// The reachable closure exceeds the fingerprint state
+			// budget; the round-trip law is out of reach for this input.
+			return
+		}
+		exported, err := protodef.Describe(c)
+		if err != nil {
+			t.Fatalf("compiled and fingerprinted, but Describe failed: %v", err)
+		}
+		re, err := protodef.Compile(exported)
+		if err != nil {
+			t.Fatalf("canonical export does not recompile: %v", err)
+		}
+		got, err := model.Fingerprint(re)
+		if err != nil {
+			t.Fatalf("recompiled export does not fingerprint: %v", err)
+		}
+		if got != want {
+			t.Fatalf("fingerprint changed across the Describe round-trip: %s -> %s", want, got)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+// Package protogen generates random — but always well-formed — protocol
+// descriptors for differential and property testing.
+//
+// Generate is a pure function of its seed: the same seed always yields
+// the same descriptor, inputs, and crash quota, so any failure found by
+// a randomized sweep is reproducible from the one-word seed alone (and
+// can be committed as a golden artifact, see testdata/protogen in
+// internal/decider/difftest).
+//
+// Every generated descriptor compiles. The generator guarantees this by
+// construction rather than by retry:
+//
+//   - operation tables are emitted with exactly one transition per
+//     value, so they are total;
+//   - every machine state carries a "*" fallback successor, so every
+//     response resolves;
+//   - all names are drawn from fixed small pools within the package
+//     budgets of internal/protodef.
+//
+// Dimensions are deliberately small (2–3 processes, 1–2 types of 2–5
+// values and 1–3 operations, 1–2 objects, one shared machine of a
+// handful of states): the differential oracle in
+// internal/decider/difftest runs full level decisions and model checks
+// over hundreds of artifacts, and small shapes keep that sweep fast
+// while still covering response-name collisions, multi-object machines,
+// and crash-quota variants.
+package protogen

@@ -1,0 +1,103 @@
+package protogen
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/protodef"
+)
+
+// TestGenerateDeterministic: Generate is a pure function of the seed,
+// byte for byte — the whole point of seed-addressed artifacts.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a.Descriptor, b.Descriptor) {
+			t.Fatalf("seed %d: descriptors differ", seed)
+		}
+		if !reflect.DeepEqual(a.Inputs, b.Inputs) || !reflect.DeepEqual(a.CrashQuota, b.CrashQuota) {
+			t.Fatalf("seed %d: inputs/quota differ", seed)
+		}
+		ja, err := json.Marshal(a.Descriptor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, _ := json.Marshal(b.Descriptor)
+		if string(ja) != string(jb) {
+			t.Fatalf("seed %d: JSON differs", seed)
+		}
+	}
+}
+
+// TestGenerateAlwaysCompiles sweeps a large seed range: every artifact
+// compiles (Generate panics otherwise), validates as a model.Protocol,
+// and respects the generator's documented dimension bounds.
+func TestGenerateAlwaysCompiles(t *testing.T) {
+	sawQuota, sawNoQuota := false, false
+	for seed := uint64(0); seed < 500; seed++ {
+		a := Generate(seed)
+		if err := model.Validate(a.Compiled); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d := a.Descriptor
+		if d.Procs < 2 || d.Procs > 3 {
+			t.Fatalf("seed %d: procs %d out of [2,3]", seed, d.Procs)
+		}
+		if len(d.Types) < 1 || len(d.Types) > 2 {
+			t.Fatalf("seed %d: %d types", seed, len(d.Types))
+		}
+		for _, td := range d.Types {
+			if len(td.Values) < 2 || len(td.Values) > 5 || len(td.Ops) < 1 || len(td.Ops) > 3 {
+				t.Fatalf("seed %d: type %s dims out of range", seed, td.Name)
+			}
+		}
+		if len(a.Inputs) != d.Procs {
+			t.Fatalf("seed %d: %d inputs for %d procs", seed, len(a.Inputs), d.Procs)
+		}
+		if a.CrashQuota != nil {
+			sawQuota = true
+			if len(a.CrashQuota) != d.Procs {
+				t.Fatalf("seed %d: quota length %d", seed, len(a.CrashQuota))
+			}
+		} else {
+			sawNoQuota = true
+		}
+		if ts := a.Types(); len(ts) == 0 || len(ts) > len(d.Objects) {
+			t.Fatalf("seed %d: Types() = %d", seed, len(ts))
+		}
+	}
+	if !sawQuota || !sawNoQuota {
+		t.Fatal("seed sweep never produced both crash-quota variants")
+	}
+}
+
+// TestGenerateRoundTrips: generated descriptors survive the package's
+// canonical export — Compile(Describe(Compile(d))) fingerprints equal.
+// This keeps protogen output inside the same round-trip law the rest of
+// the descriptor pipeline guarantees.
+func TestGenerateRoundTrips(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		a := Generate(seed)
+		want, err := model.Fingerprint(a.Compiled)
+		if err != nil {
+			t.Fatalf("seed %d: fingerprint: %v", seed, err)
+		}
+		exported, err := protodef.Describe(a.Compiled)
+		if err != nil {
+			t.Fatalf("seed %d: describe: %v", seed, err)
+		}
+		re, err := protodef.Compile(exported)
+		if err != nil {
+			t.Fatalf("seed %d: recompile: %v", seed, err)
+		}
+		got, err := model.Fingerprint(re)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: fingerprint changed across Describe round-trip", seed)
+		}
+	}
+}

@@ -198,7 +198,18 @@ func checkValueAssignment(t *spec.FiniteType, n int, ops []spec.Op, u spec.Value
 	} else {
 		firstMask = finalValues(t, n, ops, u)
 	}
+	return ColorFinal(n, firstMask, u)
+}
 
+// ColorFinal turns one assignment's final-value observation sets into an
+// n-recording team assignment, or nil when none exists. firstMask[v] is
+// the bitmask of first movers f such that some nonempty schedule starting
+// with f leaves the object with value v, computed from initial value u.
+// The choice of partition is deterministic given firstMask, which is what
+// lets alternative decider backends (internal/decider) reproduce the
+// recursive search's witnesses bit for bit: any backend that derives the
+// same observation sets colors them through this one function.
+func ColorFinal(n int, firstMask map[spec.Value]uint32, u spec.Value) []int {
 	// Condition 1: every firstMask set must be monochromatic.
 	groups := uf.New(n)
 	for _, mask := range firstMask {

@@ -39,6 +39,10 @@ type CheckRequestBody struct {
 	// Requests is the batch; all items run over shared exploration
 	// graphs (one per distinct input vector).
 	Requests []CheckItemRequest `json:"requests"`
+	// Backend selects the level-decider backend for the whole batch
+	// ("" = the server default). Unknown names answer 400
+	// invalid_argument.
+	Backend string `json:"backend,omitempty"`
 }
 
 // ViolationJSON is the wire form of one property violation.
@@ -97,13 +101,18 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			len(req.Requests), s.cfg.BatchLimit)
 		return
 	}
+	backend, err := s.resolveBackend(req.Backend)
+	if err != nil {
+		s.failBackend(w, err)
+		return
+	}
 	release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, http.StatusServiceUnavailable, "no analysis slot: %v", err)
 		return
 	}
 	defer release()
-	eng, cancel := s.requestEngine(r, s.cfg.MaxN)
+	eng, cancel := s.requestEngine(r, s.cfg.MaxN, backend)
 	defer cancel()
 
 	// runCheckBatch turns per-item timeouts into per-request contexts on

@@ -55,6 +55,9 @@ type Theorem13Request struct {
 	// MaxNodes bounds each stage's explored state space (0 = server
 	// default; capped at the server's CheckMaxNodes).
 	MaxNodes int `json:"maxNodes,omitempty"`
+	// Backend selects the level-decider backend ("" = the server
+	// default). Unknown names answer 400 invalid_argument at submission.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Theorem13Response is a theorem13 job's result.
@@ -95,9 +98,10 @@ func progressJSON(ev engine.Event) progressEvent {
 }
 
 // jobEngine builds the engine one job runs on: bound to the job's
-// context (not any request's), sharing the server-wide caches, streaming
-// every engine progress event into the job's subscribable stream.
-func (s *Server) jobEngine(ctx context.Context, j *jobs.Job, maxN int) *engine.Engine {
+// context (not any request's), running the backend the submission
+// resolved, sharing the server-wide caches, streaming every engine
+// progress event into the job's subscribable stream.
+func (s *Server) jobEngine(ctx context.Context, j *jobs.Job, maxN int, backend string) *engine.Engine {
 	opts := []engine.Option{
 		engine.WithContext(ctx),
 		engine.WithCache(s.cfg.Cache),
@@ -105,6 +109,7 @@ func (s *Server) jobEngine(ctx context.Context, j *jobs.Job, maxN int) *engine.E
 		engine.WithShardThreshold(s.cfg.ShardThreshold),
 		engine.WithMaxN(maxN),
 		engine.WithMetrics(s.engMetrics),
+		engine.WithBackend(backend),
 		engine.WithProgress(func(ev engine.Event) { j.Publish(ev.Kind, progressJSON(ev)) }),
 	}
 	if s.graphs != nil {
@@ -127,6 +132,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, err := s.jobSpec(req)
 	if err != nil {
+		var iae invalidArgError
+		if errors.As(err, &iae) {
+			s.failBackend(w, iae.err)
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -145,7 +155,19 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.View())
 }
 
+// invalidArgError marks a submission failure that must answer with the
+// invalid_argument coded envelope rather than the generic bad_request:
+// a field named a value outside its fixed set (an unknown level-decider
+// backend). jobSpec wraps, handleJobSubmit unwraps.
+type invalidArgError struct{ err error }
+
+func (e invalidArgError) Error() string { return e.err.Error() }
+func (e invalidArgError) Unwrap() error { return e.err }
+
 // jobSpec validates a JobRequest and builds the jobs.Spec running it.
+// Validation is complete at submission — including the backend name, so
+// an unknown backend is a 400 invalid_argument answer, never a queued
+// job that fails at run time.
 func (s *Server) jobSpec(req JobRequest) (jobs.Spec, error) {
 	spec := jobs.Spec{
 		Kind:     req.Kind,
@@ -165,9 +187,13 @@ func (s *Server) jobSpec(req JobRequest) (jobs.Spec, error) {
 		if err != nil {
 			return spec, err
 		}
+		backend, err := s.resolveBackend(req.Analyze.Backend)
+		if err != nil {
+			return spec, invalidArgError{err}
+		}
 		spec.Label = "analyze " + label
 		spec.Run = func(ctx context.Context, j *jobs.Job) (any, error) {
-			a, err := s.jobEngine(ctx, j, maxN).Analyze(t)
+			a, err := s.jobEngine(ctx, j, maxN, backend).Analyze(t)
 			if err != nil {
 				return nil, err
 			}
@@ -191,9 +217,13 @@ func (s *Server) jobSpec(req JobRequest) (jobs.Spec, error) {
 			return spec, fmt.Errorf("batch of %d check requests exceeds the limit of %d",
 				len(body.Requests), s.cfg.BatchLimit)
 		}
+		backend, err := s.resolveBackend(body.Backend)
+		if err != nil {
+			return spec, invalidArgError{err}
+		}
 		spec.Label = "check " + label
 		spec.Run = func(ctx context.Context, j *jobs.Job) (any, error) {
-			return s.runCheckBatch(ctx, s.jobEngine(ctx, j, s.cfg.MaxN), p, label, body.Requests)
+			return s.runCheckBatch(ctx, s.jobEngine(ctx, j, s.cfg.MaxN, backend), p, label, body.Requests)
 		}
 
 	case "theorem13":
@@ -209,9 +239,13 @@ func (s *Server) jobSpec(req JobRequest) (jobs.Spec, error) {
 			return spec, fmt.Errorf("theorem13 needs %d inputs for %s, got %d",
 				p.Procs(), label, len(body.Inputs))
 		}
+		backend, err := s.resolveBackend(body.Backend)
+		if err != nil {
+			return spec, invalidArgError{err}
+		}
 		spec.Label = "theorem13 " + label
 		spec.Run = func(ctx context.Context, j *jobs.Job) (any, error) {
-			eng := s.jobEngine(ctx, j, s.cfg.MaxN)
+			eng := s.jobEngine(ctx, j, s.cfg.MaxN, backend)
 			chain, err := eng.Theorem13(p, engine.CheckRequest{
 				Inputs:     body.Inputs,
 				CrashQuota: body.CrashQuota,

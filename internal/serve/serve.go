@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/decider"
 	"repro/internal/discern"
 	"repro/internal/engine"
 	"repro/internal/jobs"
@@ -58,6 +59,11 @@ type Config struct {
 	// ShardThreshold is passed through to each request engine
 	// (see engine.WithShardThreshold).
 	ShardThreshold int
+	// DefaultBackend is the level-decider backend requests run on when
+	// they name none ("" = the engine default, "search"). Requests
+	// override it per call with their "backend" field; unknown names —
+	// here or in requests — answer 400 invalid_argument.
+	DefaultBackend string
 	// RequestTimeout bounds one request's analysis
 	// (0 = DefaultRequestTimeout; negative = no timeout).
 	RequestTimeout time.Duration
@@ -268,12 +274,19 @@ type AnalyzeRequest struct {
 	// MaxN overrides the analysis bound (0 = server default; capped at
 	// the server's MaxN).
 	MaxN int `json:"maxN,omitempty"`
+	// Backend selects the level-decider backend ("search", "bitset";
+	// "" = the server default). Unknown names answer 400
+	// invalid_argument.
+	Backend string `json:"backend,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
 type BatchRequest struct {
 	Types []string `json:"types"`
 	MaxN  int      `json:"maxN,omitempty"`
+	// Backend selects the level-decider backend for the whole batch
+	// ("" = the server default).
+	Backend string `json:"backend,omitempty"`
 }
 
 // Level is one row of a type's decision spectrum.
@@ -369,6 +382,10 @@ type StatsResponse struct {
 	// Protocols is the number of distinct user-submitted protocols
 	// registered by fingerprint.
 	Protocols int `json:"protocols"`
+	// Deciders counts level decisions actually computed (memo-cache
+	// misses) per level-decider backend, across every request and job
+	// engine. Absent until the first computed decision.
+	Deciders map[string]uint64 `json:"deciders,omitempty"`
 	// Compactions counts POST /v1/compact requests served OK.
 	Compactions uint64       `json:"compactions"`
 	Store       *store.Stats `json:"store,omitempty"`
@@ -412,6 +429,11 @@ const (
 	// CodeTooLarge: the request body or the stored artifact exceeds a
 	// size limit.
 	CodeTooLarge = "too_large"
+	// CodeInvalidArgument: a request field names something that does not
+	// exist in a fixed value set (today: an unknown level-decider
+	// backend). Distinct from bad_request so clients can tell a typo'd
+	// enum value from a structurally malformed request.
+	CodeInvalidArgument = "invalid_argument"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal = "internal"
 )
@@ -505,6 +527,29 @@ func (s *Server) resolveMaxN(reqMaxN int) (int, error) {
 	return reqMaxN, nil
 }
 
+// resolveBackend applies the server default to a request's backend and
+// validates the result against the decider registry. A failed
+// resolution is answered 400 invalid_argument (see failBackend).
+func (s *Server) resolveBackend(reqBackend string) (string, error) {
+	name := reqBackend
+	if name == "" {
+		name = s.cfg.DefaultBackend
+	}
+	if name == "" {
+		return "", nil
+	}
+	if _, err := decider.Get(name); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// failBackend answers an unknown-backend resolution failure with the
+// invalid_argument coded envelope.
+func (s *Server) failBackend(w http.ResponseWriter, err error) {
+	s.failCode(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+}
+
 // acquire takes one analysis slot, waiting until the request context
 // fires. It returns a release func, or an error when the wait is cut.
 func (s *Server) acquire(r *http.Request) (func(), error) {
@@ -519,9 +564,9 @@ func (s *Server) acquire(r *http.Request) (func(), error) {
 
 // requestEngine builds the short-lived engine for one request: bound to
 // the request context plus the per-request timeout, analyzing up to
-// maxN, sharing the server's cache. The returned cancel must be
-// deferred.
-func (s *Server) requestEngine(r *http.Request, maxN int) (*engine.Engine, context.CancelFunc) {
+// maxN on the resolved backend, sharing the server's cache. The
+// returned cancel must be deferred.
+func (s *Server) requestEngine(r *http.Request, maxN int, backend string) (*engine.Engine, context.CancelFunc) {
 	ctx := r.Context()
 	cancel := context.CancelFunc(func() {})
 	if s.cfg.RequestTimeout > 0 {
@@ -534,6 +579,7 @@ func (s *Server) requestEngine(r *http.Request, maxN int) (*engine.Engine, conte
 		engine.WithShardThreshold(s.cfg.ShardThreshold),
 		engine.WithMaxN(maxN),
 		engine.WithMetrics(s.engMetrics),
+		engine.WithBackend(backend),
 	}
 	if s.graphs != nil {
 		opts = append(opts, engine.WithGraphCache(s.graphs))
@@ -603,13 +649,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	backend, err := s.resolveBackend(req.Backend)
+	if err != nil {
+		s.failBackend(w, err)
+		return
+	}
 	release, err := s.acquire(r)
 	if err != nil {
 		s.fail(w, http.StatusServiceUnavailable, "no analysis slot: %v", err)
 		return
 	}
 	defer release()
-	eng, cancel := s.requestEngine(r, maxN)
+	eng, cancel := s.requestEngine(r, maxN, backend)
 	defer cancel()
 	a, err := eng.Analyze(t)
 	if err != nil {
@@ -640,6 +691,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	backend, err := s.resolveBackend(req.Backend)
+	if err != nil {
+		s.failBackend(w, err)
+		return
+	}
 
 	// Resolve every descriptor first: a typo in one must not cost the
 	// others their analysis (or the client a 400 after seconds of work).
@@ -664,7 +720,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer release()
-		eng, cancel := s.requestEngine(r, maxN)
+		eng, cancel := s.requestEngine(r, maxN, backend)
 		defer cancel()
 		// One flat pool run for the whole batch: levels of all types
 		// interleave, and duplicate descriptors collapse in the cache.
@@ -710,6 +766,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.GraphStore = gc.Store
 	resp.Jobs = s.jobsMgr.Stats()
 	resp.Protocols = s.protocols.Len()
+	resp.Deciders = s.engMetrics.DeciderRuns()
 	resp.Compactions = s.compacted.Load()
 	hits, misses, entries := s.cfg.Cache.Stats()
 	resp.Cache.Hits = hits

@@ -241,6 +241,15 @@ func OpenGraphStore(dir string) (*GraphStore, error) { return graphstore.Open(di
 // resolves to.
 const DefaultGraphCacheBudget = engine.DefaultGraphCacheBudget
 
+// WithBackend selects the level-decider backend by name: "" or "search"
+// (the recursive-search deciders, the default) or "bitset" (the
+// semi-symbolic frontier-sweep decider). All backends return
+// byte-identical results — see internal/decider.
+func WithBackend(name string) Option { return engine.WithBackend(name) }
+
+// Backends lists the registered level-decider backend names, sorted.
+func Backends() []string { return engine.Backends() }
+
 // WithShardThreshold controls auto-sharding of single level checks: a
 // level whose operation-assignment count exceeds the threshold is split
 // across the engine's idle workers, with results identical to the serial
