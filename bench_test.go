@@ -360,6 +360,68 @@ func BenchmarkShardedLevelCheck(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedLevelCheckSteal is the scheduler ablation for the
+// sharded level check: the work-stealing chunk queue versus the
+// contiguous-range baseline on the same Tnn(5,2) n=6 negative instance.
+// With contiguous ranges the uneven per-rank enumeration cost leaves
+// some shards idle while others churn; the chunk queue rebalances, so
+// steal/shards=k should scale strictly better than contiguous/shards=k
+// for k > 1 while returning byte-identical results (difftest enforces
+// the identity; this benchmark tracks the scaling gap).
+func BenchmarkShardedLevelCheckSteal(b *testing.B) {
+	ft := types.Tnn(5, 2)
+	const n = 6
+	shardSet := []int{2, 4}
+	if c := runtime.NumCPU(); c > 4 {
+		shardSet = append(shardSet, c)
+	}
+	ctx := context.Background()
+	for _, shards := range shardSet {
+		for _, contiguous := range []bool{false, true} {
+			mode := "steal"
+			if contiguous {
+				mode = "contiguous"
+			}
+			b.Run(fmt.Sprintf("%s/shards=%d", mode, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ok, _, err := discern.ShardedIsNDiscerning(ctx, ft, n, shards,
+						discern.ShardOptions{Contiguous: contiguous})
+					if err != nil || ok {
+						b.Fatalf("tnn(5,2) must not be 6-discerning: ok=%v err=%v", ok, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGraphInternWarm measures the packed-word graph walk in
+// isolation: one model.Graph is built and fully expanded by a priming
+// Check, then every iteration re-walks the interned graph. No engine,
+// cache, or event layer — allocs/op here is the floor the interning
+// dictionary, open-addressed walk overlay, and pooled frontiers buy on
+// the hot path (only the per-call Result and its arenas remain).
+func BenchmarkGraphInternWarm(b *testing.B) {
+	pr := proto.NewCASWaitFree(2)
+	inputs := []int{0, 1}
+	g, err := model.NewGraph(pr, inputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := model.CheckOpts{Inputs: inputs}
+	if _, err := g.Check(opts); err != nil { // prime: expand every node
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Check(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGraphCacheCheckBatch measures the engine-resident graph
 // cache: one batch of mixed-quota check requests against one protocol,
 // cold (a fresh engine per iteration: every graph is built and expanded

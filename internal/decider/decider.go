@@ -91,8 +91,47 @@ func Names() []string {
 }
 
 func init() {
+	b := newBitsetDecider()
 	Register(searchDecider{})
-	Register(newBitsetDecider())
+	Register(b)
+	Register(autoDecider{search: searchDecider{}, bitset: b})
+}
+
+// autoDecider is the "auto" backend: per-call dispatch to the fastest
+// backend that can serve the level. The bitset backend wins decisively
+// wherever it applies but its packed observation tables cap out at
+// n = BitsetMaxN, so auto picks bitset for n <= BitsetMaxN and the
+// unbounded search decider above it. Both targets return canonical
+// byte-identical results, so the dispatch is invisible in outputs —
+// only in latency.
+type autoDecider struct {
+	search Decider
+	bitset Decider
+}
+
+func (autoDecider) Name() string { return "auto" }
+
+func (d autoDecider) pick(n int) Decider {
+	if n <= BitsetMaxN {
+		return d.bitset
+	}
+	return d.search
+}
+
+func (d autoDecider) IsNDiscerning(ctx context.Context, t *spec.FiniteType, n int) (bool, *discern.Witness, error) {
+	return d.pick(n).IsNDiscerning(ctx, t, n)
+}
+
+func (d autoDecider) IsNRecording(ctx context.Context, t *spec.FiniteType, n int) (bool, *record.Witness, error) {
+	return d.pick(n).IsNRecording(ctx, t, n)
+}
+
+func (d autoDecider) ShardedIsNDiscerning(ctx context.Context, t *spec.FiniteType, n, shards int, onShard func(discern.ShardReport)) (bool, *discern.Witness, error) {
+	return d.pick(n).ShardedIsNDiscerning(ctx, t, n, shards, onShard)
+}
+
+func (d autoDecider) ShardedIsNRecording(ctx context.Context, t *spec.FiniteType, n, shards int, onShard func(record.ShardReport)) (bool, *record.Witness, error) {
+	return d.pick(n).ShardedIsNRecording(ctx, t, n, shards, onShard)
 }
 
 // searchDecider is the "search" backend: the recursive-search deciders

@@ -18,7 +18,7 @@ func TestGetResolvesNames(t *testing.T) {
 	if d.Name() != Default {
 		t.Fatalf("Get(\"\") resolved to %q, want %q", d.Name(), Default)
 	}
-	for _, name := range []string{"search", "bitset"} {
+	for _, name := range []string{"search", "bitset", "auto"} {
 		d, err := Get(name)
 		if err != nil {
 			t.Fatalf("Get(%q): %v", name, err)
@@ -34,9 +34,48 @@ func TestGetResolvesNames(t *testing.T) {
 
 func TestNamesSorted(t *testing.T) {
 	got := Names()
-	want := []string{"bitset", "search"}
+	want := []string{"auto", "bitset", "search"}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+// TestAutoDispatch pins the auto backend's switchover: bitset at and
+// below BitsetMaxN (so large-n calls must not error the way a direct
+// bitset call does), search above it, identical results either side.
+func TestAutoDispatch(t *testing.T) {
+	ctx := context.Background()
+	auto, err := Get("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitset, _ := Get("bitset")
+
+	ft := types.Register(2)
+	aOK, aW, err := auto.IsNDiscerning(ctx, ft, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bOK, bW, err := bitset.IsNDiscerning(ctx, ft, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aOK != bOK || !reflect.DeepEqual(aW, bW) {
+		t.Errorf("auto(n=2) = (%v,%v), bitset = (%v,%v)", aOK, aW, bOK, bW)
+	}
+
+	// The switchover itself: bitset at and below the cap, search above it
+	// (running a real n=17 level check is exponential in n, so the pick
+	// is asserted directly).
+	ad, ok := auto.(autoDecider)
+	if !ok {
+		t.Fatalf("auto backend is %T, want autoDecider", auto)
+	}
+	if got := ad.pick(BitsetMaxN).Name(); got != "bitset" {
+		t.Errorf("pick(%d) = %q, want bitset", BitsetMaxN, got)
+	}
+	if got := ad.pick(BitsetMaxN + 1).Name(); got != "search" {
+		t.Errorf("pick(%d) = %q, want search", BitsetMaxN+1, got)
 	}
 }
 

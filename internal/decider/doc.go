@@ -3,7 +3,7 @@
 // algorithms that decide the paper's two level properties (n-discerning,
 // n-recording) for a finite type.
 //
-// Two backends register at init:
+// Three backends register at init:
 //
 //   - "search" (the default) wraps the recursive-search deciders of
 //     internal/discern and internal/record: a symmetry-reduced
@@ -15,6 +15,12 @@
 //     first-mover sweep and a backward descendant-final-value sweep)
 //     instead of recursing over individual schedules, so observation
 //     sets for all 2^n schedule prefixes are computed set-at-a-time.
+//   - "auto" dispatches per call on n alone: "bitset" when
+//     n <= BitsetMaxN (16 — the bitset backend's uint32 first-mover
+//     mask and subset-index word widths cap it there), "search" above.
+//     Because every backend is byte-identical, the switchover is
+//     unobservable in results; "auto" simply picks the faster engine
+//     for the level at hand.
 //
 // # The contract backends must honor
 //

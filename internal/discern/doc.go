@@ -25,11 +25,17 @@
 // # Concurrency and byte-stability
 //
 // The deciders are pure functions of their inputs and safe for
-// concurrent use. The operation-assignment space is enumerated through a
-// deterministic rank/unrank TupleSpace, so sharded scans
-// (ShardedIsNDiscerning, splitting contiguous rank ranges across a
-// worker pool) return exactly the serial decider's answer, including the
-// same (lowest-ranked) witness. Witness JSON encoding round-trips
-// byte-identically — the contract the persistent decision store relies
-// on.
+// concurrent use. The operation-assignment space is enumerated through
+// a deterministic rank/unrank TupleSpace, so sharded scans return
+// exactly the serial decider's answer, including the same
+// (lowest-ranked) witness. ShardedIsNDiscerning schedules shards over a
+// work-stealing chunk queue: ranks are split into fixed-size chunks,
+// workers atomically claim the next unclaimed chunk, and a shared
+// best-rank bound prunes chunks that can no longer hold the first
+// witness — a rank is only ever skipped when a strictly lower witness
+// is already in hand, so the lowest-ranked witness is found regardless
+// of claim interleaving. The pre-stealing contiguous-range split is
+// kept behind ShardOptions.Contiguous as the cross-validated baseline.
+// Witness JSON encoding round-trips byte-identically — the contract the
+// persistent decision store relies on.
 package discern

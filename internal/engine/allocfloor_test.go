@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// TestWarmCheckAllocFloor is the in-repo allocation ratchet for the
+// warm Check hot path: a headless engine re-checking a cached,
+// fully-expanded graph. The packed-word encoding, open-addressed walk
+// overlay, interned fingerprint memo, and pooled key buffer brought the
+// path from 87 allocs/op down to 9 — all nine are the per-call Result
+// and its arenas, which outlive the call and cannot be pooled. The
+// bound below leaves headroom for incidental runtime variation but sits
+// far under the pre-pack figure, so any change that reintroduces
+// per-visit or per-key allocations fails here before it reaches the
+// CI bench gate.
+func TestWarmCheckAllocFloor(t *testing.T) {
+	e := New(WithParallelism(1))
+	pr := proto.NewCASWaitFree(2)
+	req := CheckRequest{Inputs: []int{0, 1}}
+	if _, err := e.Check(pr, req); err != nil { // prime the graph cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := e.Check(pr, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const limit = 20
+	if allocs > limit {
+		t.Errorf("warm Check allocates %.1f allocs/op, ratchet is %d (measured floor: 9)",
+			allocs, limit)
+	}
+}

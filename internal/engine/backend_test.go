@@ -20,7 +20,7 @@ func TestWithBackendSelectsDecider(t *testing.T) {
 }
 
 func TestBackendsListed(t *testing.T) {
-	want := []string{"bitset", "search"}
+	want := []string{"auto", "bitset", "search"}
 	if got := Backends(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Backends() = %v, want %v", got, want)
 	}

@@ -171,7 +171,8 @@ func WithShardThreshold(assignments int) Option {
 
 // WithBackend selects the level-decider backend by registry name (see
 // internal/decider): "" or "search" is the recursive-search decider the
-// engine always had, "bitset" the semi-symbolic frontier-sweep decider.
+// engine always had, "bitset" the semi-symbolic frontier-sweep decider,
+// "auto" the per-call dispatcher (bitset up to its n cap, search above).
 // Every backend returns byte-identical results, so engines with
 // different backends may safely share one decision cache. An unknown
 // name surfaces as an error from the first level check (option
@@ -585,7 +586,12 @@ func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error
 		return nil, err
 	}
 	start := time.Now()
-	e.emit(Event{Kind: "check.start", Type: p.Name()})
+	// Event payloads (Name, Sprintf details) are built only when a
+	// progress sink exists — a warm headless Check emits nothing and
+	// must allocate nothing for it.
+	if e.progress != nil {
+		e.emit(Event{Kind: "check.start", Type: p.Name()})
+	}
 	ctx, stop := e.requestCtx(req.Ctx)
 	defer stop()
 	g, err := e.graphFor(p, req.Inputs)
@@ -606,8 +612,10 @@ func (e *Engine) Check(p model.Protocol, req CheckRequest) (*model.Result, error
 	}
 	e.metrics.observeWalk(g.Stats().Sub(before).Expanded > 0, time.Since(walkStart))
 	e.graphs.Sync(g)
-	e.emit(Event{Kind: "check.done", Type: p.Name(), OK: res.OK(),
-		Elapsed: time.Since(start), Detail: fmt.Sprintf("%d nodes", res.Nodes)})
+	if e.progress != nil {
+		e.emit(Event{Kind: "check.done", Type: p.Name(), OK: res.OK(),
+			Elapsed: time.Since(start), Detail: fmt.Sprintf("%d nodes", res.Nodes)})
+	}
 	return res, nil
 }
 
@@ -622,7 +630,9 @@ func (e *Engine) Theorem13(p model.Protocol, req CheckRequest) (*model.Chain, er
 		return nil, err
 	}
 	start := time.Now()
-	e.emit(Event{Kind: "chain.start", Type: p.Name()})
+	if e.progress != nil {
+		e.emit(Event{Kind: "chain.start", Type: p.Name()})
+	}
 	ctx, stop := e.requestCtx(req.Ctx)
 	defer stop()
 	g, err := e.graphFor(p, req.Inputs)
@@ -645,8 +655,10 @@ func (e *Engine) Theorem13(p model.Protocol, req CheckRequest) (*model.Chain, er
 	}
 	e.metrics.observeWalk(g.Stats().Sub(before).Expanded > 0, time.Since(walkStart))
 	e.graphs.Sync(g)
-	e.emit(Event{Kind: "check.done", Type: p.Name(), OK: chain.Recording,
-		Elapsed: time.Since(start), Detail: fmt.Sprintf("%d stages", len(chain.Stages))})
+	if e.progress != nil {
+		e.emit(Event{Kind: "check.done", Type: p.Name(), OK: chain.Recording,
+			Elapsed: time.Since(start), Detail: fmt.Sprintf("%d stages", len(chain.Stages))})
+	}
 	return chain, nil
 }
 

@@ -1,9 +1,10 @@
 package engine
 
 import (
-	"fmt"
-	"strings"
+	"reflect"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
@@ -79,6 +80,11 @@ type GraphCache struct {
 	head, tail *gcEntry
 
 	store GraphStore
+
+	// keyBuf is the reusable key-composition scratch (guarded by mu);
+	// warm Gets probe entries via an allocation-free string(keyBuf) map
+	// lookup and only materialize a key string on a miss.
+	keyBuf []byte
 
 	hits, misses, evicted uint64
 	st                    GraphStoreStats
@@ -176,21 +182,55 @@ func (c *GraphCache) SetStore(s GraphStore) {
 	c.store = s
 }
 
-// graphKey canonicalizes the (protocol identity, inputs) cache key: the
-// protocol's structural fingerprint plus the input vector. Nothing
-// nominal — in particular not Protocol.Name — enters the key.
-func graphKey(p model.Protocol, inputs []int) (key, fp string, err error) {
-	fp, err = model.Fingerprint(p)
+// fpMemo caches model.Fingerprint results keyed by the Protocol
+// interface value itself, so a caller re-checking the same protocol
+// value (registry singletons, compiled descriptors held by jobs, bench
+// loops) pays the SHA-256 closure walk once, not per Get. The map
+// retains its protocol keys, which is what makes interface-value keying
+// sound: a key can never be collected and have its address reused by a
+// different protocol while the memo still maps it. Bounded, never
+// evicted — entries are tiny next to the graphs the cache itself holds.
+var (
+	fpMemo     sync.Map // model.Protocol -> fingerprint string
+	fpMemoSize atomic.Int64
+)
+
+const fpMemoCap = 4096
+
+// fingerprintFor is model.Fingerprint through the memo. Protocols whose
+// dynamic type is not comparable (slice/map/func fields) cannot be map
+// keys and are hashed every time.
+func fingerprintFor(p model.Protocol) (string, error) {
+	t := reflect.TypeOf(p)
+	if t == nil || !t.Comparable() {
+		return model.Fingerprint(p)
+	}
+	if v, ok := fpMemo.Load(p); ok {
+		return v.(string), nil
+	}
+	fp, err := model.Fingerprint(p)
 	if err != nil {
-		return "", "", err
+		return "", err
 	}
-	var b strings.Builder
-	b.WriteString(fp)
-	b.WriteString(";in=")
+	if fpMemoSize.Load() < fpMemoCap {
+		if _, loaded := fpMemo.LoadOrStore(p, fp); !loaded {
+			fpMemoSize.Add(1)
+		}
+	}
+	return fp, nil
+}
+
+// appendGraphKey canonicalizes the (protocol identity, inputs) cache key
+// into dst: the protocol's structural fingerprint plus the input vector.
+// Nothing nominal — in particular not Protocol.Name — enters the key.
+func appendGraphKey(dst []byte, fp string, inputs []int) []byte {
+	dst = append(dst, fp...)
+	dst = append(dst, ";in="...)
 	for _, in := range inputs {
-		fmt.Fprintf(&b, "%d,", in)
+		dst = strconv.AppendInt(dst, int64(in), 10)
+		dst = append(dst, ',')
 	}
-	return b.String(), fp, nil
+	return dst
 }
 
 // Get returns the cached live graph for (p, inputs), building and caching
@@ -207,13 +247,14 @@ func graphKey(p model.Protocol, inputs []int) (key, fp string, err error) {
 // otherwise race into. A load or import failure degrades to a cold
 // graph and marks the key store-less, never an error for the caller.
 func (c *GraphCache) Get(p model.Protocol, inputs []int) (*model.Graph, error) {
-	key, fp, err := graphKey(p, inputs)
+	fp, err := fingerprintFor(p)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok {
+	c.keyBuf = appendGraphKey(c.keyBuf[:0], fp, inputs)
+	if e, ok := c.entries[string(c.keyBuf)]; ok {
 		c.hits++
 		c.moveFront(e)
 		c.enforce(e)
@@ -224,6 +265,7 @@ func (c *GraphCache) Get(p model.Protocol, inputs []int) (*model.Graph, error) {
 		return nil, err
 	}
 	c.misses++
+	key := string(c.keyBuf)
 	e := &gcEntry{key: key, g: g, fp: fp, inputs: append([]int(nil), inputs...)}
 	if c.store != nil {
 		switch snap, err := c.store.Load(fp, e.inputs); {

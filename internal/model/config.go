@@ -2,7 +2,6 @@ package model
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
 	"repro/internal/schedule"
@@ -38,19 +37,25 @@ func (c Config) Clone() Config {
 	return out
 }
 
-// Key returns a canonical hashable key for the configuration.
-func (c Config) Key() string {
-	var b strings.Builder
-	for _, s := range c.States {
-		b.WriteString(s)
-		b.WriteByte('\x00')
+// Equal reports whether c and d are the same configuration: identical
+// local states and identical shared-object values. It replaces the
+// retired string-key path (the runtime identity of a configuration is
+// its packed word encoding — see Graph).
+func (c Config) Equal(d Config) bool {
+	if len(c.States) != len(d.States) || len(c.Vals) != len(d.Vals) {
+		return false
 	}
-	b.WriteByte('\x01')
-	for _, v := range c.Vals {
-		b.WriteString(strconv.Itoa(int(v)))
-		b.WriteByte('\x00')
+	for i, s := range c.States {
+		if s != d.States[i] {
+			return false
+		}
 	}
-	return b.String()
+	for i, v := range c.Vals {
+		if v != d.Vals[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // IndistinguishableTo reports whether c and d are indistinguishable to

@@ -75,9 +75,9 @@ type Result struct {
 	// small per-bucket entries are told apart by crash-usage vector, so
 	// the walk's dedup identity is exactly the serial checker's
 	// (configuration, crash-usage, output-history) triple. The first
-	// entry is inlined: crash-free walks (one usage vector per node)
-	// never allocate a bucket slice.
-	nodes map[*gnode]nbucket
+	// entry per canonical node is inlined: crash-free walks (one usage
+	// vector per node) never allocate a bucket slice.
+	nodes walkIndex
 	count int
 	// order lists the nodes in BFS discovery order (init first), making
 	// post-exploration passes — in particular the liveness DFS sweep —
@@ -111,20 +111,140 @@ type node struct {
 	outs   []int8
 	parent *node
 	via    schedule.Event
+	// ord is the node's BFS discovery index (position in Result.order),
+	// letting post-exploration sweeps keep per-node state in flat
+	// ord-indexed slices instead of maps.
+	ord int32
 	// succ caches step successors (crash successors are recomputed).
 	succ []*node
 	// gn is the node's canonical twin in the shared exploration graph
 	// the walk ran on (see Graph); it carries the precomputed decision
-	// vector and successor set.
+	// vector, packed-identity hash, and successor set.
 	gn *gnode
 }
 
-// nbucket holds one canonical node's walk twins: the common case of a
-// single crash-usage vector stays inline, further vectors overflow into
-// the slice.
-type nbucket struct {
+// wentry is one walk-index slot: a canonical graph node and its walk
+// twins. The common case of a single crash-usage vector stays inline in
+// first; further vectors overflow into rest.
+type wentry struct {
+	gn    *gnode
 	first *node
 	rest  []*node
+}
+
+// walkIndex is the per-walk dedup index: an open-addressed table from
+// canonical graph node to this walk's (node, crash-usage) twins. It
+// probes with the gnode's precomputed packed-identity hash (linear
+// probing, power-of-two capacity, grown at 3/4 load) and compares slot
+// identity by gnode pointer, so a walk lookup is a few pointer probes
+// with no hashing work at all. The table lives and dies with its Result
+// (post-exploration analyses keep using it), so unlike the frontier and
+// sweep scratch it is not pooled.
+type walkIndex struct {
+	tab  []wentry
+	live int
+}
+
+// init sizes the table so hint entries fit under 3/4 load.
+func (w *walkIndex) init(hint int) {
+	capacity := 16
+	for capacity*3 < hint*4 {
+		capacity <<= 1
+	}
+	w.tab = make([]wentry, capacity)
+	w.live = 0
+}
+
+// slot returns the entry for gn, or the empty slot where it would be
+// inserted.
+func (w *walkIndex) slot(gn *gnode) *wentry {
+	mask := uint64(len(w.tab) - 1)
+	for i := gn.hash & mask; ; i = (i + 1) & mask {
+		e := &w.tab[i]
+		if e.gn == gn || e.gn == nil {
+			return e
+		}
+	}
+}
+
+func (w *walkIndex) grow() {
+	old := w.tab
+	next := make([]wentry, len(old)*2)
+	mask := uint64(len(next) - 1)
+	for i := range old {
+		e := &old[i]
+		if e.gn == nil {
+			continue
+		}
+		j := e.gn.hash & mask
+		for next[j].gn != nil {
+			j = (j + 1) & mask
+		}
+		next[j] = *e
+	}
+	w.tab = next
+}
+
+// add registers nd in the walk's dedup index and discovery order.
+func (r *Result) add(nd *node) {
+	w := &r.nodes
+	e := w.slot(nd.gn)
+	if e.gn == nil {
+		if (w.live+1)*4 >= len(w.tab)*3 {
+			w.grow()
+			e = w.slot(nd.gn)
+		}
+		e.gn = nd.gn
+		e.first = nd
+		w.live++
+	} else {
+		e.rest = append(e.rest, nd)
+	}
+	nd.ord = int32(r.count)
+	r.order = append(r.order, nd)
+	r.count++
+}
+
+// lookup finds this walk's node for (gn, used), or nil. A nil gn (a
+// schedule that leaves the explored graph) finds nothing.
+func (r *Result) lookup(gn *gnode, used []int) *node {
+	if gn == nil {
+		return nil
+	}
+	e := r.nodes.slot(gn)
+	if e.gn == nil {
+		return nil
+	}
+	if eqUsed(e.first.used, used) {
+		return e.first
+	}
+	for _, nd := range e.rest {
+		if eqUsed(nd.used, used) {
+			return nd
+		}
+	}
+	return nil
+}
+
+// lookupPlus finds this walk's node for (gn, base with base[p]+1) without
+// materializing the incremented usage vector.
+func (r *Result) lookupPlus(gn *gnode, base []int, p int) *node {
+	if gn == nil {
+		return nil
+	}
+	e := r.nodes.slot(gn)
+	if e.gn == nil {
+		return nil
+	}
+	if eqUsedPlus(e.first.used, base, p) {
+		return e.first
+	}
+	for _, nd := range e.rest {
+		if eqUsedPlus(nd.used, base, p) {
+			return nd
+		}
+	}
+	return nil
 }
 
 // newNode hands out the next arena slot. The first chunk is
@@ -154,54 +274,6 @@ func (r *Result) newUsed(n int) []int {
 	u := r.usedArena[:n:n]
 	r.usedArena = r.usedArena[n:]
 	return u
-}
-
-// add registers nd in the walk's dedup index and discovery order.
-func (r *Result) add(nd *node) {
-	b := r.nodes[nd.gn]
-	if b.first == nil {
-		b.first = nd
-	} else {
-		b.rest = append(b.rest, nd)
-	}
-	r.nodes[nd.gn] = b
-	r.order = append(r.order, nd)
-	r.count++
-}
-
-// lookup finds this walk's node for (gn, used), or nil.
-func (r *Result) lookup(gn *gnode, used []int) *node {
-	b := r.nodes[gn]
-	if b.first == nil {
-		return nil
-	}
-	if eqUsed(b.first.used, used) {
-		return b.first
-	}
-	for _, nd := range b.rest {
-		if eqUsed(nd.used, used) {
-			return nd
-		}
-	}
-	return nil
-}
-
-// lookupPlus finds this walk's node for (gn, base with base[p]+1) without
-// materializing the incremented usage vector.
-func (r *Result) lookupPlus(gn *gnode, base []int, p int) *node {
-	b := r.nodes[gn]
-	if b.first == nil {
-		return nil
-	}
-	if eqUsedPlus(b.first.used, base, p) {
-		return b.first
-	}
-	for _, nd := range b.rest {
-		if eqUsedPlus(nd.used, base, p) {
-			return nd
-		}
-	}
-	return nil
 }
 
 func eqUsed(a, b []int) bool {
@@ -282,51 +354,170 @@ func Check(pr Protocol, opts CheckOpts) (*Result, error) {
 	return g.Check(opts)
 }
 
+// walkState is one Check call's property-checking state: the validity
+// predicate, the per-kind first-witness dedup, and the violation sink.
+// It replaces the per-walk report/checkSafety closures and seen-kind map
+// with a stack value, so a clean walk records violations for free.
+type walkState struct {
+	r        *Result
+	validity func(int) bool
+	inputs   []int
+	// seen[k] dedups violations per kind (0 agreement, 1 validity,
+	// 2 wait-freedom): the checker records the first witness of each.
+	seen [3]bool
+}
+
+const (
+	kindAgreement = iota
+	kindValidity
+	kindWaitFreedom
+)
+
+// valid applies the walk's validity predicate; the consensus default —
+// a decided value must equal some process's input — is evaluated
+// directly against the input vector, with no closure.
+func (w *walkState) valid(d int) bool {
+	if w.validity != nil {
+		return w.validity(d)
+	}
+	for _, in := range w.inputs {
+		if d == in {
+			return true
+		}
+	}
+	return false
+}
+
+var kindNames = [3]string{"agreement", "validity", "wait-freedom"}
+
+func (w *walkState) report(kind int, nd *node, detail string) {
+	if w.seen[kind] {
+		return
+	}
+	w.seen[kind] = true
+	w.r.Violations = append(w.r.Violations, &Violation{
+		Kind: kindNames[kind], Trace: nd.trace(), Config: nd.cfg, Detail: detail,
+	})
+}
+
+// checkSafety verifies agreement and validity over the path's output
+// history (parentOuts) extended by the decisions visible in nd's
+// configuration, read from the node's precomputed decision vector.
+// Outputs persist across crashes: a process that decided, crashed and
+// re-decided a different value is an agreement violation with its own
+// earlier output.
+func (w *walkState) checkSafety(nd *node, parentOuts []int8) {
+	n := len(parentOuts)
+	for p := 0; p < n; p++ {
+		if v := nd.gn.decided[p]; v >= 0 {
+			if prev := parentOuts[p]; prev >= 0 && prev != v {
+				w.report(kindAgreement, nd, fmt.Sprintf(
+					"p%d output %d, crashed, and re-decided %d", p, prev, v))
+			}
+		}
+	}
+	first, firstP := -1, -1
+	for p := 0; p < n; p++ {
+		v := nd.outs[p]
+		if v < 0 {
+			continue
+		}
+		if !w.valid(int(v)) {
+			w.report(kindValidity, nd, fmt.Sprintf(
+				"p%d decided %d, not an input of any process", p, v))
+		}
+		if first == -1 {
+			first, firstP = int(v), p
+		} else if int(v) != first {
+			w.report(kindAgreement, nd, fmt.Sprintf(
+				"p%d decided %d but p%d decided %d", firstP, first, p, v))
+		}
+	}
+}
+
+// sweepFrame is one liveness-DFS stack frame.
+type sweepFrame struct {
+	nd  *node
+	idx int
+}
+
+// sweepScratch is the pooled liveness-DFS working set: per-node colors
+// (indexed by node.ord) and the explicit DFS stack. Pooled on the graph
+// (Graph.postSweep) because, unlike the Result, it dies with the Check
+// call.
+type sweepScratch struct {
+	color []uint8
+	stack []sweepFrame
+}
+
+func (g *Graph) getSweep(n int) *sweepScratch {
+	sc, _ := g.postSweep.Get().(*sweepScratch)
+	if sc == nil {
+		sc = &sweepScratch{}
+	}
+	if cap(sc.color) < n {
+		sc.color = make([]uint8, n)
+	} else {
+		sc.color = sc.color[:n]
+		clear(sc.color)
+	}
+	return sc
+}
+
+func (g *Graph) putSweep(sc *sweepScratch) {
+	// Drop the stack's node pointers so pooling never retains a finished
+	// walk's Result.
+	clear(sc.stack[:cap(sc.stack)])
+	sc.stack = sc.stack[:0]
+	g.postSweep.Put(sc)
+}
+
 // checkLiveness detects recoverable wait-freedom violations: a cycle in
 // the step-successor graph means the adversary can schedule some process to
 // take infinitely many steps without crashing and without deciding (crash
 // edges strictly consume quota, so no cycle contains a crash). Start nodes
 // are swept in BFS discovery order, so the reported witness is
 // deterministic for a given exploration.
-func (r *Result) checkLiveness(report func(kind string, nd *node, detail string)) {
+func (r *Result) checkLiveness(w *walkState) {
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
-	color := make(map[*node]int, r.count)
+	sc := r.g.getSweep(r.count)
+	defer r.g.putSweep(sc)
+	color := sc.color
 	// Iterative DFS to avoid deep recursion on long chains.
-	type frame struct {
-		nd  *node
-		idx int
-	}
+	stack := sc.stack[:0]
 	for _, start := range r.order {
-		if color[start] != white {
+		if color[start.ord] != white {
 			continue
 		}
-		stack := []frame{{nd: start}}
-		color[start] = gray
+		stack = append(stack[:0], sweepFrame{nd: start})
+		color[start.ord] = gray
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			if f.idx < len(f.nd.succ) {
 				child := f.nd.succ[f.idx]
 				f.idx++
-				switch color[child] {
+				switch color[child.ord] {
 				case white:
-					color[child] = gray
-					stack = append(stack, frame{nd: child})
+					color[child.ord] = gray
+					stack = append(stack, sweepFrame{nd: child})
 				case gray:
-					report("wait-freedom", child, fmt.Sprintf(
+					sc.stack = stack
+					w.report(kindWaitFreedom, child, fmt.Sprintf(
 						"cycle of crash-free steps through %s: some process runs forever without deciding",
 						child.cfg))
 					return
 				}
 				continue
 			}
-			color[f.nd] = black
+			color[f.nd.ord] = black
 			stack = stack[:len(stack)-1]
 		}
 	}
+	sc.stack = stack
 }
 
 // ReachableDecisions returns the set of values decided in configurations

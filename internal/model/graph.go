@@ -10,13 +10,19 @@ import (
 )
 
 // Graph is a canonicalized, lazily-expanded exploration graph for one
-// (protocol, inputs) pair, shared across many Check runs. Nodes are
-// interned by a 128-bit hashed fingerprint of the (configuration,
-// output-history) pair — collision-checked against the full pair, so
-// hashing is a pure speedup, never a correctness input — and each node's
-// successors are computed exactly once, with singleflight semantics:
-// concurrent walks that reach an unexpanded node agree on one expander,
-// the rest block until it is done.
+// (protocol, inputs) pair, shared across many Check runs. Node identity
+// is a packed fixed-width word encoding of the (configuration,
+// output-history) pair — local states translated through per-process
+// dictionaries built at NewGraph from the protocol's canonical
+// reachable state machine (the same closure model.Fingerprint hashes) —
+// so interning hashes with a word-mix loop and compares with == over
+// words, never a per-string byte loop. Nodes live in an open-addressed
+// table (power-of-two capacity, linear probing); hash collisions only
+// cost probe steps, equality is always confirmed over the full packed
+// identity, so hashing is a pure speedup, never a correctness input.
+// Each node's successors are computed exactly once, with singleflight
+// semantics: concurrent walks that reach an unexpanded node agree on
+// one expander, the rest block until it is done.
 //
 // Crash usage is deliberately NOT part of a graph node's identity:
 // transitions depend only on the configuration and the output history, so
@@ -35,9 +41,14 @@ import (
 type Graph struct {
 	pr     Protocol
 	inputs []int
+	enc    *encoding
 
-	mu    sync.Mutex
-	nodes map[nodeFP][]*gnode
+	mu sync.Mutex
+	// table is the open-addressed interned-node index: power-of-two
+	// capacity, linear probing on gnode.hash, grown at 3/4 load. Guarded
+	// by mu, like the dictionary extensions (encoding.extend).
+	table []*gnode
+	live  int
 	// order lists the canonical nodes in intern order. It is the
 	// deterministic spine of Export/ImportSnapshot: successor references
 	// in a snapshot are positions in this list, and an imported graph
@@ -45,11 +56,24 @@ type Graph struct {
 	// round-trips byte-identically.
 	order []*gnode
 
-	// scratch pools per-expansion decision/output buffers and frontier
-	// pools per-walk BFS queues, so steady-state walks over a warm graph
-	// allocate only their own Result structures.
-	scratch  sync.Pool
-	frontier sync.Pool
+	// rootOnce memoizes the empty-StartTrace walk root — every plain
+	// Check on a warm graph starts there, so the initial configuration,
+	// its decision vector and its intern lookup are paid once per graph,
+	// not once per walk.
+	rootOnce sync.Once
+	rootNode *gnode
+
+	// negOuts is the shared all-undecided output vector (read-only), the
+	// parent history of every walk root's safety check.
+	negOuts []int8
+
+	// scratch pools per-expansion decision/output/packing buffers,
+	// frontier pools per-walk BFS queues, and postSweep pools the
+	// liveness DFS's color/stack scratch, so steady-state walks over a
+	// warm graph allocate only their own Result structures.
+	scratch   sync.Pool
+	frontier  sync.Pool
+	postSweep sync.Pool
 
 	interned atomic.Uint64
 	expanded atomic.Uint64
@@ -97,9 +121,11 @@ func (s GraphStats) Sub(prev GraphStats) GraphStats {
 	}
 }
 
-// nodeFP is the 128-bit hashed fingerprint a canonical node is indexed
-// by. Nodes whose fingerprints collide live in one bucket and are told
-// apart by full (configuration, output-history) comparison.
+// nodeFP is the 128-bit hashed fingerprint a snapshot node record is
+// verified by (see graph_io.go). The RUNTIME node index probes packed
+// words instead; this fingerprint survives because the on-disk graph
+// store format embeds it per record, and keeping it keeps every v1
+// store file loadable byte-identically.
 type nodeFP struct{ hi, lo uint64 }
 
 // FNV-1a 128-bit parameters (offset basis and prime).
@@ -110,9 +136,9 @@ const (
 	fnvPrime128Lo  = 0x000000000000013b
 )
 
-// hash128 accumulates an FNV-1a 128-bit hash with no allocation — the
-// replacement for the string-key building the hot path used to pay per
-// intern.
+// hash128 accumulates an FNV-1a 128-bit hash with no allocation. It is
+// the snapshot-record fingerprint, not the hot-path hash: interning
+// probes hashWords over the packed identity instead.
 type hash128 struct{ hi, lo uint64 }
 
 func newHash128() hash128 { return hash128{hi: fnvOffset128Hi, lo: fnvOffset128Lo} }
@@ -132,8 +158,11 @@ func (h *hash128) writeString(s string) {
 	h.writeByte(0xff) // terminator: "ab","c" must not alias "a","bc"
 }
 
-// fingerprintOf hashes a node's identity. A weak spot (object values are
-// hashed mod 2^16) only costs bucket scans, never correctness.
+// fingerprintOf hashes a node's identity for snapshot records — the
+// stable per-record integrity check of the RPRGRAPH v1 store format.
+// (A weak spot — object values hashed mod 2^16 — is irrelevant here:
+// ImportSnapshot compares the recomputed fingerprint for equality, it
+// never indexes by it.)
 func fingerprintOf(cfg Config, outs []int8) nodeFP {
 	h := newHash128()
 	for _, s := range cfg.States {
@@ -158,6 +187,11 @@ func fingerprintOf(cfg Config, outs []int8) nodeFP {
 type gnode struct {
 	cfg  Config
 	outs []int8
+	// words is the packed fixed-width identity (see encoding) and hash
+	// its mix — both the graph's intern index key and the walk overlay's
+	// probe hash, computed exactly once per canonical node.
+	words []uint64
+	hash  uint64
 	// decided[p] is p's decision visible in cfg (-1 if undecided),
 	// precomputed so per-request safety checks need no Protocol calls.
 	decided []int8
@@ -175,31 +209,13 @@ type gnode struct {
 	crashSucc []*gnode
 }
 
-// eq reports whether nd is the canonical node for (cfg, outs) — the
-// collision check behind the hashed index.
-func (nd *gnode) eq(cfg Config, outs []int8) bool {
-	for i, s := range nd.cfg.States {
-		if s != cfg.States[i] {
-			return false
-		}
-	}
-	for i, v := range nd.cfg.Vals {
-		if v != cfg.Vals[i] {
-			return false
-		}
-	}
-	for i, o := range nd.outs {
-		if o != outs[i] {
-			return false
-		}
-	}
-	return true
-}
-
 // NewGraph validates the protocol and builds an empty shared graph for
 // the given input vector. Every Check run on the graph must use exactly
 // these inputs — crash transitions and the validity default depend on
-// them, so they are part of the graph's identity.
+// them, so they are part of the graph's identity. Building includes the
+// packed-encoding dictionaries (the canonical per-process reachable
+// state closures); protocols whose closure exceeds the fingerprint
+// budget, or whose objects have more than 2^16 values, are refused.
 func NewGraph(pr Protocol, inputs []int) (*Graph, error) {
 	if err := Validate(pr); err != nil {
 		return nil, err
@@ -207,9 +223,17 @@ func NewGraph(pr Protocol, inputs []int) (*Graph, error) {
 	if len(inputs) != pr.Procs() {
 		return nil, fmt.Errorf("model: %d inputs for %d processes", len(inputs), pr.Procs())
 	}
+	enc, err := newEncoding(pr)
+	if err != nil {
+		return nil, err
+	}
 	in := make([]int, len(inputs))
 	copy(in, inputs)
-	return &Graph{pr: pr, inputs: in, nodes: make(map[nodeFP][]*gnode)}, nil
+	return &Graph{
+		pr: pr, inputs: in, enc: enc,
+		table:   make([]*gnode, 64),
+		negOuts: freshOuts(pr.Procs()),
+	}, nil
 }
 
 // Inputs returns the input vector the graph is built for.
@@ -294,10 +318,12 @@ func mergeDecidedInto(outs, decided, scratch []int8) (res []int8, owned bool) {
 	return scratch, false
 }
 
-// exScratch is one expansion's reusable buffers.
+// exScratch is one expansion's reusable buffers, including the packing
+// buffer interning hashes through.
 type exScratch struct {
-	dec  []int8
-	outs []int8
+	dec   []int8
+	outs  []int8
+	words []uint64
 }
 
 func (g *Graph) getScratch() *exScratch {
@@ -305,7 +331,55 @@ func (g *Graph) getScratch() *exScratch {
 		return v.(*exScratch)
 	}
 	n := g.pr.Procs()
-	return &exScratch{dec: make([]int8, n), outs: make([]int8, n)}
+	return &exScratch{dec: make([]int8, n), outs: make([]int8, n), words: make([]uint64, g.enc.words)}
+}
+
+// probeLocked finds the canonical node with the given packed identity,
+// or nil. Lock held.
+func (g *Graph) probeLocked(h uint64, words []uint64) *gnode {
+	mask := uint64(len(g.table) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		nd := g.table[i]
+		if nd == nil {
+			return nil
+		}
+		if nd.hash == h && wordsEqual(nd.words, words) {
+			return nd
+		}
+	}
+}
+
+// insertLocked adds a fresh node to the open-addressed index, growing at
+// 3/4 load. Lock held; the caller has already probed for absence.
+func (g *Graph) insertLocked(nd *gnode) {
+	if (g.live+1)*4 >= len(g.table)*3 {
+		g.growLocked()
+	}
+	mask := uint64(len(g.table) - 1)
+	i := nd.hash & mask
+	for g.table[i] != nil {
+		i = (i + 1) & mask
+	}
+	g.table[i] = nd
+	g.live++
+}
+
+// growLocked doubles the index and rehashes from the stored hashes —
+// packed identities are never re-hashed after intern.
+func (g *Graph) growLocked() {
+	next := make([]*gnode, len(g.table)*2)
+	mask := uint64(len(next) - 1)
+	for _, nd := range g.table {
+		if nd == nil {
+			continue
+		}
+		i := nd.hash & mask
+		for next[i] != nil {
+			i = (i + 1) & mask
+		}
+		next[i] = nd
+	}
+	g.table = next
 }
 
 // intern returns the canonical node for (cfg, outs), creating it with the
@@ -313,47 +387,57 @@ func (g *Graph) getScratch() *exScratch {
 // (Step/CrashProc clone), so it is adopted as-is; outs is adopted only
 // when outsOwned (a graph-owned or walk-root slice) and copied out of the
 // expansion scratch otherwise; decided is always copied on create, so
-// callers may pass scratch.
+// callers may pass scratch. Packing runs outside the lock against the
+// dictionary snapshot; the miss fallback (impossible for deterministic
+// protocols) extends the dictionaries under the lock.
 func (g *Graph) intern(cfg Config, outs []int8, outsOwned bool, decided []int8) *gnode {
-	fp := fingerprintOf(cfg, outs)
+	sc := g.getScratch()
+	w := sc.words
+	if !g.enc.packInto(w, cfg, outs) {
+		g.mu.Lock()
+		g.enc.mustPackInto(w, cfg, outs)
+		g.mu.Unlock()
+	}
+	h := hashWords(w)
 	g.mu.Lock()
-	bucket := g.nodes[fp]
-	for _, nd := range bucket {
-		if nd.eq(cfg, outs) {
-			g.mu.Unlock()
-			return nd
-		}
+	if nd := g.probeLocked(h, w); nd != nil {
+		g.mu.Unlock()
+		g.scratch.Put(sc)
+		return nd
 	}
 	if !outsOwned {
 		outs = append([]int8(nil), outs...)
 	}
-	nd := &gnode{cfg: cfg, outs: outs, decided: append([]int8(nil), decided...)}
-	g.nodes[fp] = append(bucket, nd)
+	nd := &gnode{cfg: cfg, outs: outs, decided: append([]int8(nil), decided...),
+		words: append([]uint64(nil), w...), hash: h}
+	g.insertLocked(nd)
 	g.order = append(g.order, nd)
 	g.mu.Unlock()
 	g.interned.Add(1)
+	g.scratch.Put(sc)
 	return nd
 }
 
 // find returns the canonical node for (cfg, outs) without creating it, or
 // nil — the lookup behind post-exploration analyses (Result.Node, crash
-// successors in valency sweeps).
+// successors in valency sweeps). A dictionary miss means no such node
+// was ever interned.
 func (g *Graph) find(cfg Config, outs []int8) *gnode {
-	fp := fingerprintOf(cfg, outs)
+	sc := g.getScratch()
+	defer g.scratch.Put(sc)
+	if !g.enc.packInto(sc.words, cfg, outs) {
+		return nil
+	}
+	h := hashWords(sc.words)
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for _, nd := range g.nodes[fp] {
-		if nd.eq(cfg, outs) {
-			return nd
-		}
-	}
-	return nil
+	return g.probeLocked(h, sc.words)
 }
 
 // ensure expands nd's successors if no walk has yet, with singleflight
 // semantics: concurrent callers agree on one expander and the rest wait.
 // The expansion performs the Step/CrashProc transitions, output merges
-// and fingerprint computations the serial BFS would redo per request.
+// and packing/hashing the serial BFS would redo per request.
 func (g *Graph) ensure(nd *gnode) {
 	if nd.done.Load() {
 		g.reused.Add(1)
@@ -395,8 +479,18 @@ func (g *Graph) ensure(nd *gnode) {
 // root interns the walk's starting node: the initial configuration with
 // the start trace applied. Crashes inside the trace do not consume the
 // walk's crash quota, and outputs are merged only across steps, exactly
-// as in the serial exploration.
+// as in the serial exploration. The empty-StartTrace root — every plain
+// Check — is memoized, so warm walks skip the initial-configuration
+// rebuild entirely.
 func (g *Graph) root(startTrace schedule.Schedule) *gnode {
+	if len(startTrace) == 0 {
+		g.rootOnce.Do(func() { g.rootNode = g.buildRoot(nil) })
+		return g.rootNode
+	}
+	return g.buildRoot(startTrace)
+}
+
+func (g *Graph) buildRoot(startTrace schedule.Schedule) *gnode {
 	initCfg := InitialConfig(g.pr, g.inputs)
 	initOuts := mergeDecided(freshOuts(g.pr.Procs()), decisionVec(g.pr, initCfg))
 	for _, e := range startTrace {
@@ -447,26 +541,12 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 		}
 	}
 	quota := opts.CrashQuota
-	if quota == nil {
-		quota = make([]int, n)
-	}
-	if len(quota) != n {
+	if quota != nil && len(quota) != n {
 		return nil, fmt.Errorf("model: %d crash quotas for %d processes", len(quota), n)
 	}
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 2_000_000
-	}
-	validity := opts.Validity
-	if validity == nil {
-		validity = func(d int) bool {
-			for _, in := range opts.Inputs {
-				if d == in {
-					return true
-				}
-			}
-			return false
-		}
 	}
 
 	// Pre-size the walk index from the graph's canonical node count: on a
@@ -476,57 +556,14 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 	if hint > maxNodes {
 		hint = maxNodes
 	}
-	r := &Result{pr: g.pr, g: g, inputs: opts.Inputs,
-		nodes: make(map[*gnode]nbucket, hint+1), arenaHint: hint + 1}
+	r := &Result{pr: g.pr, g: g, inputs: opts.Inputs, arenaHint: hint + 1}
+	r.nodes.init(hint + 1)
+	r.order = make([]*node, 0, hint+1)
+	w := walkState{r: r, validity: opts.Validity, inputs: opts.Inputs}
 	rootG := g.root(opts.StartTrace)
 	r.init = r.newNode()
-	*r.init = node{cfg: rootG.cfg, used: make([]int, n), outs: rootG.outs, gn: rootG}
+	*r.init = node{cfg: rootG.cfg, used: r.newUsed(n), outs: rootG.outs, gn: rootG}
 	r.add(r.init)
-
-	seenKinds := make(map[string]bool)
-	report := func(kind string, nd *node, detail string) {
-		if seenKinds[kind] {
-			return
-		}
-		seenKinds[kind] = true
-		r.Violations = append(r.Violations, &Violation{
-			Kind: kind, Trace: nd.trace(), Config: nd.cfg, Detail: detail,
-		})
-	}
-
-	// checkSafety verifies agreement and validity over the path's output
-	// history (parentOuts) extended by the decisions visible in nd's
-	// configuration, read from the node's precomputed decision vector.
-	// Outputs persist across crashes: a process that decided, crashed and
-	// re-decided a different value is an agreement violation with its own
-	// earlier output.
-	checkSafety := func(nd *node, parentOuts []int8) {
-		for p := 0; p < n; p++ {
-			if v := nd.gn.decided[p]; v >= 0 {
-				if prev := parentOuts[p]; prev >= 0 && prev != v {
-					report("agreement", nd, fmt.Sprintf(
-						"p%d output %d, crashed, and re-decided %d", p, prev, v))
-				}
-			}
-		}
-		first, firstP := -1, -1
-		for p := 0; p < n; p++ {
-			v := nd.outs[p]
-			if v < 0 {
-				continue
-			}
-			if !validity(int(v)) {
-				report("validity", nd, fmt.Sprintf(
-					"p%d decided %d, not an input of any process", p, v))
-			}
-			if first == -1 {
-				first, firstP = int(v), p
-			} else if int(v) != first {
-				report("agreement", nd, fmt.Sprintf(
-					"p%d decided %d but p%d decided %d", firstP, first, p, v))
-			}
-		}
-	}
 
 	var done <-chan struct{}
 	if opts.Ctx != nil {
@@ -548,7 +585,7 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 	defer func() { *fbuf = queue; g.putFrontier(fbuf) }()
 	queue = append(queue, r.init)
 	head := 0
-	checkSafety(r.init, freshOuts(n))
+	w.checkSafety(r.init, g.negOuts)
 	visited := 0
 	for head < len(queue) && r.count <= maxNodes {
 		if visited++; done != nil && visited%1024 == 0 {
@@ -573,7 +610,7 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 				*child = node{cfg: cg.cfg, used: nd.used, outs: cg.outs,
 					parent: nd, via: schedule.Step(nd.gn.stepP[i]), gn: cg}
 				r.add(child)
-				checkSafety(child, nd.outs)
+				w.checkSafety(child, nd.outs)
 				queue = append(queue, child)
 			}
 			nd.succ = append(nd.succ, child)
@@ -582,7 +619,7 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 		// Crash successors: quota is this walk's overlay on the shared
 		// structure; the initial-state skip is baked into the expansion.
 		// The usage vector is only materialized when the child is new.
-		for p := 0; p < n; p++ {
+		for p := 0; p < len(quota); p++ {
 			if nd.used[p] >= quota[p] {
 				continue
 			}
@@ -598,7 +635,7 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 				*child = node{cfg: cg.cfg, used: used, outs: cg.outs,
 					parent: nd, via: schedule.Crash(p), gn: cg}
 				r.add(child)
-				checkSafety(child, nd.outs)
+				w.checkSafety(child, nd.outs)
 				queue = append(queue, child)
 			}
 		}
@@ -609,7 +646,7 @@ func (g *Graph) Check(opts CheckOpts) (*Result, error) {
 	r.Nodes = r.count
 
 	if !opts.SkipLiveness && !r.Truncated {
-		r.checkLiveness(report)
+		r.checkLiveness(&w)
 	}
 	return r, nil
 }

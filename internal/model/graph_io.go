@@ -204,7 +204,20 @@ func (g *Graph) ImportSnapshot(snap *GraphSnapshot) error {
 
 	total := len(snap.Nodes)
 	built := make([]*gnode, total)
-	nodes := make(map[nodeFP][]*gnode, total)
+	// The node index is built as a LOCAL open-addressed table (presized so
+	// it never grows) and swapped into the graph only after every record
+	// validates — a rejected snapshot leaves the graph empty and cold, it
+	// never half-imports. Packing goes through mustPackInto: a snapshot may
+	// carry local-state strings outside the protocol's canonical closure
+	// (an alien but shape-valid record), and extension under the held
+	// graph mutex gives such states ids instead of refusing the import.
+	capacity := 64
+	for capacity*3 < (total+1)*4 {
+		capacity <<= 1
+	}
+	table := make([]*gnode, capacity)
+	mask := uint64(capacity - 1)
+	words := make([]uint64, g.enc.words)
 	for i := range snap.Nodes {
 		rec := &snap.Nodes[i]
 		if len(rec.States) != n || len(rec.Outs) != n || len(rec.Decided) != n ||
@@ -233,18 +246,29 @@ func (g *Graph) ImportSnapshot(snap *GraphSnapshot) error {
 		if fp.hi != rec.FPHi || fp.lo != rec.FPLo {
 			return fmt.Errorf("model: snapshot node %d fingerprint mismatch (corrupt record)", i)
 		}
-		for _, nd := range nodes[fp] {
-			if nd.eq(cfg, rec.Outs) {
-				return fmt.Errorf("model: snapshot node %d duplicates an earlier node", i)
+		g.enc.mustPackInto(words, cfg, rec.Outs)
+		h := hashWords(words)
+		slot := h & mask
+		dup := false
+		for table[slot] != nil {
+			if table[slot].hash == h && wordsEqual(table[slot].words, words) {
+				dup = true
+				break
 			}
+			slot = (slot + 1) & mask
+		}
+		if dup {
+			return fmt.Errorf("model: snapshot node %d duplicates an earlier node", i)
 		}
 		nd := &gnode{
 			cfg:     cfg,
 			outs:    append([]int8(nil), rec.Outs...),
 			decided: append([]int8(nil), rec.Decided...),
+			words:   append([]uint64(nil), words...),
+			hash:    h,
 		}
+		table[slot] = nd
 		built[i] = nd
-		nodes[fp] = append(nodes[fp], nd)
 	}
 
 	// Second pass: wire the expansions. References may point anywhere in
@@ -293,7 +317,8 @@ func (g *Graph) ImportSnapshot(snap *GraphSnapshot) error {
 	}
 
 	g.order = built
-	g.nodes = nodes
+	g.table = table
+	g.live = total
 	g.interned.Store(uint64(total))
 	g.expanded.Store(uint64(snap.NumExpanded()))
 	return nil

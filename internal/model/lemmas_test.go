@@ -114,7 +114,7 @@ func TestObservation5UnivalenceTransfers(t *testing.T) {
 	if na == nil || nb == nil {
 		t.Fatal("nodes not explored")
 	}
-	if model.NodeConfig(na).Key() != model.NodeConfig(nb).Key() {
+	if !model.NodeConfig(na).Equal(model.NodeConfig(nb)) {
 		t.Fatal("configurations should coincide")
 	}
 	if res.Valence(na) != res.Valence(nb) {
@@ -188,7 +188,7 @@ func TestExecMatchesStepByStep(t *testing.T) {
 			cfg = model.Step(pr, cfg, e.P)
 		}
 	}
-	if byExec.Key() != cfg.Key() {
+	if !byExec.Equal(cfg) {
 		t.Error("Exec disagrees with manual folding")
 	}
 }

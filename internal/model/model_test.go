@@ -202,7 +202,7 @@ func TestViolationTraceReplays(t *testing.T) {
 	}
 	v := res.Violations[0]
 	replayed := model.Exec(pr, model.InitialConfig(pr, inputs), v.Trace, inputs)
-	if replayed.Key() != v.Config.Key() {
+	if !replayed.Equal(v.Config) {
 		t.Errorf("trace does not replay to the violating configuration:\n trace %s\n got  %s\n want %s",
 			v.Trace, replayed, v.Config)
 	}

@@ -1,0 +1,183 @@
+package model
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// encoding is a Graph's packed-word node layout: the per-process state
+// dictionaries (canonical local-state string -> small integer, built
+// once at NewGraph from the same reachable-state-machine closure
+// model.Fingerprint canonicalizes) plus the fixed word widths a node
+// identity packs into. With it, a (configuration, output-history) pair
+// becomes ceil(n/4)+ceil(m/4)+ceil(n/8) uint64 words — state ids and
+// object values 16 bits each, outputs 8 bits — so hashing is a word-mix
+// loop and equality is == over words, with no per-string byte loops on
+// the intern/lookup hot path.
+//
+// The closure over-approximates reachability (it applies each state's
+// poised operation against every object value, a superset of the values
+// real executions present), so every local state a walk can ever
+// produce — Step successors, crash resets to initial states, StartTrace
+// replays — is already in the dictionary. The copy-on-write fallback
+// below exists only for states that cannot arise from a deterministic
+// Protocol (and for snapshot imports carrying alien strings): extension
+// swaps in a fresh map under the graph mutex, so concurrent lock-free
+// readers never observe a map mutation.
+type encoding struct {
+	n, m int
+	// sw/vw/ow are the word counts of the state, value and output
+	// sections; words is their sum, the packed identity length.
+	sw, vw, ow, words int
+	// dicts is the per-process dictionary snapshot. Readers load it once
+	// per packing; writers (extend, holding the graph mutex) replace the
+	// whole slice, never mutate a published map.
+	dicts atomic.Pointer[[]map[string]uint64]
+}
+
+// encodingStateLimit bounds one process's dictionary: state ids pack
+// into 16 bits. The Fingerprint closure budget (2^14) is far below it;
+// only a pathological Protocol could grow past it via extension.
+const encodingStateLimit = 1 << 16
+
+// newEncoding builds the packed layout for pr. It errors when an object
+// type's value count does not fit the 16-bit value slots, or when the
+// canonical closure of some process exceeds its budget — protocols the
+// structural fingerprint (and therefore every cache identity) already
+// refuses.
+func newEncoding(pr Protocol) (*encoding, error) {
+	n, m := pr.Procs(), len(pr.Objects())
+	for i, o := range pr.Objects() {
+		if o.Type.NumValues() > encodingStateLimit {
+			return nil, fmt.Errorf("model: object %d has %d values, beyond the packed encoding's %d",
+				i, o.Type.NumValues(), encodingStateLimit)
+		}
+	}
+	e := &encoding{
+		n: n, m: m,
+		sw: (n + 3) / 4,
+		vw: (m + 3) / 4,
+		ow: (n + 7) / 8,
+	}
+	e.words = e.sw + e.vw + e.ow
+	dicts := make([]map[string]uint64, n)
+	for p := 0; p < n; p++ {
+		lm, err := localMachine(pr, p)
+		if err != nil {
+			return nil, err
+		}
+		d := make(map[string]uint64, len(lm.states))
+		for s, id := range lm.id {
+			d[s] = uint64(id)
+		}
+		dicts[p] = d
+	}
+	e.dicts.Store(&dicts)
+	return e, nil
+}
+
+// packInto writes the packed identity of (cfg, outs) into dst (length
+// e.words). It returns false when some local state is missing from the
+// dictionary snapshot — the caller must extend (under the graph mutex)
+// and retry; true is the only outcome for states a deterministic
+// protocol can produce.
+func (e *encoding) packInto(dst []uint64, cfg Config, outs []int8) bool {
+	dicts := *e.dicts.Load()
+	for w := 0; w < e.sw; w++ {
+		var word uint64
+		base := w * 4
+		for k := 0; k < 4 && base+k < e.n; k++ {
+			id, ok := dicts[base+k][cfg.States[base+k]]
+			if !ok {
+				return false
+			}
+			word |= id << (16 * k)
+		}
+		dst[w] = word
+	}
+	for w := 0; w < e.vw; w++ {
+		var word uint64
+		base := w * 4
+		for k := 0; k < 4 && base+k < e.m; k++ {
+			word |= (uint64(uint16(cfg.Vals[base+k]))) << (16 * k)
+		}
+		dst[e.sw+w] = word
+	}
+	for w := 0; w < e.ow; w++ {
+		var word uint64
+		base := w * 8
+		for k := 0; k < 8 && base+k < e.n; k++ {
+			word |= uint64(uint8(outs[base+k])) << (8 * k)
+		}
+		dst[e.sw+e.vw+w] = word
+	}
+	return true
+}
+
+// extend grows process p's dictionary with state s via copy-on-write:
+// the published map is never mutated, a fresh slice+map pair replaces
+// the snapshot. Must be called with the graph mutex held (it is the
+// only writer); concurrent packInto readers keep using the old
+// snapshot and simply retry.
+func (e *encoding) extend(p int, s string) {
+	old := *e.dicts.Load()
+	if _, ok := old[p][s]; ok {
+		return // a racing retry already added it
+	}
+	if len(old[p]) >= encodingStateLimit {
+		panic(fmt.Sprintf("model: process %d exceeds %d distinct local states; packed state ids are 16-bit",
+			p, encodingStateLimit))
+	}
+	dicts := make([]map[string]uint64, len(old))
+	copy(dicts, old)
+	d := make(map[string]uint64, len(old[p])+1)
+	for k, v := range old[p] {
+		d[k] = v
+	}
+	d[s] = uint64(len(d))
+	dicts[p] = d
+	e.dicts.Store(&dicts)
+}
+
+// mustPackInto is packInto with the extension fallback: on a dictionary
+// miss it extends (graph mutex required — see intern/find call sites)
+// and repacks. It cannot fail.
+func (e *encoding) mustPackInto(dst []uint64, cfg Config, outs []int8) {
+	for !e.packInto(dst, cfg, outs) {
+		dicts := *e.dicts.Load()
+		for p, s := range cfg.States {
+			if _, ok := dicts[p][s]; !ok {
+				e.extend(p, s)
+			}
+		}
+	}
+}
+
+// hashWords mixes a packed identity into the 64-bit hash the
+// open-addressed tables probe with. Collisions only cost probe steps —
+// equality is always confirmed over the full words — but the final
+// avalanche matters: power-of-two tables index by the low bits.
+func hashWords(ws []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range ws {
+		h ^= w
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	h *= 0x94d049bb133111eb
+	h ^= h >> 29
+	return h
+}
+
+// wordsEqual is the packed-identity equality: one comparison per word.
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	return true
+}

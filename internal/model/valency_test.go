@@ -139,7 +139,7 @@ func TestCriticalWithCrashBudget(t *testing.T) {
 	}
 	// Replay the critical trace and confirm the configuration matches.
 	replayed := model.Exec(pr, model.InitialConfig(pr, []int{0, 1}), info.Trace, []int{0, 1})
-	if replayed.Key() != info.Config.Key() {
+	if !replayed.Equal(info.Config) {
 		t.Error("critical trace does not replay to the critical configuration")
 	}
 }

@@ -164,7 +164,7 @@ func TestDecidedStatesAreNoOps(t *testing.T) {
 		t.Fatal("p0 should have decided")
 	}
 	after := model.Step(pr, cfg, 0)
-	if after.Key() != cfg.Key() {
+	if !after.Equal(cfg) {
 		t.Error("no-op step changed the configuration")
 	}
 }

@@ -274,8 +274,8 @@ type AnalyzeRequest struct {
 	// MaxN overrides the analysis bound (0 = server default; capped at
 	// the server's MaxN).
 	MaxN int `json:"maxN,omitempty"`
-	// Backend selects the level-decider backend ("search", "bitset";
-	// "" = the server default). Unknown names answer 400
+	// Backend selects the level-decider backend ("search", "bitset",
+	// "auto"; "" = the server default). Unknown names answer 400
 	// invalid_argument.
 	Backend string `json:"backend,omitempty"`
 }

@@ -242,9 +242,10 @@ func OpenGraphStore(dir string) (*GraphStore, error) { return graphstore.Open(di
 const DefaultGraphCacheBudget = engine.DefaultGraphCacheBudget
 
 // WithBackend selects the level-decider backend by name: "" or "search"
-// (the recursive-search deciders, the default) or "bitset" (the
-// semi-symbolic frontier-sweep decider). All backends return
-// byte-identical results — see internal/decider.
+// (the recursive-search deciders, the default), "bitset" (the
+// semi-symbolic frontier-sweep decider, n <= 16), or "auto" (bitset
+// where it applies, search above). All backends return byte-identical
+// results — see internal/decider.
 func WithBackend(name string) Option { return engine.WithBackend(name) }
 
 // Backends lists the registered level-decider backend names, sorted.
